@@ -1,0 +1,30 @@
+# Convenience targets for the FaasCache reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples reproduce clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	@for script in examples/*.py; do \
+		echo "=== $$script ==="; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+# The full reproduction record: tests + every table/figure, tee'd to
+# the repository root as EXPERIMENTS.md expects.
+reproduce:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+clean:
+	rm -rf .pytest_cache benchmarks/results .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

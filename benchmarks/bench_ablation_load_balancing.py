@@ -1,0 +1,65 @@
+"""Ablation: cluster load balancing vs keep-alive locality (Section 9).
+
+The paper's discussion argues that a stateful load balancer, by
+running each function on the same small subset of servers, improves
+per-server temporal locality and hence keep-alive effectiveness, while
+randomized balancing is simpler but worse for locality. This ablation
+measures the spectrum on the representative trace across a four-server
+cluster at equal total memory.
+"""
+
+from repro.analysis.reporting import format_table
+from repro.cluster.simulation import ClusterSimulator
+
+from conftest import write_result
+
+NUM_SERVERS = 4
+SERVER_MEMORY_MB = 6.0 * 1024.0
+
+BALANCERS = ("random", "round-robin", "least-loaded", "hash-affinity")
+
+
+def run_ablation(trace):
+    results = {}
+    for name in BALANCERS:
+        results[name] = ClusterSimulator(
+            trace,
+            name,
+            num_servers=NUM_SERVERS,
+            server_memory_mb=SERVER_MEMORY_MB,
+            policy="GD",
+        ).run()
+    return results
+
+
+def test_ablation_load_balancing(benchmark, paper_traces):
+    trace = paper_traces["representative"]
+    results = benchmark.pedantic(
+        run_ablation, args=(trace,), rounds=1, iterations=1
+    )
+    rows = [
+        [
+            name,
+            r.cold_start_pct,
+            r.exec_time_increase_pct,
+            r.dropped,
+            r.load_imbalance(),
+        ]
+        for name, r in results.items()
+    ]
+    text = format_table(
+        ["Balancer", "Cold %", "Exec incr. %", "Dropped", "Imbalance"],
+        rows,
+        title=(
+            f"Load-balancing ablation: {NUM_SERVERS} servers x "
+            f"{SERVER_MEMORY_MB / 1024:.0f} GB, GD keep-alive"
+        ),
+    )
+    write_result("ablation_load_balancing.txt", text)
+
+    # The Section 9 claim: stateful affinity beats locality-blind
+    # policies on cold starts, trading some load balance for it.
+    affinity = results["hash-affinity"]
+    for name in ("random", "round-robin", "least-loaded"):
+        assert affinity.cold_start_pct < results[name].cold_start_pct, name
+    assert affinity.load_imbalance() >= results["round-robin"].load_imbalance()

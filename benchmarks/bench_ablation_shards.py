@@ -1,0 +1,66 @@
+"""Ablation: SHARDS sampling rate vs hit-ratio-curve accuracy and cost.
+
+Section 5.1 notes exact reuse-distance computation is an expensive
+one-time O(N·M) operation and that SHARDS sampling "can be applied to
+drastically reduce the overhead". This ablation sweeps the sampling
+rate and reports, against the exact curve: the mean absolute hit-ratio
+error over the provisioning-relevant quantiles, the error of the
+provisioned size at a 90% target, and the wall-clock speedup.
+"""
+
+import time
+
+from repro.analysis.reporting import format_table
+from repro.provisioning.hit_ratio import HitRatioCurve
+from repro.provisioning.reuse_distance import reuse_distances
+from repro.provisioning.shards import shards_curve
+
+from conftest import write_result
+
+RATES = (0.5, 0.25, 0.1, 0.05)
+
+
+def run_ablation(trace):
+    t0 = time.perf_counter()
+    exact = HitRatioCurve.from_distances(reuse_distances(trace))
+    exact_s = time.perf_counter() - t0
+    probes = [exact.required_size(q) for q in (0.2, 0.4, 0.6, 0.8)]
+    target = min(0.9, exact.max_hit_ratio)
+    rows = []
+    for rate in RATES:
+        t0 = time.perf_counter()
+        sampled = shards_curve(trace, rate=rate, seed=1)
+        sampled_s = time.perf_counter() - t0
+        error = sum(
+            abs(sampled.hit_ratio(p) - exact.hit_ratio(p)) for p in probes
+        ) / len(probes)
+        try:
+            size_err = abs(
+                sampled.required_size(target) - exact.required_size(target)
+            ) / max(exact.required_size(target), 1.0)
+        except ValueError:
+            size_err = float("nan")
+        rows.append([rate, error, size_err, exact_s / max(sampled_s, 1e-9)])
+    return exact_s, rows
+
+
+def test_ablation_shards(benchmark, full_trace):
+    trace = full_trace
+    exact_s, rows = benchmark.pedantic(
+        run_ablation, args=(trace,), rounds=1, iterations=1
+    )
+    text = format_table(
+        ["Rate", "Mean |HR err|", "Size err @90%", "Speedup"],
+        rows,
+        title=(
+            "SHARDS sampling ablation "
+            f"(exact scan: {exact_s * 1000:.0f} ms)"
+        ),
+    )
+    write_result("ablation_shards.txt", text)
+    by_rate = {row[0]: row for row in rows}
+    # Even aggressive sampling keeps the curve accurate enough for
+    # coarse-grained provisioning (the paper's use of it).
+    assert by_rate[0.25][1] < 0.1
+    # Lower rates run faster.
+    assert by_rate[0.05][3] > by_rate[0.5][3]

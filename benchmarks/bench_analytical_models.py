@@ -1,0 +1,86 @@
+"""Extension: analytical cache models vs the simulator.
+
+Section 2.2 cites Che's approximation among the analytical tools the
+caching analogy unlocks, and Section 7.1 explains Figure 5c through
+the known TTL/LRU equivalence for rare objects. This benchmark
+validates both quantitatively against the discrete-event simulator on
+a Poisson workload:
+
+* Che's approximation predicts the simulated LRU hit ratio across
+  cache sizes;
+* the TTL model predicts the simulated TTL hit ratio;
+* a TTL of the characteristic time T_C reproduces the LRU cache of
+  the corresponding size.
+"""
+
+import random
+
+from repro.analysis.reporting import format_table
+from repro.provisioning.analytical import (
+    equivalent_ttl,
+    lru_hit_ratio,
+    models_from_trace,
+    ttl_hit_ratio,
+)
+from repro.sim.scheduler import simulate
+from repro.traces.model import Trace, TraceFunction
+from repro.traces.synth import periodic_arrivals
+
+from conftest import write_result
+
+
+def poisson_workload(num_functions=60, duration_s=40_000.0, seed=11):
+    rng = random.Random(seed)
+    functions, invocations = [], []
+    for i in range(num_functions):
+        rate = 10 ** rng.uniform(-3.2, -1.0)
+        size = rng.choice([64.0, 128.0, 256.0, 512.0, 1024.0])
+        f = TraceFunction(f"f{i}", size, 1e-3, 2e-3)
+        functions.append(f)
+        invocations += periodic_arrivals(
+            f.name, 1.0 / rate, duration_s, jitter=1.0, rng=rng
+        )
+    return Trace(functions, invocations, name="poisson")
+
+
+def run_validation():
+    trace = poisson_workload()
+    models = models_from_trace(trace)
+    working_set = sum(m.size_mb for m in models)
+    rows = []
+    for fraction in (0.25, 0.4, 0.55, 0.7, 0.85):
+        cache = fraction * working_set
+        che = lru_hit_ratio(models, cache)
+        lru_sim = simulate(trace, "LRU", cache).metrics.hit_ratio
+        t_c = equivalent_ttl(models, cache)
+        ttl_sim = simulate(
+            trace, "TTL", 10 * working_set, ttl_s=t_c
+        ).metrics.hit_ratio
+        ttl_model = ttl_hit_ratio(models, t_c)
+        rows.append(
+            [fraction, cache / 1024.0, che, lru_sim, t_c, ttl_model, ttl_sim]
+        )
+    return rows
+
+
+def test_analytical_models(benchmark):
+    rows = benchmark.pedantic(run_validation, rounds=1, iterations=1)
+    text = format_table(
+        [
+            "WS frac",
+            "Cache (GB)",
+            "Che HR",
+            "LRU sim HR",
+            "T_C (s)",
+            "TTL model HR",
+            "TTL sim HR",
+        ],
+        rows,
+        title="Che's approximation and TTL/LRU equivalence vs simulation",
+    )
+    write_result("analytical_models.txt", text)
+    for row in rows:
+        __, __, che, lru_sim, __, ttl_model, ttl_sim = row
+        assert abs(che - lru_sim) < 0.08
+        assert abs(ttl_model - ttl_sim) < 0.08
+        assert abs(lru_sim - ttl_sim) < 0.08  # the equivalence itself

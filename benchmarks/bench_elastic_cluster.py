@@ -1,0 +1,83 @@
+"""Extension: horizontal cluster scaling under the diurnal day.
+
+Composes the keep-alive cluster with AutoScale-style server-count
+scaling on the representative trace (whose diurnal arrival swing the
+generator reproduces). Reports the server-count timeline, the
+server-seconds consumed vs a statically peak-provisioned cluster, and
+the keep-alive cost of elasticity: every scale-down discards warm
+containers, so cold starts rise relative to a static cluster of the
+same peak size.
+"""
+
+from repro.analysis.reporting import format_series_table, format_table
+from repro.cluster.elastic import ElasticClusterSimulation
+from repro.cluster.simulation import ClusterSimulator
+
+from conftest import write_result
+
+SERVER_MEMORY_MB = 6.0 * 1024.0
+MAX_SERVERS = 6
+REQS_PER_SERVER = 0.15  # representative trace averages ~0.4 req/s
+
+
+def run_elastic(trace):
+    elastic = ElasticClusterSimulation(
+        trace,
+        server_memory_mb=SERVER_MEMORY_MB,
+        min_servers=1,
+        max_servers=MAX_SERVERS,
+        requests_per_server_per_s=REQS_PER_SERVER,
+        control_period_s=1800.0,
+        scale_down_hold_s=3600.0,
+    ).run()
+    peak = max(n for __, n in elastic.server_timeline)
+    static = ClusterSimulator(
+        trace,
+        "hash-affinity",
+        num_servers=peak,
+        server_memory_mb=SERVER_MEMORY_MB,
+    ).run()
+    return elastic, static, peak
+
+
+def test_elastic_cluster(benchmark, paper_traces):
+    trace = paper_traces["representative"]
+    elastic, static, peak = benchmark.pedantic(
+        run_elastic, args=(trace,), rounds=1, iterations=1
+    )
+    hours = [t / 3600.0 for t, __ in elastic.server_timeline]
+    timeline = format_series_table(
+        "Hour",
+        hours,
+        {"Servers": [float(n) for __, n in elastic.server_timeline]},
+        title="Elastic cluster: active servers over the day",
+    )
+    duration = trace.duration_s
+    summary = format_table(
+        ["Cluster", "Mean servers", "Server-hours", "Cold %", "Dropped"],
+        [
+            [
+                "elastic",
+                elastic.mean_servers,
+                elastic.server_seconds / 3600.0,
+                elastic.cold_start_pct,
+                elastic.dropped,
+            ],
+            [
+                f"static x{peak}",
+                float(peak),
+                peak * duration / 3600.0,
+                static.cold_start_pct,
+                static.dropped,
+            ],
+        ],
+    )
+    write_result("elastic_cluster.txt", timeline + "\n\n" + summary)
+
+    # Elasticity saves server-hours vs peak provisioning...
+    assert elastic.server_seconds < peak * duration
+    # ...and both serve everything (no overload in this regime).
+    assert elastic.served + elastic.dropped == len(trace)
+    # The cluster actually breathed with the diurnal swing.
+    counts = [n for __, n in elastic.server_timeline]
+    assert max(counts) > min(counts)

@@ -1,0 +1,51 @@
+"""Figure 1: timeline of cold-start delay for an ML-inference function.
+
+Regenerates the phase breakdown of a cold OpenWhisk invocation —
+container-pool check, Docker startup, runtime init, explicit function
+init, execution — for the Table 1 ML-inference application, and the
+warm timeline for contrast.
+"""
+
+from repro.analysis.reporting import format_bar_chart, format_table
+from repro.openwhisk.latency import ColdStartModel
+from repro.traces.functionbench import functionbench_app
+
+from conftest import write_result
+
+
+def build_figure1() -> str:
+    model = ColdStartModel()
+    cnn = functionbench_app("ml-inference-cnn")
+    cold = model.cold_breakdown(cnn)
+    warm = model.warm_breakdown(cnn)
+    chart = format_bar_chart(
+        [name for name, __ in cold.phases],
+        [duration for __, duration in cold.phases],
+        title=(
+            "Figure 1: cold-start timeline, ML inference "
+            f"(total {cold.total_s:.2f} s)"
+        ),
+    )
+    table = format_table(
+        ["Path", "Total (s)", "Overhead (s)"],
+        [
+            ["cold", cold.total_s, cold.overhead_s],
+            ["warm", warm.total_s, warm.overhead_s],
+        ],
+    )
+    return chart + "\n\n" + table
+
+
+def test_fig1_coldstart_timeline(benchmark):
+    text = benchmark(build_figure1)
+    write_result("fig1.txt", text)
+    model = ColdStartModel()
+    cnn = functionbench_app("ml-inference-cnn")
+    cold = model.cold_breakdown(cnn)
+    # The paper: ~2 s of compulsory platform overhead before user
+    # code, ~8 s total for the ML-inference cold path.
+    assert 1.5 <= model.platform_overhead_s <= 3.0
+    assert 7.0 <= cold.total_s <= 10.0
+    # Warm path is dominated by execution, not overhead.
+    warm = model.warm_breakdown(cnn)
+    assert warm.overhead_s < 0.1 * warm.total_s

@@ -1,0 +1,77 @@
+"""Figure 5: increase in execution time due to cold starts.
+
+Regenerates all three subfigures — (a) representative, (b) rare,
+(c) random — sweeping every keep-alive policy across server memory
+sizes and reporting the percentage increase in execution time.
+
+Expected shapes (Section 7.1):
+
+* 5a: GD reduces the overhead by >3x vs TTL across a wide size range
+  and reaches its low plateau at a much smaller cache.
+* 5b: recency dominates for rare functions; caching policies
+  (e.g. LRU) roughly halve TTL's overhead; HIST beats TTL but trails
+  the caching policies.
+* 5c: LRU is (near-)best; TTL behaves like LRU for rare objects.
+"""
+
+import pytest
+
+from repro.analysis.reporting import format_line_plot, format_series_table
+from repro.core.policies import PAPER_POLICIES
+
+from conftest import MEMORY_GRIDS, write_result
+
+
+def render(sweep, metric, title):
+    grid = sweep.memory_sizes()
+    series = {
+        policy: [dict(sweep.series(policy, metric))[m] for m in grid]
+        for policy in PAPER_POLICIES
+    }
+    table = format_series_table("Mem (GB)", grid, series, title=title)
+    plot = format_line_plot(
+        grid, series, x_label="memory (GB)", y_label=metric
+    )
+    return table + "\n\n" + plot
+
+
+@pytest.mark.parametrize("workload", ["representative", "rare", "random"])
+def test_fig5_exec_increase(benchmark, sweeps, workload):
+    sweep = benchmark.pedantic(
+        sweeps.get, args=(workload,), rounds=1, iterations=1
+    )
+    text = render(
+        sweep,
+        "exec_time_increase_pct",
+        f"Figure 5 ({workload}): % increase in execution time",
+    )
+    write_result(f"fig5_{workload}.txt", text)
+
+    grid = sweep.memory_sizes()
+    gd = dict(sweep.series("GD", "exec_time_increase_pct"))
+    ttl = dict(sweep.series("TTL", "exec_time_increase_pct"))
+    lru = dict(sweep.series("LRU", "exec_time_increase_pct"))
+    if workload == "representative":
+        # GD >= 3x better than TTL across the mid-range sizes.
+        mids = grid[1:-1]
+        assert all(ttl[m] > 3.0 * gd[m] for m in mids)
+    elif workload == "rare":
+        # TTL's constant expiry makes it strictly worst and flat in
+        # memory; caching-based LRU clearly beats it. (The paper sees
+        # ~2x at 40-50 GB; see EXPERIMENTS.md for the deviation note.)
+        for m in grid:
+            assert ttl[m] >= max(gd[m], lru[m]) - 1e-9
+        m = grid[-2]
+        assert ttl[m] > 1.3 * lru[m]
+        # TTL is expiry-bound: more memory does not help it.
+        assert abs(ttl[grid[0]] - ttl[grid[-1]]) < 0.15 * ttl[grid[0]]
+    else:
+        # Recency suffices on random samples: LRU converges to the
+        # best policy as memory grows and is never pathological.
+        best_at_max = min(
+            dict(sweep.series(p, "exec_time_increase_pct"))[grid[-1]]
+            for p in PAPER_POLICIES
+        )
+        assert lru[grid[-1]] <= best_at_max + 0.1
+        for m in grid:
+            assert lru[m] < ttl[m] + 5.0

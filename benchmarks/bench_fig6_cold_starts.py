@@ -1,0 +1,37 @@
+"""Figure 6: fraction of cold starts across policies and memory sizes.
+
+The miss-ratio companion to Figure 5, over the same sweeps. The paper
+notes the policy separation is smaller here than in Figure 5: the
+cold-start *fraction* ignores the miss cost that Greedy-Dual
+optimizes, so miss-ratio curves deviate from actual performance.
+"""
+
+import pytest
+
+from conftest import write_result
+
+from bench_fig5_exec_increase import render
+
+
+@pytest.mark.parametrize("workload", ["representative", "rare", "random"])
+def test_fig6_cold_starts(benchmark, sweeps, workload):
+    sweep = benchmark.pedantic(
+        sweeps.get, args=(workload,), rounds=1, iterations=1
+    )
+    text = render(
+        sweep,
+        "cold_start_pct",
+        f"Figure 6 ({workload}): % cold starts",
+    )
+    write_result(f"fig6_{workload}.txt", text)
+
+    grid = sweep.memory_sizes()
+    gd = dict(sweep.series("GD", "cold_start_pct"))
+    ttl = dict(sweep.series("TTL", "cold_start_pct"))
+    # Caching-based keep-alive yields fewer cold starts than TTL at
+    # every size (the paper's headline for this figure).
+    assert all(gd[m] <= ttl[m] + 1e-9 for m in grid)
+    # Cold-start fraction decreases with memory for the
+    # resource-conserving GD policy.
+    values = [gd[m] for m in grid]
+    assert all(a >= b - 1e-9 for a, b in zip(values, values[1:]))

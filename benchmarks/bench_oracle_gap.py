@@ -1,0 +1,62 @@
+"""Extension: how close is Greedy-Dual to the clairvoyant bound?
+
+Section 4.2 frames online keep-alive policies against "an optimal
+offline algorithm that knows future requests" (Landlord's competitive
+ratio). This benchmark measures the empirical gap on the
+representative trace: the execution-time inflation of GD vs a
+cost/size-aware clairvoyant policy (ORACLE-CS) and the plain
+furthest-next-use oracle, across cache sizes.
+
+Expected shape: the clairvoyant bound is below every online policy,
+and GD covers most of the distance from LRU down to the bound —
+quantifying how much of the offline-optimal benefit the online
+Greedy-Dual heuristic actually captures.
+"""
+
+from repro.analysis.reporting import format_series_table
+from repro.core.policies import create_policy
+from repro.sim.scheduler import simulate
+from repro.sim.server import GB_MB
+
+from conftest import write_result
+
+MEMORY_GRID_GB = [10.0, 20.0, 30.0, 40.0]
+
+
+def run_gap(trace):
+    series = {"LRU": [], "GD": [], "ORACLE": [], "ORACLE-CS": []}
+    for memory_gb in MEMORY_GRID_GB:
+        for name in series:
+            if name.startswith("ORACLE"):
+                policy = create_policy(name, trace=trace)
+            else:
+                policy = create_policy(name)
+            metrics = simulate(trace, policy, memory_gb * GB_MB).metrics
+            series[name].append(metrics.exec_time_increase_pct)
+    return series
+
+
+def test_oracle_gap(benchmark, paper_traces):
+    trace = paper_traces["representative"]
+    series = benchmark.pedantic(run_gap, args=(trace,), rounds=1, iterations=1)
+    text = format_series_table(
+        "Mem (GB)",
+        MEMORY_GRID_GB,
+        series,
+        title="Online policies vs the clairvoyant bound (% exec increase)",
+    )
+    write_result("oracle_gap.txt", text)
+
+    for i in range(len(MEMORY_GRID_GB)):
+        lru, gd = series["LRU"][i], series["GD"][i]
+        bound = series["ORACLE-CS"][i]
+        # The clairvoyant bound is below both online policies...
+        assert bound <= gd + 1e-9
+        assert bound <= lru + 1e-9
+        # ...and GD recovers most of the LRU-to-bound distance.
+        if lru - bound > 0.5:
+            recovered = (lru - gd) / (lru - bound)
+            assert recovered > 0.5, (
+                f"at {MEMORY_GRID_GB[i]} GB GD recovers only "
+                f"{recovered:.0%} of the clairvoyant headroom"
+            )

@@ -1,0 +1,38 @@
+"""Harness health: raw simulator throughput per policy.
+
+Not a paper artefact — a performance-regression guard for the
+substrate itself. The original authors note their simulation is
+"compute-intensive (i.e. slow)"; this benchmark tracks how many
+invocations per second each policy sustains in our implementation, so
+a future change that accidentally makes victim selection quadratic
+shows up here instead of as a mysteriously slow Figure 5 sweep.
+
+Unlike the figure benches (single-shot ``pedantic`` runs), these use
+pytest-benchmark's normal repeated timing.
+"""
+
+import pytest
+
+from repro.core.policies import create_policy
+from repro.sim.scheduler import KeepAliveSimulator
+from repro.traces.synth import multitenant_trace
+
+TRACE = multitenant_trace(duration_s=900.0, num_tenants=24)
+MEMORY_MB = 4096.0
+
+
+def replay(policy_name):
+    sim = KeepAliveSimulator(TRACE, create_policy(policy_name), MEMORY_MB)
+    return sim.run()
+
+
+@pytest.mark.parametrize("policy", ["GD", "TTL", "LRU", "HIST", "ARC", "LND"])
+def test_simulator_throughput(benchmark, policy):
+    result = benchmark(replay, policy)
+    metrics = result.metrics
+    assert metrics.served + metrics.dropped == len(TRACE)
+    # Guard: the simulator must stay above 10k invocations/second for
+    # every policy (typical rates are far higher).
+    seconds_per_run = benchmark.stats.stats.mean
+    rate = len(TRACE) / seconds_per_run
+    assert rate > 10_000, f"{policy}: {rate:.0f} inv/s"

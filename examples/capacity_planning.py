@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Capacity planning with hit-ratio curves (the Section 5.1 workflow).
+
+Shows the static-provisioning pipeline end to end:
+
+1. compute size-weighted reuse distances for a workload (exact
+   Fenwick-tree scan, plus a SHARDS sampled estimate for scale),
+2. build the hit-ratio curve (Equation 2),
+3. size the server by target hit ratio and by the curve's knee,
+4. validate the chosen size in the keep-alive simulator.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.analysis.reporting import format_table
+from repro.provisioning.hit_ratio import HitRatioCurve
+from repro.provisioning.reuse_distance import reuse_distances
+from repro.provisioning.shards import shards_curve
+from repro.provisioning.static_provisioning import StaticProvisioner
+from repro.sim.scheduler import simulate
+from repro.traces.azure import AzureGeneratorConfig, generate_azure_dataset
+from repro.traces.sampling import representative_sample
+from repro.traces.preprocess import dataset_to_trace
+
+
+def main() -> None:
+    dataset = generate_azure_dataset(
+        AzureGeneratorConfig(num_functions=1000, max_daily_invocations=6000),
+        seed=4,
+    )
+    sample = representative_sample(dataset, n=200, seed=4)
+    trace = dataset_to_trace(dataset, sample, name="planning")
+    print(f"Workload: {trace.num_functions} functions, {len(trace)} invocations")
+
+    # --- Exact curve from reuse distances.
+    distances = reuse_distances(trace)
+    curve = HitRatioCurve.from_distances(distances)
+    print(
+        f"Working set: {curve.working_set_mb / 1024:.1f} GB, "
+        f"max achievable hit ratio {curve.max_hit_ratio:.1%}"
+    )
+
+    # --- SHARDS estimate at 25% sampling, for comparison.
+    sampled = shards_curve(trace, rate=0.25, seed=4)
+    rows = []
+    for gb in (2.0, 5.0, 10.0, 20.0):
+        rows.append(
+            [gb, curve.hit_ratio(gb * 1024), sampled.hit_ratio(gb * 1024)]
+        )
+    print()
+    print(
+        format_table(
+            ["Cache (GB)", "Exact HR", "SHARDS (25%) HR"],
+            rows,
+            title="Hit-ratio curve: exact vs SHARDS estimate",
+        )
+    )
+
+    # --- Provisioning decisions.
+    print()
+    rows = []
+    for strategy, kwargs in (
+        ("target-hit-ratio", {"target_hit_ratio": 0.90}),
+        ("inflection", {}),
+    ):
+        decision = StaticProvisioner(curve, strategy=strategy, **kwargs).decide()
+        measured = simulate(trace, "GD", decision.memory_mb).metrics
+        rows.append(
+            [
+                strategy,
+                decision.memory_gb,
+                decision.predicted_hit_ratio,
+                measured.hit_ratio,
+                measured.exec_time_increase_pct,
+            ]
+        )
+    print(
+        format_table(
+            [
+                "Strategy",
+                "Size (GB)",
+                "Predicted HR",
+                "Simulated HR",
+                "Exec incr. %",
+            ],
+            rows,
+            title="Static provisioning decisions, validated in simulation",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

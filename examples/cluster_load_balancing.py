@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Cluster-level load balancing and keep-alive locality (Section 9).
+
+The paper evaluates at single-server scope but discusses how the
+cluster's load balancer shapes each server's function mix and hence
+its keep-alive effectiveness. This example routes one Azure-like
+workload across a four-server cluster under four balancing policies —
+random, round-robin, least-loaded, and stateful hash-affinity — with
+Greedy-Dual keep-alive on every server, and compares the aggregate
+cold-start rate against the load imbalance each policy induces.
+
+Run:  python examples/cluster_load_balancing.py
+"""
+
+from repro.analysis.reporting import format_table
+from repro.cluster import ClusterSimulator
+from repro.traces.azure import AzureGeneratorConfig, generate_azure_dataset
+from repro.traces.preprocess import dataset_to_trace
+from repro.traces.sampling import representative_sample
+
+NUM_SERVERS = 4
+SERVER_MEMORY_GB = 4.0
+BALANCERS = ("random", "round-robin", "least-loaded", "hash-affinity")
+
+
+def main() -> None:
+    dataset = generate_azure_dataset(
+        AzureGeneratorConfig(num_functions=900, max_daily_invocations=8000),
+        seed=7,
+    )
+    sample = representative_sample(dataset, n=150, seed=3)
+    trace = dataset_to_trace(dataset, sample, name="cluster-workload")
+    print(
+        f"Workload: {trace.num_functions} functions, {len(trace)} "
+        f"invocations across {NUM_SERVERS} x {SERVER_MEMORY_GB:.0f} GB servers"
+    )
+
+    rows = []
+    for balancer in BALANCERS:
+        result = ClusterSimulator(
+            trace,
+            balancer,
+            num_servers=NUM_SERVERS,
+            server_memory_mb=SERVER_MEMORY_GB * 1024.0,
+            policy="GD",
+        ).run()
+        rows.append(
+            [
+                balancer,
+                result.cold_start_pct,
+                result.exec_time_increase_pct,
+                result.dropped,
+                result.load_imbalance(),
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["Balancer", "Cold %", "Exec incr. %", "Dropped", "Imbalance"],
+            rows,
+            title="Load balancing vs keep-alive locality (GD on every server)",
+        )
+    )
+    print()
+    print(
+        "Stateful hash-affinity routing concentrates each function's\n"
+        "temporal locality on one server: far fewer cold starts, at the\n"
+        "price of a less balanced request load — exactly the tradeoff\n"
+        "the paper's Section 9 describes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Horizontal elasticity vs keep-alive (cluster-level tradeoffs).
+
+Routes a diurnal Azure-like day across a cluster whose server count
+follows the load (reactive scaling with a scale-down hold, consistent-
+hash routing), then compares against a statically peak-provisioned
+cluster: elasticity saves server-hours, but every scale-down discards
+warm containers and costs cold starts — the paper's latency-vs-
+utilization tradeoff, one level up.
+
+Run:  python examples/elastic_cluster.py
+"""
+
+from repro.analysis.reporting import format_series_table, format_table
+from repro.cluster import ClusterSimulator, ElasticClusterSimulation
+from repro.traces.azure import AzureGeneratorConfig, generate_azure_dataset
+from repro.traces.preprocess import dataset_to_trace
+from repro.traces.sampling import representative_sample
+
+
+def main() -> None:
+    dataset = generate_azure_dataset(
+        AzureGeneratorConfig(num_functions=900, max_daily_invocations=8000),
+        seed=7,
+    )
+    sample = representative_sample(dataset, n=200, seed=7)
+    trace = dataset_to_trace(dataset, sample, name="diurnal-day")
+    print(
+        f"Workload: {trace.num_functions} functions, {len(trace)} "
+        f"invocations, mean rate {trace.arrival_rate():.2f}/s"
+    )
+
+    elastic = ElasticClusterSimulation(
+        trace,
+        server_memory_mb=4096.0,
+        min_servers=1,
+        max_servers=6,
+        requests_per_server_per_s=0.2,
+        control_period_s=1800.0,
+        scale_down_hold_s=3600.0,
+    ).run()
+    peak = max(n for __, n in elastic.server_timeline)
+    static = ClusterSimulator(
+        trace, "hash-affinity", num_servers=peak, server_memory_mb=4096.0
+    ).run()
+
+    print()
+    print(
+        format_series_table(
+            "Hour",
+            [t / 3600.0 for t, __ in elastic.server_timeline][::2],
+            {"Servers": [float(n) for __, n in elastic.server_timeline][::2]},
+            title="Active servers over the day (every other control period)",
+        )
+    )
+    print()
+    duration_h = trace.duration_s / 3600.0
+    print(
+        format_table(
+            ["Cluster", "Mean servers", "Server-hours", "Cold %"],
+            [
+                [
+                    "elastic",
+                    elastic.mean_servers,
+                    elastic.server_seconds / 3600.0,
+                    elastic.cold_start_pct,
+                ],
+                [
+                    f"static x{peak}",
+                    float(peak),
+                    peak * duration_h,
+                    static.cold_start_pct,
+                ],
+            ],
+            title="Elasticity saves server-hours; scale-downs cost cold starts",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

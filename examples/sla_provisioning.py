@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""SLA-driven capacity planning.
+
+An operator's contract is a response-time bound, not a hit ratio.
+This example sizes a server three ways for the same Azure-like
+workload and compares what each costs:
+
+1. hit-ratio target (the paper's Section 5.1 recipe),
+2. the hit-ratio curve's knee,
+3. the smallest memory meeting "p95 response time under 2x the warm
+   time for every function" (bisection over simulated sizes),
+
+then prints the full Markdown capacity plan.
+
+Run:  python examples/sla_provisioning.py
+"""
+
+from repro.analysis.reporting import format_table
+from repro.provisioning.report import build_capacity_plan, render_capacity_plan
+from repro.provisioning.sla import (
+    SLATarget,
+    minimum_memory_for_sla,
+    sla_violations,
+)
+from repro.provisioning.static_provisioning import (
+    StaticProvisioner,
+    curve_from_trace,
+)
+from repro.traces.azure import AzureGeneratorConfig, generate_azure_dataset
+from repro.traces.preprocess import dataset_to_trace
+from repro.traces.sampling import representative_sample
+
+
+def main() -> None:
+    dataset = generate_azure_dataset(
+        AzureGeneratorConfig(num_functions=600, max_daily_invocations=3000),
+        seed=17,
+    )
+    sample = representative_sample(dataset, n=120, seed=17)
+    trace = dataset_to_trace(dataset, sample, name="sla-demo")
+    print(f"Workload: {trace.num_functions} functions, {len(trace)} invocations")
+
+    curve = curve_from_trace(trace)
+    # The bound must sit above every function's warm time (a slower-
+    # than-the-bound function can never meet it, warm or not); just
+    # above the slowest warm time, the SLA forces cold starts to be
+    # rare for every function whose init would push it past the line.
+    slowest_warm = max(f.warm_time_s for f in trace.functions.values())
+    target = SLATarget(percentile=95.0, max_response_time_s=1.25 * slowest_warm)
+
+    rows = []
+    for label, memory_mb in (
+        (
+            "target HR 90%",
+            StaticProvisioner(curve, target_hit_ratio=0.9).decide().memory_mb,
+        ),
+        ("inflection", StaticProvisioner(curve, strategy="inflection").decide().memory_mb),
+        (
+            f"SLA p{target.percentile:.0f} < {target.max_response_time_s:.2f}s",
+            minimum_memory_for_sla(trace, target, tolerance_mb=256.0),
+        ),
+    ):
+        if memory_mb is None:
+            rows.append([label, "unmeetable", "-"])
+            continue
+        violators = sla_violations(trace, "GD", memory_mb, target)
+        rows.append(
+            [label, memory_mb / 1024.0, "yes" if not violators else
+             f"no ({len(violators)} fn)"]
+        )
+    print()
+    print(
+        format_table(
+            ["Strategy", "Size (GB)", "Meets SLA?"],
+            rows,
+            title="Three ways to size the same server",
+        )
+    )
+
+    print()
+    print(render_capacity_plan(build_capacity_plan(trace)))
+
+
+if __name__ == "__main__":
+    main()

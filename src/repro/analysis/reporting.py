@@ -1,0 +1,159 @@
+"""Plain-text tables and series for the benchmark harness.
+
+Every benchmark regenerates a paper table or figure as text: tables as
+aligned columns, figures as (x, y-per-series) grids. Keeping the
+renderer here keeps the benchmarks themselves declarative.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+__all__ = [
+    "format_table",
+    "format_series_table",
+    "format_bar_chart",
+    "format_line_plot",
+]
+
+
+def _render_cell(value) -> str:
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            return str(value)
+        if value == int(value) and abs(value) < 1e15:
+            return f"{value:.1f}"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str = "",
+) -> str:
+    """Render rows as an aligned, pipe-separated text table."""
+    rendered = [[_render_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(
+            " | ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def format_series_table(
+    x_label: str,
+    x_values: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    title: str = "",
+) -> str:
+    """Render one figure's data: an x column plus one column per series."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(x_values):
+        row = [x] + [series[name][i] for name in series]
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def format_line_plot(
+    x_values: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "",
+    y_label: str = "",
+    title: str = "",
+) -> str:
+    """A multi-series ASCII scatter plot, one marker letter per series.
+
+    Figures in the paper are line plots over memory sizes; this gives
+    the benchmark output the same at-a-glance shape without a plotting
+    dependency. Markers are the first distinct letters of the series
+    names; collisions on a cell show ``*``.
+    """
+    if not x_values:
+        raise ValueError("need at least one x value")
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValueError(f"series {name!r} length mismatch")
+    x_min, x_max = min(x_values), max(x_values)
+    all_y = [y for ys in series.values() for y in ys]
+    y_min, y_max = min(all_y), max(all_y)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for __ in range(height)]
+    markers = {}
+    used = set()
+    for name in series:
+        for ch in name.upper():
+            if ch.isalnum() and ch not in used:
+                markers[name] = ch
+                used.add(ch)
+                break
+        else:
+            markers[name] = "?"
+    for name, ys in series.items():
+        marker = markers[name]
+        for x, y in zip(x_values, ys):
+            col = int(round((x - x_min) / x_span * (width - 1)))
+            row = height - 1 - int(round((y - y_min) / y_span * (height - 1)))
+            cell = grid[row][col]
+            grid[row][col] = marker if cell in (" ", marker) else "*"
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_max:>10.3g} +" + "-" * width)
+    for i, row in enumerate(grid):
+        prefix = " " * 10 + " |"
+        if i == height - 1:
+            prefix = f"{y_min:>10.3g} +"
+        lines.append(prefix + "".join(row))
+    lines.append(
+        " " * 12 + f"{x_min:<10.4g}{' ' * max(width - 20, 1)}{x_max:>10.4g}"
+    )
+    legend = "  ".join(f"{markers[name]}={name}" for name in series)
+    footer = legend
+    if x_label:
+        footer += f"   x: {x_label}"
+    if y_label:
+        footer += f"   y: {y_label}"
+    lines.append(footer)
+    return "\n".join(lines)
+
+
+def format_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """A horizontal ASCII bar chart (for breakdown figures)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    peak = max(values) if values else 0.0
+    lines: List[str] = [title] if title else []
+    label_width = max((len(l) for l in labels), default=0)
+    for label, value in zip(labels, values):
+        bar_len = int(round(width * value / peak)) if peak > 0 else 0
+        lines.append(
+            f"{label.ljust(label_width)} | "
+            f"{'#' * bar_len} {_render_cell(float(value))}"
+        )
+    return "\n".join(lines)

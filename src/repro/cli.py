@@ -1,0 +1,404 @@
+"""Command-line interface to the FaasCache reproduction.
+
+Gives downstream users the common workflows without writing Python::
+
+    repro-faascache generate --functions 1000 --out day.json
+    repro-faascache simulate --trace day.json --policy GD --memory-gb 16
+    repro-faascache sweep --trace day.json --memory-gb 8 16 32
+    repro-faascache provision --trace day.json --target-hit-ratio 0.9
+    repro-faascache autoscale --trace day.json --miss-ratio 0.05
+    repro-faascache loadtest --workload cyclic
+
+``--trace`` accepts a JSON trace file (see :mod:`repro.traces.io`) or
+one of the built-in workload names (``cyclic``, ``skewed-size``,
+``skewed-frequency``, ``multitenant``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.reporting import format_series_table, format_table
+from repro.core.policies import PAPER_POLICIES
+from repro.traces.model import Trace
+
+__all__ = ["main", "build_parser"]
+
+_BUILTIN_WORKLOADS = ("cyclic", "skewed-size", "skewed-frequency", "multitenant")
+
+
+def _load_trace(spec: str) -> Trace:
+    if spec in _BUILTIN_WORKLOADS:
+        from repro.traces import synth
+
+        builders = {
+            "cyclic": synth.cyclic_trace,
+            "skewed-size": synth.skewed_size_trace,
+            "skewed-frequency": synth.skewed_frequency_trace,
+            "multitenant": synth.multitenant_trace,
+        }
+        return builders[spec]()
+    from repro.traces.io import load_trace_json
+
+    return load_trace_json(spec)
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.traces.azure import AzureGeneratorConfig, generate_azure_dataset
+    from repro.traces.io import save_trace_json
+    from repro.traces.preprocess import dataset_to_trace
+    from repro.traces.sampling import (
+        random_sample,
+        rare_sample,
+        representative_sample,
+    )
+
+    config = AzureGeneratorConfig(
+        num_functions=args.functions,
+        max_daily_invocations=args.max_daily_invocations,
+    )
+    dataset = generate_azure_dataset(config, seed=args.seed)
+    samplers = {
+        "full": None,
+        "rare": rare_sample,
+        "representative": representative_sample,
+        "random": random_sample,
+    }
+    sampler = samplers[args.sample]
+    if sampler is None:
+        trace = dataset_to_trace(dataset, name="full-day")
+    else:
+        ids = sampler(dataset, n=args.sample_size, seed=args.seed)
+        trace = dataset_to_trace(dataset, ids, name=args.sample)
+    save_trace_json(trace, args.out)
+    print(
+        f"wrote {args.out}: {trace.num_functions} functions, "
+        f"{len(trace)} invocations, {trace.duration_s / 3600:.1f} h"
+    )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.sim.scheduler import simulate
+
+    trace = _load_trace(args.trace)
+    result = simulate(trace, args.policy, args.memory_gb * 1024.0)
+    rows = [[key, value] for key, value in result.metrics.summary().items()]
+    print(
+        format_table(
+            ["Metric", "Value"],
+            rows,
+            title=(
+                f"{args.policy.upper()} on {trace.name!r} "
+                f"at {args.memory_gb:g} GB"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.sim.sweep import run_sweep
+
+    trace = _load_trace(args.trace)
+    policies = args.policies or list(PAPER_POLICIES)
+    sweep = run_sweep(trace, args.memory_gb, policies=policies)
+    metric = args.metric
+    series = {
+        policy: [value for __, value in sweep.series(policy, metric)]
+        for policy in policies
+    }
+    print(
+        format_series_table(
+            "Mem (GB)",
+            sweep.memory_sizes(),
+            series,
+            title=f"{metric} on {trace.name!r}",
+        )
+    )
+    return 0
+
+
+def _cmd_provision(args: argparse.Namespace) -> int:
+    from repro.provisioning.static_provisioning import (
+        StaticProvisioner,
+        curve_from_trace,
+    )
+
+    trace = _load_trace(args.trace)
+    curve = curve_from_trace(trace)
+    print(
+        f"working set {curve.working_set_mb / 1024:.2f} GB, "
+        f"max hit ratio {curve.max_hit_ratio:.1%}"
+    )
+    rows = []
+    for strategy in ("target-hit-ratio", "inflection"):
+        provisioner = StaticProvisioner(
+            curve,
+            strategy=strategy,
+            target_hit_ratio=args.target_hit_ratio,
+        )
+        decision = provisioner.decide()
+        rows.append(
+            [strategy, decision.memory_gb, decision.predicted_hit_ratio]
+        )
+    print(
+        format_table(
+            ["Strategy", "Size (GB)", "Predicted hit ratio"],
+            rows,
+            title="Static provisioning decisions",
+        )
+    )
+    return 0
+
+
+def _cmd_autoscale(args: argparse.Namespace) -> int:
+    from repro.provisioning.autoscale import AutoscaledSimulation
+    from repro.provisioning.controller import ProportionalController
+    from repro.provisioning.static_provisioning import curve_from_trace
+
+    trace = _load_trace(args.trace)
+    curve = curve_from_trace(trace)
+    static_mb = curve.required_size(min(0.95, curve.max_hit_ratio))
+    controller = ProportionalController.from_miss_ratio_target(
+        curve,
+        desired_miss_ratio=args.miss_ratio,
+        mean_arrival_rate=trace.arrival_rate(),
+        initial_size_mb=static_mb,
+        max_size_mb=static_mb,
+        control_period_s=args.period_s,
+    )
+    result = AutoscaledSimulation(trace, controller, policy=args.policy).run()
+    print(
+        format_table(
+            ["Static (GB)", "Mean dynamic (GB)", "Saving", "Resizes"],
+            [[
+                static_mb / 1024.0,
+                result.mean_cache_size_mb / 1024.0,
+                f"{result.savings_vs_static(static_mb):.1%}",
+                sum(1 for d in result.decisions if d.resized),
+            ]],
+            title=f"Autoscaling {trace.name!r}",
+        )
+    )
+    return 0
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    from repro.openwhisk.invoker import InvokerConfig
+    from repro.openwhisk.loadgen import compare_keepalive_systems
+
+    trace = _load_trace(args.workload)
+    config = InvokerConfig(
+        memory_mb=args.memory_gb * 1024.0,
+        cpu_cores=args.cores,
+    )
+    cmp = compare_keepalive_systems(trace, config)
+    rows = []
+    for label, result in (
+        ("OpenWhisk", cmp.openwhisk),
+        ("FaasCache", cmp.faascache),
+    ):
+        rows.append(
+            [
+                label,
+                result.warm_starts,
+                result.cold_starts,
+                result.dropped,
+                result.mean_latency_s(),
+            ]
+        )
+    print(
+        format_table(
+            ["System", "Warm", "Cold", "Dropped", "Mean latency (s)"],
+            rows,
+            title=f"Load test on {trace.name!r}",
+        )
+    )
+    print(
+        f"warm-start gain x{cmp.warm_start_gain:.2f}, "
+        f"latency improvement x{cmp.latency_improvement:.2f}"
+    )
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.provisioning.report import (
+        build_capacity_plan,
+        render_capacity_plan,
+    )
+
+    trace = _load_trace(args.trace)
+    plan = build_capacity_plan(trace)
+    text = render_capacity_plan(plan)
+    if args.out:
+        import pathlib
+
+        pathlib.Path(args.out).write_text(text + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    from repro.analysis.workload import profile_trace
+
+    trace = _load_trace(args.trace)
+    profile = profile_trace(trace)
+    print(
+        format_table(
+            ["Statistic", "Value"],
+            profile.rows(),
+            title=f"Workload characterization: {trace.name!r}",
+        )
+    )
+    return 0
+
+
+def _cmd_balancers(args: argparse.Namespace) -> int:
+    from repro.cluster.simulation import ClusterSimulator
+
+    trace = _load_trace(args.trace)
+    rows = []
+    for balancer in (
+        "random",
+        "round-robin",
+        "least-loaded",
+        "hash-affinity",
+        "affinity-spillover",
+    ):
+        result = ClusterSimulator(
+            trace,
+            balancer,
+            num_servers=args.servers,
+            server_memory_mb=args.server_memory_gb * 1024.0,
+            policy=args.policy,
+        ).run()
+        rows.append(
+            [
+                balancer,
+                result.cold_start_pct,
+                result.exec_time_increase_pct,
+                result.dropped,
+                result.load_imbalance(),
+            ]
+        )
+    print(
+        format_table(
+            ["Balancer", "Cold %", "Exec incr. %", "Dropped", "Imbalance"],
+            rows,
+            title=(
+                f"{args.servers} x {args.server_memory_gb:g} GB servers, "
+                f"{args.policy.upper()} keep-alive"
+            ),
+        )
+    )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-faascache",
+        description="FaasCache reproduction: keep-alive simulation tools",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="generate a synthetic trace")
+    generate.add_argument("--functions", type=int, default=1000)
+    generate.add_argument("--max-daily-invocations", type=int, default=20_000)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument(
+        "--sample",
+        choices=("full", "rare", "representative", "random"),
+        default="representative",
+    )
+    generate.add_argument("--sample-size", type=int, default=400)
+    generate.add_argument("--out", required=True)
+    generate.set_defaults(func=_cmd_generate)
+
+    simulate = sub.add_parser("simulate", help="run one keep-alive simulation")
+    simulate.add_argument("--trace", required=True)
+    simulate.add_argument("--policy", default="GD")
+    simulate.add_argument("--memory-gb", type=float, default=16.0)
+    simulate.set_defaults(func=_cmd_simulate)
+
+    sweep = sub.add_parser("sweep", help="sweep policies across memory sizes")
+    sweep.add_argument("--trace", required=True)
+    sweep.add_argument("--memory-gb", type=float, nargs="+", required=True)
+    sweep.add_argument("--policies", nargs="*")
+    sweep.add_argument(
+        "--metric",
+        default="exec_time_increase_pct",
+        choices=("exec_time_increase_pct", "cold_start_pct", "drop_ratio"),
+    )
+    sweep.set_defaults(func=_cmd_sweep)
+
+    provision = sub.add_parser("provision", help="static server sizing")
+    provision.add_argument("--trace", required=True)
+    provision.add_argument("--target-hit-ratio", type=float, default=0.9)
+    provision.set_defaults(func=_cmd_provision)
+
+    autoscale = sub.add_parser("autoscale", help="dynamic vertical scaling")
+    autoscale.add_argument("--trace", required=True)
+    autoscale.add_argument("--miss-ratio", type=float, default=0.05)
+    autoscale.add_argument("--period-s", type=float, default=600.0)
+    autoscale.add_argument("--policy", default="GD")
+    autoscale.set_defaults(func=_cmd_autoscale)
+
+    plan = sub.add_parser(
+        "plan", help="full capacity-planning report (Markdown)"
+    )
+    plan.add_argument("--trace", required=True)
+    plan.add_argument("--out")
+    plan.set_defaults(func=_cmd_plan)
+
+    characterize = sub.add_parser(
+        "characterize", help="Section 3 workload statistics"
+    )
+    characterize.add_argument("--trace", required=True)
+    characterize.set_defaults(func=_cmd_characterize)
+
+    balancers = sub.add_parser(
+        "balancers", help="compare cluster load-balancing policies"
+    )
+    balancers.add_argument("--trace", required=True)
+    balancers.add_argument("--servers", type=int, default=4)
+    balancers.add_argument("--server-memory-gb", type=float, default=4.0)
+    balancers.add_argument("--policy", default="GD")
+    balancers.set_defaults(func=_cmd_balancers)
+
+    loadtest = sub.add_parser(
+        "loadtest", help="OpenWhisk vs FaasCache on the simulated invoker"
+    )
+    loadtest.add_argument(
+        "--workload", default="cyclic",
+    )
+    loadtest.add_argument("--memory-gb", type=float, default=1.625)
+    loadtest.add_argument("--cores", type=int, default=8)
+    loadtest.set_defaults(func=_cmd_loadtest)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""Cluster-level load balancing and keep-alive locality (Section 9)."""
+
+from repro.cluster.loadbalancer import (
+    AffinityWithSpilloverBalancer,
+    HashAffinityBalancer,
+    LeastLoadedBalancer,
+    LoadBalancer,
+    RandomBalancer,
+    RoundRobinBalancer,
+    create_balancer,
+)
+from repro.cluster.elastic import ElasticClusterResult, ElasticClusterSimulation
+from repro.cluster.simulation import ClusterResult, ClusterSimulator
+
+__all__ = [
+    "AffinityWithSpilloverBalancer",
+    "HashAffinityBalancer",
+    "LeastLoadedBalancer",
+    "LoadBalancer",
+    "RandomBalancer",
+    "RoundRobinBalancer",
+    "create_balancer",
+    "ElasticClusterResult",
+    "ElasticClusterSimulation",
+    "ClusterResult",
+    "ClusterSimulator",
+]

@@ -1,0 +1,203 @@
+"""Elastic (horizontal) cluster scaling with keep-alive awareness.
+
+The paper's introduction credits FaaS with "near-infinite horizontal
+scaling"; its Section 5 scales one server vertically and leaves the
+cluster dimension to classical techniques. This module composes the
+two: a cluster of keep-alive servers whose *count* follows the load
+(AutoScale-style reactive scaling with a scale-down hold, via
+:class:`~repro.provisioning.cpu_autoscale.ReactiveCpuScaler`), routed
+by consistent hashing so that scaling events disturb as little
+function-to-server affinity as possible.
+
+Keep-alive interaction, which is the interesting part: decommissioning
+a server discards its warm containers, so every scale-down buys
+efficiency at the price of a cold-start burst when its functions
+re-hash — the cluster-level version of the paper's
+latency-vs-utilization tradeoff.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.policies.base import create_policy
+from repro.provisioning.cpu_autoscale import ReactiveCpuScaler
+from repro.sim.metrics import SimulationMetrics
+from repro.sim.scheduler import KeepAliveSimulator
+from repro.traces.model import Trace
+
+__all__ = ["ElasticClusterResult", "ElasticClusterSimulation"]
+
+
+@dataclass
+class ElasticClusterResult:
+    """Aggregate outcome plus the scaling timeline."""
+
+    warm_starts: int = 0
+    cold_starts: int = 0
+    dropped: int = 0
+    #: (time, active server count) at each control period.
+    server_timeline: List[Tuple[float, int]] = field(default_factory=list)
+    #: Integral of active servers over time, in server-seconds.
+    server_seconds: float = 0.0
+    scale_ups: int = 0
+    scale_downs: int = 0
+
+    @property
+    def served(self) -> int:
+        return self.warm_starts + self.cold_starts
+
+    @property
+    def cold_start_pct(self) -> float:
+        return 100.0 * self.cold_starts / self.served if self.served else 0.0
+
+    @property
+    def mean_servers(self) -> float:
+        if not self.server_timeline:
+            return 0.0
+        return sum(n for __, n in self.server_timeline) / len(
+            self.server_timeline
+        )
+
+
+class ElasticClusterSimulation:
+    """Replay a trace on a cluster whose size tracks the load."""
+
+    def __init__(
+        self,
+        trace: Trace,
+        server_memory_mb: float = 8192.0,
+        policy: str = "GD",
+        min_servers: int = 1,
+        max_servers: int = 16,
+        requests_per_server_per_s: float = 50.0,
+        target_utilization: float = 0.7,
+        control_period_s: float = 600.0,
+        scale_down_hold_s: float = 1200.0,
+        seed: int = 0,
+    ) -> None:
+        if requests_per_server_per_s <= 0:
+            raise ValueError("per-server request capacity must be positive")
+        if not 1 <= min_servers <= max_servers:
+            raise ValueError("need 1 <= min_servers <= max_servers")
+        self.trace = trace
+        self.server_memory_mb = server_memory_mb
+        self.policy_name = policy.upper()
+        self.min_servers = min_servers
+        self.max_servers = max_servers
+        self.requests_per_server_per_s = requests_per_server_per_s
+        self.control_period_s = control_period_s
+        self._seed = seed
+        # One "core" in the scaler = one server; offered load is the
+        # arrival rate over the per-server request capacity.
+        self._scaler = ReactiveCpuScaler(
+            target_utilization=target_utilization,
+            min_cores=min_servers,
+            max_cores=max_servers,
+            scale_down_hold_s=scale_down_hold_s,
+            initial_cores=min_servers,
+        )
+        # Slot i holds the simulator of ring position i, or None when
+        # the position is inactive.
+        self._servers: List[Optional[KeepAliveSimulator]] = [
+            None
+        ] * max_servers
+        for i in range(min_servers):
+            self._servers[i] = self._new_server()
+        self._active = min_servers
+
+    def _new_server(self) -> KeepAliveSimulator:
+        return KeepAliveSimulator(
+            self.trace,
+            create_policy(self.policy_name),
+            self.server_memory_mb,
+        )
+
+    # ------------------------------------------------------------------
+    # Routing: consistent hashing over the fixed ring of positions,
+    # walking forward to the next active position.
+    # ------------------------------------------------------------------
+
+    def _ring_start(self, function_name: str) -> int:
+        digest = hashlib.blake2b(
+            function_name.encode("utf-8"),
+            digest_size=8,
+            salt=self._seed.to_bytes(8, "little"),
+        ).digest()
+        return int.from_bytes(digest, "little") % self.max_servers
+
+    def _route(self, function_name: str) -> KeepAliveSimulator:
+        start = self._ring_start(function_name)
+        for offset in range(self.max_servers):
+            server = self._servers[(start + offset) % self.max_servers]
+            if server is not None:
+                return server
+        raise RuntimeError("no active servers")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # Scaling actuation
+    # ------------------------------------------------------------------
+
+    def _apply_scaling(self, desired: int, result: ElasticClusterResult) -> None:
+        while self._active < desired:
+            index = next(
+                i for i, s in enumerate(self._servers) if s is None
+            )
+            self._servers[index] = self._new_server()
+            self._active += 1
+            result.scale_ups += 1
+        while self._active > desired and self._active > self.min_servers:
+            # Decommission the highest-index active server; its warm
+            # containers are lost (running ones finish off-record).
+            index = max(
+                i for i, s in enumerate(self._servers) if s is not None
+            )
+            retired = self._servers[index]
+            self._servers[index] = None
+            self._active -= 1
+            result.scale_downs += 1
+            self._fold_metrics(retired.metrics, result)
+
+    @staticmethod
+    def _fold_metrics(
+        metrics: SimulationMetrics, result: ElasticClusterResult
+    ) -> None:
+        result.warm_starts += metrics.warm_starts
+        result.cold_starts += metrics.cold_starts
+        result.dropped += metrics.dropped
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> ElasticClusterResult:
+        result = ElasticClusterResult()
+        functions = self.trace.functions
+        period = self.control_period_s
+        next_tick = period
+        arrivals_in_period = 0
+        result.server_timeline.append((0.0, self._active))
+        for invocation in self.trace:
+            while invocation.time_s >= next_tick:
+                rate = arrivals_in_period / period
+                decision = self._scaler.step(
+                    next_tick,
+                    arrival_rate=rate / self.requests_per_server_per_s,
+                    mean_service_time_s=1.0,
+                )
+                self._apply_scaling(decision.cores, result)
+                result.server_timeline.append((next_tick, self._active))
+                result.server_seconds += self._active * period
+                arrivals_in_period = 0
+                next_tick += period
+            arrivals_in_period += 1
+            server = self._route(invocation.function_name)
+            server.process_invocation(
+                functions[invocation.function_name], invocation.time_s
+            )
+        # Fold the still-active servers' metrics.
+        for server in self._servers:
+            if server is not None:
+                self._fold_metrics(server.metrics, result)
+        return result

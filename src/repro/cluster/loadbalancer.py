@@ -1,0 +1,202 @@
+"""Cluster-level load-balancing policies (Section 9's discussion).
+
+The paper deliberately evaluates at single-server scope but discusses
+how the cluster's load balancer determines each server's function mix
+and therefore its keep-alive effectiveness: "a stateful load-balancing
+policy which runs a function on the same subset of servers will result
+in better temporal locality ... randomized load-balancing is simpler
+to implement and scale, but offers worse temporal locality".
+
+This module implements that spectrum so the claim can be measured:
+
+* :class:`RandomBalancer` — uniform random server per request.
+* :class:`RoundRobinBalancer` — rotate servers per request.
+* :class:`HashAffinityBalancer` — stateful: a function consistently
+  hashes to ``replicas`` servers and its requests round-robin among
+  only those, concentrating each function's temporal locality.
+* :class:`LeastLoadedBalancer` — pick the server with the least
+  memory in use (greedy packing, locality-blind).
+"""
+
+from __future__ import annotations
+
+import abc
+import hashlib
+import random
+from typing import Dict, List, Sequence
+
+__all__ = [
+    "LoadBalancer",
+    "RandomBalancer",
+    "RoundRobinBalancer",
+    "HashAffinityBalancer",
+    "AffinityWithSpilloverBalancer",
+    "LeastLoadedBalancer",
+    "create_balancer",
+]
+
+
+class LoadBalancer(abc.ABC):
+    """Routes each function invocation to a server index."""
+
+    name: str = "base"
+
+    def __init__(self, num_servers: int) -> None:
+        if num_servers <= 0:
+            raise ValueError(f"need at least one server, got {num_servers}")
+        self.num_servers = num_servers
+
+    @abc.abstractmethod
+    def route(self, function_name: str, used_mb: Sequence[float]) -> int:
+        """Pick a server for one invocation.
+
+        ``used_mb`` is the current memory usage of every server, for
+        load-aware policies.
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(num_servers={self.num_servers})"
+
+
+class RandomBalancer(LoadBalancer):
+    """Uniform random routing — maximal simplicity, minimal locality."""
+
+    name = "random"
+
+    def __init__(self, num_servers: int, seed: int = 0) -> None:
+        super().__init__(num_servers)
+        self._rng = random.Random(seed)
+
+    def route(self, function_name: str, used_mb: Sequence[float]) -> int:
+        return self._rng.randrange(self.num_servers)
+
+
+class RoundRobinBalancer(LoadBalancer):
+    """Rotate through servers regardless of the function."""
+
+    name = "round-robin"
+
+    def __init__(self, num_servers: int) -> None:
+        super().__init__(num_servers)
+        self._next = 0
+
+    def route(self, function_name: str, used_mb: Sequence[float]) -> int:
+        server = self._next
+        self._next = (self._next + 1) % self.num_servers
+        return server
+
+
+class HashAffinityBalancer(LoadBalancer):
+    """Stateful affinity: each function owns a small server subset.
+
+    A function's requests consistently go to ``replicas`` servers
+    chosen by hashing its name, rotating among them for concurrency.
+    Keep-alive caches then see each function on few servers — the
+    high-locality end of the paper's spectrum.
+    """
+
+    name = "hash-affinity"
+
+    def __init__(self, num_servers: int, replicas: int = 1, seed: int = 0) -> None:
+        super().__init__(num_servers)
+        if not 1 <= replicas <= num_servers:
+            raise ValueError(
+                f"replicas must be in [1, {num_servers}], got {replicas}"
+            )
+        self.replicas = replicas
+        self._seed = seed
+        self._rotation: Dict[str, int] = {}
+
+    def _servers_for(self, function_name: str) -> List[int]:
+        digest = hashlib.blake2b(
+            function_name.encode("utf-8"),
+            digest_size=8,
+            salt=self._seed.to_bytes(8, "little"),
+        ).digest()
+        start = int.from_bytes(digest, "little") % self.num_servers
+        return [(start + i) % self.num_servers for i in range(self.replicas)]
+
+    def route(self, function_name: str, used_mb: Sequence[float]) -> int:
+        servers = self._servers_for(function_name)
+        turn = self._rotation.get(function_name, 0)
+        self._rotation[function_name] = (turn + 1) % len(servers)
+        return servers[turn % len(servers)]
+
+
+class AffinityWithSpilloverBalancer(HashAffinityBalancer):
+    """Stateful affinity with a load-aware escape hatch.
+
+    Pure affinity concentrates locality but can hot-spot a server.
+    This variant keeps each function's home-server routing until the
+    home servers' memory usage crosses a spillover fraction of the
+    cluster mean, then temporarily diverts to the least-loaded server
+    — trading a little locality for bounded imbalance. (The follow-on
+    literature on FaaS load balancing converged on exactly this
+    structure: consistent hashing with bounded loads.)
+    """
+
+    name = "affinity-spillover"
+
+    def __init__(
+        self,
+        num_servers: int,
+        replicas: int = 1,
+        seed: int = 0,
+        spillover_factor: float = 1.5,
+    ) -> None:
+        super().__init__(num_servers, replicas=replicas, seed=seed)
+        if spillover_factor <= 1.0:
+            raise ValueError(
+                f"spillover factor must exceed 1, got {spillover_factor}"
+            )
+        self.spillover_factor = spillover_factor
+        self.spillovers = 0
+
+    def route(self, function_name: str, used_mb: Sequence[float]) -> int:
+        if len(used_mb) != self.num_servers:
+            raise ValueError(
+                f"expected {self.num_servers} load entries, got {len(used_mb)}"
+            )
+        home = super().route(function_name, used_mb)
+        mean_load = sum(used_mb) / len(used_mb)
+        if mean_load > 0 and used_mb[home] > self.spillover_factor * mean_load:
+            self.spillovers += 1
+            return min(range(self.num_servers), key=lambda i: used_mb[i])
+        return home
+
+
+class LeastLoadedBalancer(LoadBalancer):
+    """Send each request to the server using the least memory."""
+
+    name = "least-loaded"
+
+    def route(self, function_name: str, used_mb: Sequence[float]) -> int:
+        if len(used_mb) != self.num_servers:
+            raise ValueError(
+                f"expected {self.num_servers} load entries, got {len(used_mb)}"
+            )
+        return min(range(self.num_servers), key=lambda i: used_mb[i])
+
+
+_BALANCERS = {
+    "random": RandomBalancer,
+    "affinity-spillover": AffinityWithSpilloverBalancer,
+    "round-robin": RoundRobinBalancer,
+    "hash-affinity": HashAffinityBalancer,
+    "least-loaded": LeastLoadedBalancer,
+}
+
+
+def create_balancer(name: str, num_servers: int, **kwargs) -> LoadBalancer:
+    """Instantiate a balancer by name.
+
+    >>> create_balancer("round-robin", 4).name
+    'round-robin'
+    """
+    try:
+        factory = _BALANCERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown balancer {name!r}; available: {sorted(_BALANCERS)}"
+        ) from None
+    return factory(num_servers=num_servers, **kwargs)

@@ -1,0 +1,20 @@
+"""Core keep-alive machinery: containers, pools, clocks, and policies."""
+
+from repro.core.clock import LogicalClock
+from repro.core.container import Container, ContainerState
+from repro.core.function import FunctionStats, FunctionStatsTable
+from repro.core.pool import CapacityError, ContainerPool
+from repro.core.sizing import ResourceVector, SizingStrategy, scalar_size
+
+__all__ = [
+    "LogicalClock",
+    "Container",
+    "ContainerState",
+    "FunctionStats",
+    "FunctionStatsTable",
+    "CapacityError",
+    "ContainerPool",
+    "ResourceVector",
+    "SizingStrategy",
+    "scalar_size",
+]

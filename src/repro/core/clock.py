@@ -1,0 +1,49 @@
+"""Logical clock for Greedy-Dual aging.
+
+Greedy-Dual policies age cache entries with a per-server *logical*
+clock rather than wall time (Section 4.1). The clock only moves
+forward on evictions: when a container with the lowest priority is
+terminated, the clock is set to that priority (or, for a batch of
+evictions, to the maximum priority in the batch). Every subsequent use
+of a surviving container stamps it with this clock value, so recently
+used containers always outrank containers that were cheap enough to
+evict in the past.
+"""
+
+from __future__ import annotations
+
+__all__ = ["LogicalClock"]
+
+
+class LogicalClock:
+    """Monotone non-decreasing logical clock.
+
+    >>> clock = LogicalClock()
+    >>> clock.value
+    0.0
+    >>> clock.advance_to(3.5)
+    >>> clock.value
+    3.5
+    >>> clock.advance_to(2.0)  # never moves backwards
+    >>> clock.value
+    3.5
+    """
+
+    def __init__(self, initial: float = 0.0) -> None:
+        self._value = float(initial)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def advance_to(self, value: float) -> None:
+        """Move the clock forward to ``value``; ignores smaller values."""
+        if value > self._value:
+            self._value = float(value)
+
+    def reset(self, value: float = 0.0) -> None:
+        """Reset the clock (only used when starting a fresh simulation)."""
+        self._value = float(value)
+
+    def __repr__(self) -> str:
+        return f"LogicalClock(value={self._value})"

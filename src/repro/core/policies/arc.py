@@ -1,0 +1,206 @@
+"""ARC (Adaptive Replacement Cache) keep-alive.
+
+Megiddo & Modha's ARC [FAST 2003], cited in the paper's Section 2.2,
+balances recency and frequency with four lists — T1 (seen once), T2
+(seen twice or more), and their ghost shadows B1/B2 of recently
+evicted entries — plus an adaptive target ``p`` for T1's share of the
+cache, nudged whenever a ghost is re-referenced.
+
+Adaptation to FaaS keep-alive (the cache holds variable-size
+*containers*, grouped by *function*):
+
+* ARC membership is tracked per **function** — all containers of a
+  function share one reference stream, exactly as the Greedy-Dual
+  policy shares frequency per function.
+* List budgets and the adaptation target ``p`` are in **megabytes**,
+  and the ghost-hit nudge is scaled by the re-referenced function's
+  size (a returning 1 GB function says more about the needed balance
+  than a 64 MB one).
+* REPLACE evicts the LRU idle container of the selected side's LRU
+  function; a function moves to its ghost list only when its *last*
+  container dies.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional
+
+from repro.core.container import Container
+from repro.core.policies.base import KeepAlivePolicy, register_policy
+from repro.core.pool import ContainerPool
+from repro.traces.model import TraceFunction
+
+__all__ = ["ARCPolicy"]
+
+
+@register_policy("ARC")
+class ARCPolicy(KeepAlivePolicy):
+    """Adaptive Replacement Cache, per-function, size-weighted."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        # LRU -> MRU order; values are function sizes in MB.
+        self._t1: "OrderedDict[str, float]" = OrderedDict()
+        self._t2: "OrderedDict[str, float]" = OrderedDict()
+        self._b1: "OrderedDict[str, float]" = OrderedDict()
+        self._b2: "OrderedDict[str, float]" = OrderedDict()
+        self.p_mb = 0.0
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _total(lst: "OrderedDict[str, float]") -> float:
+        return sum(lst.values())
+
+    def _trim_ghosts(self, capacity_mb: float) -> None:
+        """Bound each ghost list: |T1|+|B1| <= c and |T2|+|B2| <= c."""
+        while self._b1 and self._total(self._b1) + self._total(self._t1) > capacity_mb:
+            self._b1.popitem(last=False)
+        while self._b2 and self._total(self._b2) + self._total(self._t2) > capacity_mb:
+            self._b2.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def on_warm_start(
+        self, container: Container, now_s: float, pool: ContainerPool
+    ) -> None:
+        name = container.function.name
+        size = container.function.memory_mb
+        # A hit promotes the function to T2's MRU end.
+        self._t1.pop(name, None)
+        self._t2[name] = size
+        self._t2.move_to_end(name)
+
+    def on_cold_start(
+        self, container: Container, now_s: float, pool: ContainerPool
+    ) -> None:
+        name = container.function.name
+        size = container.function.memory_mb
+        capacity = pool.capacity_mb
+        if name in self._b1:
+            # Recency ghost hit: T1 was too small; grow p.
+            b1, b2 = self._total(self._b1), self._total(self._b2)
+            delta = size * max(1.0, (b2 / b1) if b1 > 0 else 1.0)
+            self.p_mb = min(self.p_mb + delta, capacity)
+            del self._b1[name]
+            self._t2[name] = size
+        elif name in self._b2:
+            # Frequency ghost hit: T2 was too small; shrink p.
+            b1, b2 = self._total(self._b1), self._total(self._b2)
+            delta = size * max(1.0, (b1 / b2) if b2 > 0 else 1.0)
+            self.p_mb = max(self.p_mb - delta, 0.0)
+            del self._b2[name]
+            self._t2[name] = size
+        elif name in self._t2:
+            # A concurrent extra container for an established function.
+            self._t2.move_to_end(name)
+        elif name in self._t1:
+            self._t1.move_to_end(name)
+        else:
+            self._t1[name] = size
+        self._trim_ghosts(capacity)
+
+    def on_evict(
+        self,
+        container: Container,
+        now_s: float,
+        pool: ContainerPool,
+        pressure: bool,
+    ) -> None:
+        name = container.function.name
+        if not pool.has_containers_of(name):
+            # Last container died: the function becomes a ghost.
+            if name in self._t1:
+                size = self._t1.pop(name)
+                if pressure:
+                    self._b1[name] = size
+            elif name in self._t2:
+                size = self._t2.pop(name)
+                if pressure:
+                    self._b2[name] = size
+            self._trim_ghosts(pool.capacity_mb)
+        super().on_evict(container, now_s, pool, pressure)
+
+    # ------------------------------------------------------------------
+    # Victim selection (the REPLACE procedure)
+    # ------------------------------------------------------------------
+
+    def _lru_idle_container(
+        self, lst: "OrderedDict[str, float]", pool: ContainerPool, chosen: set
+    ) -> Optional[Container]:
+        """LRU-most function in ``lst`` with an evictable container not
+        already selected this round."""
+        for name in lst:  # iterates LRU -> MRU
+            candidates = [
+                c
+                for c in pool.containers_of(name)
+                if c.is_idle and c.container_id not in chosen
+            ]
+            if candidates:
+                return min(
+                    candidates, key=lambda c: (c.last_used_s, c.container_id)
+                )
+        return None
+
+    def _replace_once(
+        self, pool: ContainerPool, chosen: set
+    ) -> Optional[Container]:
+        t1_mb = self._total(self._t1)
+        prefer_t1 = bool(self._t1) and t1_mb > self.p_mb
+        first, second = (
+            (self._t1, self._t2) if prefer_t1 else (self._t2, self._t1)
+        )
+        victim = self._lru_idle_container(first, pool, chosen)
+        if victim is None:
+            victim = self._lru_idle_container(second, pool, chosen)
+        if victim is None:
+            # Fall back to any idle container (e.g., prewarmed ones the
+            # ARC lists never saw).
+            idle = [
+                c
+                for c in pool.idle_containers()
+                if c.container_id not in chosen
+            ]
+            if idle:
+                victim = min(idle, key=lambda c: (c.last_used_s, c.container_id))
+        return victim
+
+    def select_victims(
+        self, pool: ContainerPool, needed_mb: float, now_s: float
+    ) -> Optional[List[Container]]:
+        deficit = needed_mb - pool.free_mb
+        if deficit <= 1e-9:
+            return []
+        if sum(c.memory_mb for c in pool.idle_containers()) < deficit - 1e-9:
+            return None
+        victims: List[Container] = []
+        reclaimed = 0.0
+        chosen: set = set()
+        while reclaimed < deficit - 1e-9:
+            victim = self._replace_once(pool, chosen)
+            if victim is None:
+                return None
+            chosen.add(victim.container_id)
+            victims.append(victim)
+            reclaimed += victim.memory_mb
+        return victims
+
+    def priority(self, container: Container, now_s: float) -> float:
+        # For introspection and deflation: T1 (probationary) below T2,
+        # LRU order within each list.
+        name = container.function.name
+        offset = 1e12 if name in self._t2 else 0.0
+        return offset + container.last_used_s
+
+    def reset(self) -> None:
+        super().reset()
+        self._t1.clear()
+        self._t2.clear()
+        self._b1.clear()
+        self._b2.clear()
+        self.p_mb = 0.0

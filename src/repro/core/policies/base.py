@@ -1,0 +1,238 @@
+"""Keep-alive policy interface and registry.
+
+A keep-alive policy answers three questions for the server:
+
+1. **Victim selection** — when a new container must be launched and
+   memory is insufficient, which idle containers should be terminated?
+   (:meth:`KeepAlivePolicy.select_victims`)
+2. **Time-based expiry** — which containers should be terminated now
+   regardless of memory pressure? Pure caching policies are
+   *resource-conserving* and never expire containers (Section 4.1);
+   TTL and HIST do.
+3. **Prefetching** — should any containers be created speculatively?
+   Only HIST (the Azure histogram policy) prefetches.
+
+Policies also receive lifecycle notifications (invocation arrivals,
+warm starts, cold starts, evictions) through which they maintain their
+internal state: frequencies, logical clocks, credits, histograms.
+
+Policies are registered by short name (``GD``, ``TTL``, ``LRU``,
+``HIST``, ``SIZE``, ``LND``, ``FREQ``) matching the labels used in the
+paper's Figures 5 and 6, and instantiated through
+:func:`create_policy`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, List, Optional, Tuple, Type
+
+from repro.core.container import Container
+from repro.core.pool import ContainerPool
+from repro.traces.model import TraceFunction
+
+__all__ = [
+    "KeepAlivePolicy",
+    "PrewarmRequest",
+    "register_policy",
+    "create_policy",
+    "available_policies",
+]
+
+
+class PrewarmRequest:
+    """A speculative container creation scheduled by a policy."""
+
+    __slots__ = ("function", "at_time_s", "expiry_s")
+
+    def __init__(
+        self, function: TraceFunction, at_time_s: float, expiry_s: float
+    ) -> None:
+        self.function = function
+        self.at_time_s = at_time_s
+        self.expiry_s = expiry_s
+
+    def __repr__(self) -> str:
+        return (
+            f"PrewarmRequest(fn={self.function.name!r}, "
+            f"at={self.at_time_s:.1f}s, expiry={self.expiry_s:.1f}s)"
+        )
+
+
+class KeepAlivePolicy(abc.ABC):
+    """Base class for all keep-alive (function termination) policies."""
+
+    #: Short name used in the registry and in the paper's figures.
+    name: str = "base"
+
+    def __init__(self) -> None:
+        # Shared per-function frequency counters, used by the
+        # Greedy-Dual family and LFU. Reset when the last container of
+        # a function is evicted (Section 4.1).
+        self._frequency: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle notifications from the simulator / invoker
+    # ------------------------------------------------------------------
+
+    def on_invocation(self, function: TraceFunction, now_s: float) -> None:
+        """An invocation of ``function`` arrived (before hit/miss is known)."""
+        self._frequency[function.name] = self._frequency.get(function.name, 0) + 1
+
+    def on_warm_start(
+        self, container: Container, now_s: float, pool: ContainerPool
+    ) -> None:
+        """A warm container was reused (a cache hit)."""
+
+    def on_cold_start(
+        self, container: Container, now_s: float, pool: ContainerPool
+    ) -> None:
+        """A new container was created for a cold start (a cache miss)."""
+
+    def on_prewarm(
+        self, container: Container, request: "PrewarmRequest", pool: ContainerPool
+    ) -> None:
+        """A container was created speculatively from a prewarm request."""
+
+    def on_evict(
+        self,
+        container: Container,
+        now_s: float,
+        pool: ContainerPool,
+        pressure: bool,
+    ) -> None:
+        """``container`` was terminated (already removed from ``pool``).
+
+        ``pressure`` is True for memory-pressure evictions (the policy's
+        own victim choices) and False for time-based expiries. The
+        default implementation resets the function's frequency when its
+        last container dies.
+        """
+        if not pool.has_containers_of(container.function.name):
+            self._frequency.pop(container.function.name, None)
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+
+    def priority(self, container: Container, now_s: float) -> float:
+        """Eviction priority; lower values are evicted first.
+
+        The default victim selection sorts idle containers by this.
+        Subclasses either override this or all of
+        :meth:`select_victims`.
+        """
+        raise NotImplementedError
+
+    def select_victims(
+        self, pool: ContainerPool, needed_mb: float, now_s: float
+    ) -> Optional[List[Container]]:
+        """Choose idle containers to evict so ``needed_mb`` can fit.
+
+        Returns the victim list (possibly empty when enough memory is
+        already free), or ``None`` when the request cannot be satisfied
+        even by evicting every idle container — the invocation is then
+        dropped by the caller.
+        """
+        deficit = needed_mb - pool.free_mb
+        if deficit <= 1e-9:
+            return []
+        idle = pool.idle_containers()
+        if sum(c.memory_mb for c in idle) < deficit - 1e-9:
+            return None
+        idle.sort(
+            key=lambda c: (self.priority(c, now_s), c.last_used_s, c.container_id)
+        )
+        victims: List[Container] = []
+        reclaimed = 0.0
+        for container in idle:
+            victims.append(container)
+            reclaimed += container.memory_mb
+            if reclaimed >= deficit - 1e-9:
+                break
+        return victims
+
+    def expired_containers(
+        self, pool: ContainerPool, now_s: float
+    ) -> List[Tuple[Container, float]]:
+        """Containers whose time-based expiry has passed.
+
+        Returns ``(container, expiry_time)`` pairs with
+        ``expiry_time <= now_s``. Resource-conserving policies return
+        nothing; TTL and HIST override this.
+        """
+        return []
+
+    def due_prewarms(self, now_s: float) -> List[PrewarmRequest]:
+        """Prewarm requests scheduled at or before ``now_s``.
+
+        Returned requests are consumed: the policy must not return the
+        same request twice. Only HIST prefetches.
+        """
+        return []
+
+    def should_retain(
+        self, container: Container, now_s: float, pool: ContainerPool
+    ) -> bool:
+        """Admission decision: keep ``container`` warm after its
+        invocation completes?
+
+        Keep-alive policies normally retain everything and decide only
+        *eviction* order; admission-controlled variants (doorkeepers)
+        can refuse to cache unpopular functions at all, releasing the
+        container as soon as it finishes.
+        """
+        return True
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+
+    def frequency_of(self, function_name: str) -> int:
+        return self._frequency.get(function_name, 0)
+
+    def reset(self) -> None:
+        """Clear all internal state (fresh simulation run)."""
+        self._frequency.clear()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+_REGISTRY: Dict[str, Callable[..., KeepAlivePolicy]] = {}
+
+
+def register_policy(name: str):
+    """Class decorator registering a policy under ``name``."""
+
+    def decorator(cls: Type[KeepAlivePolicy]) -> Type[KeepAlivePolicy]:
+        key = name.upper()
+        if key in _REGISTRY:
+            raise ValueError(f"policy {key!r} is already registered")
+        _REGISTRY[key] = cls
+        cls.name = key
+        return cls
+
+    return decorator
+
+
+def create_policy(name: str, **kwargs) -> KeepAlivePolicy:
+    """Instantiate a registered policy by its short name.
+
+    >>> policy = create_policy("LRU")
+    >>> policy.name
+    'LRU'
+    """
+    key = name.upper()
+    try:
+        factory = _REGISTRY[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def available_policies() -> List[str]:
+    """Names of all registered policies, sorted."""
+    return sorted(_REGISTRY)

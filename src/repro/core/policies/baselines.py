@@ -1,0 +1,44 @@
+"""Trivial eviction baselines: FIFO and RANDOM.
+
+Neither appears in the paper's evaluation, but both are the standard
+sanity floors any caching study is read against: FIFO ignores reuse
+entirely (eviction order is creation order), and RANDOM is the
+zero-information policy. Both are resource-conserving like the other
+caching policies — they evict only under memory pressure.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.container import Container
+from repro.core.policies.base import KeepAlivePolicy, register_policy
+
+__all__ = ["FIFOPolicy", "RandomPolicy"]
+
+
+@register_policy("FIFO")
+class FIFOPolicy(KeepAlivePolicy):
+    """Evict the oldest-created idle container first."""
+
+    def priority(self, container: Container, now_s: float) -> float:
+        return container.created_at_s
+
+
+@register_policy("RAND")
+class RandomPolicy(KeepAlivePolicy):
+    """Evict a uniformly random idle container.
+
+    Deterministic for a given seed: the priority of a container is a
+    stable pseudo-random number derived from its id, so repeated runs
+    of the same trace produce identical evictions.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__()
+        self._seed = seed
+
+    def priority(self, container: Container, now_s: float) -> float:
+        return random.Random(
+            (self._seed << 32) ^ container.container_id
+        ).random()

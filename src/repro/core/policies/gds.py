@@ -1,0 +1,25 @@
+"""Greedy-Dual-Size keep-alive (GDS, without the frequency term).
+
+The original Greedy-Dual-Size algorithm of Cao and Irani [USENIX ITS
+1997], which the paper's Section 2.2 cites as the basis of the GDSF
+family: ``Priority = Clock + Cost / Size``. Compared to the paper's
+GD (GDSF) policy it ignores how often a function is invoked, so a
+rarely-used but expensive-to-initialize function ranks as high as a
+hot one of the same size — the gap that motivated adding frequency.
+"""
+
+from __future__ import annotations
+
+from repro.core.policies.base import register_policy
+from repro.core.policies.greedy_dual import GreedyDualPolicy
+from repro.traces.model import TraceFunction
+
+__all__ = ["GreedyDualSizePolicy"]
+
+
+@register_policy("GDS")
+class GreedyDualSizePolicy(GreedyDualPolicy):
+    """Greedy-Dual-Size: Clock + Cost/Size, frequency-blind."""
+
+    def _value_term(self, function: TraceFunction) -> float:
+        return function.init_time_s / function.memory_mb

@@ -1,0 +1,116 @@
+"""Greedy-Dual-Size-Frequency keep-alive (the paper's GD policy).
+
+Section 4.1, Equation 1::
+
+    Priority = Clock + Freq * Cost / Size
+
+* **Clock** — a per-server logical clock that advances on evictions to
+  the evicted container's priority (the max over a batch), so that
+  priorities age: anything not used since the last eviction round is
+  worth less than anything used after it.
+* **Freq** — the function's invocation count, shared across its
+  containers and reset to zero when its last container dies.
+* **Cost** — the termination cost, equal to the initialization time
+  (cold minus warm running time): what a future cold start would pay.
+* **Size** — the container's memory footprint in MB.
+
+The policy is resource-conserving: containers are only terminated
+under memory pressure, never on a timer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.clock import LogicalClock
+from repro.core.container import Container
+from repro.core.policies.base import KeepAlivePolicy, register_policy
+from repro.core.pool import ContainerPool
+from repro.traces.model import TraceFunction
+
+__all__ = ["GreedyDualPolicy"]
+
+
+@register_policy("GD")
+class GreedyDualPolicy(KeepAlivePolicy):
+    """Greedy-Dual-Size-Frequency (GDSF) keep-alive."""
+
+    def __init__(
+        self,
+        frequency_weight: float = 1.0,
+        cost_weight: float = 1.0,
+    ) -> None:
+        """``frequency_weight`` and ``cost_weight`` scale the Freq and
+        Cost terms, allowing the ablations in Section 4.2 (setting one
+        to zero recovers simpler family members)."""
+        super().__init__()
+        self.clock = LogicalClock()
+        self._frequency_weight = frequency_weight
+        self._cost_weight = cost_weight
+
+    # ------------------------------------------------------------------
+    # Priority
+    # ------------------------------------------------------------------
+
+    def _value_term(self, function: TraceFunction) -> float:
+        """The Freq * Cost / Size part of Equation 1."""
+        freq = self.frequency_of(function.name)
+        cost = function.init_time_s
+        return (
+            (self._frequency_weight * freq)
+            * (self._cost_weight * cost)
+            / function.memory_mb
+        )
+
+    def _refresh_function_priorities(
+        self, function: TraceFunction, pool: ContainerPool
+    ) -> None:
+        """Recompute priorities of all in-memory containers of a function.
+
+        Containers share the frequency, cost, and size terms but keep
+        their individual clock stamps, so the least recently used
+        container of a function is still evicted first (tie-breaking,
+        Section 4.1).
+        """
+        value = self._value_term(function)
+        for container in pool.containers_of(function.name):
+            container.priority = container.clock_stamp + value
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def on_warm_start(
+        self, container: Container, now_s: float, pool: ContainerPool
+    ) -> None:
+        container.clock_stamp = self.clock.value
+        self._refresh_function_priorities(container.function, pool)
+
+    def on_cold_start(
+        self, container: Container, now_s: float, pool: ContainerPool
+    ) -> None:
+        container.clock_stamp = self.clock.value
+        self._refresh_function_priorities(container.function, pool)
+
+    def on_evict(
+        self,
+        container: Container,
+        now_s: float,
+        pool: ContainerPool,
+        pressure: bool,
+    ) -> None:
+        if pressure:
+            # Clock = max priority over the evicted set; advancing to
+            # each evicted priority in turn computes exactly that.
+            self.clock.advance_to(container.priority)
+        super().on_evict(container, now_s, pool, pressure)
+
+    def priority(self, container: Container, now_s: float) -> float:
+        return container.priority
+
+    def reset(self) -> None:
+        super().reset()
+        self.clock.reset()
+
+    def __repr__(self) -> str:
+        return f"GreedyDualPolicy(clock={self.clock.value:.4g})"

@@ -1,0 +1,79 @@
+"""Hyperbolic caching keep-alive.
+
+Hyperbolic caching [Blankstein, Sen & Freedman, USENIX ATC 2017] is a
+modern priority-function design from the same size-aware lineage the
+paper surveys: instead of an LRU list or a logical clock, each entry
+is scored directly by its *hit density*
+
+    priority = Freq / (Size × Age)
+
+where Age is the time since the function entered the cache. The score
+decays continuously (hyperbolically) with time, so recency emerges
+without any clock bookkeeping, while frequency and size enter exactly
+as in Greedy-Dual-Size-Frequency. Adapted to keep-alive:
+
+* Freq is the function's invocation count since its first resident
+  container was created (per-function, like GD's frequency);
+* Age is measured from that first admission, not per container;
+* a cost-aware variant multiplies by the initialization time, giving
+  ``Freq × Cost / (Size × Age)`` — the hyperbolic analogue of GDSF.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.container import Container
+from repro.core.policies.base import KeepAlivePolicy, register_policy
+from repro.core.pool import ContainerPool
+from repro.traces.model import TraceFunction
+
+__all__ = ["HyperbolicPolicy"]
+
+_EPSILON_AGE_S = 1e-6
+
+
+@register_policy("HYPERBOLIC")
+class HyperbolicPolicy(KeepAlivePolicy):
+    """Hit-density (hyperbolic) keep-alive, optionally cost-weighted."""
+
+    def __init__(self, cost_aware: bool = True) -> None:
+        super().__init__()
+        self.cost_aware = cost_aware
+        #: function name -> admission time of its current residency.
+        self._admitted_at: Dict[str, float] = {}
+
+    def on_cold_start(
+        self, container: Container, now_s: float, pool: ContainerPool
+    ) -> None:
+        self._admitted_at.setdefault(container.function.name, now_s)
+
+    def on_evict(
+        self,
+        container: Container,
+        now_s: float,
+        pool: ContainerPool,
+        pressure: bool,
+    ) -> None:
+        if not pool.has_containers_of(container.function.name):
+            self._admitted_at.pop(container.function.name, None)
+        super().on_evict(container, now_s, pool, pressure)
+
+    def priority(self, container: Container, now_s: float) -> float:
+        function: TraceFunction = container.function
+        admitted = self._admitted_at.get(
+            function.name, container.created_at_s
+        )
+        age = max(now_s - admitted, _EPSILON_AGE_S)
+        freq = max(self.frequency_of(function.name), 1)
+        density = freq / (function.memory_mb * age)
+        if self.cost_aware:
+            density *= max(function.init_time_s, _EPSILON_AGE_S)
+        return density
+
+    def reset(self) -> None:
+        super().reset()
+        self._admitted_at.clear()
+
+    def __repr__(self) -> str:
+        return f"HyperbolicPolicy(cost_aware={self.cost_aware})"

@@ -1,0 +1,97 @@
+"""Landlord keep-alive (the paper's LND variant).
+
+Section 4.2: Landlord [Young 2002] is an online file-caching algorithm
+with a proven competitive ratio, understandable as a Greedy-Dual
+variant. Each container holds a *credit*:
+
+* on creation and on every hit, the credit is refreshed to the
+  function's initialization cost;
+* when space must be freed, a "rent" of ``delta = min(credit / size)``
+  over all idle containers is charged **to every idle container**
+  (scaled by its size), and containers whose credit reaches zero are
+  evicted.
+
+The subtle difference from Greedy-Dual-Size-Frequency, which the paper
+calls out, is that the priority decrease depends on the state of *all*
+cached containers, not just the victim.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.container import Container
+from repro.core.policies.base import KeepAlivePolicy, register_policy
+from repro.core.pool import ContainerPool
+
+__all__ = ["LandlordPolicy"]
+
+_EPSILON = 1e-12
+
+
+@register_policy("LND")
+class LandlordPolicy(KeepAlivePolicy):
+    """Rent-charging Landlord keep-alive."""
+
+    def _refresh_credit(self, container: Container) -> None:
+        """Set the credit to the function's initialization cost.
+
+        A zero-init-cost function still gets a tiny positive credit so
+        it participates in rent rounds instead of being evicted for
+        free before cheaper-but-useful containers.
+        """
+        container.credit = max(container.function.init_time_s, _EPSILON)
+
+    def on_warm_start(
+        self, container: Container, now_s: float, pool: ContainerPool
+    ) -> None:
+        self._refresh_credit(container)
+
+    def on_cold_start(
+        self, container: Container, now_s: float, pool: ContainerPool
+    ) -> None:
+        self._refresh_credit(container)
+
+    def select_victims(
+        self, pool: ContainerPool, needed_mb: float, now_s: float
+    ) -> Optional[List[Container]]:
+        deficit = needed_mb - pool.free_mb
+        if deficit <= 1e-9:
+            return []
+        idle = pool.idle_containers()
+        if sum(c.memory_mb for c in idle) < deficit - 1e-9:
+            return None
+        victims: List[Container] = []
+        remaining = list(idle)
+        reclaimed = 0.0
+        while reclaimed < deficit - 1e-9 and remaining:
+            # Charge rent: delta is the smallest credit density, so at
+            # least one container reaches zero credit each round.
+            delta = min(c.credit / c.memory_mb for c in remaining)
+            if delta > 0.0:
+                for container in remaining:
+                    container.credit = max(
+                        0.0, container.credit - delta * container.memory_mb
+                    )
+            # Evict zero-credit containers only until space suffices;
+            # the rest keep their zero credit and go first next time.
+            # Ties are broken in LRU order, like the other policies.
+            zeroed = sorted(
+                (c for c in remaining if c.credit <= _EPSILON),
+                key=lambda c: (c.last_used_s, c.container_id),
+            )
+            for container in zeroed:
+                if reclaimed >= deficit - 1e-9:
+                    break
+                container.credit = 0.0
+                victims.append(container)
+                reclaimed += container.memory_mb
+                remaining.remove(container)
+            # Zero-credit survivors stay in the charging set: they make
+            # the next round's delta zero, and the eviction pass above
+            # then takes them first — no extra handling needed.
+        return victims
+
+    def priority(self, container: Container, now_s: float) -> float:
+        # Only used for introspection; victim selection is overridden.
+        return container.credit / container.memory_mb

@@ -1,0 +1,23 @@
+"""LFU keep-alive (the paper's FREQ variant).
+
+Section 4.2: using only the frequency term of the Greedy-Dual priority
+yields LFU. The frequency is the function's shared invocation count,
+reset when its last container dies. Ties (equal frequency) are broken
+in LRU order by the base class's victim selection, which sorts by
+``(priority, last_used, id)``.
+"""
+
+from __future__ import annotations
+
+from repro.core.container import Container
+from repro.core.policies.base import KeepAlivePolicy, register_policy
+
+__all__ = ["LFUPolicy"]
+
+
+@register_policy("FREQ")
+class LFUPolicy(KeepAlivePolicy):
+    """Least-frequently-used keep-alive."""
+
+    def priority(self, container: Container, now_s: float) -> float:
+        return float(self.frequency_of(container.function.name))

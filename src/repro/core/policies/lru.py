@@ -1,0 +1,26 @@
+"""LRU keep-alive.
+
+Section 4.2: using only the access clock as the priority in the
+Greedy-Dual framework yields LRU. We use the (strictly increasing)
+wall-clock time of last use directly, which induces the same eviction
+order as a logical access clock while avoiding ties.
+
+Resource-conserving: containers are evicted only under memory
+pressure, in least-recently-used order.
+"""
+
+from __future__ import annotations
+
+from repro.core.container import Container
+from repro.core.policies.base import KeepAlivePolicy, register_policy
+from repro.core.pool import ContainerPool
+
+__all__ = ["LRUPolicy"]
+
+
+@register_policy("LRU")
+class LRUPolicy(KeepAlivePolicy):
+    """Least-recently-used keep-alive."""
+
+    def priority(self, container: Container, now_s: float) -> float:
+        return container.last_used_s

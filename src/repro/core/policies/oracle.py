@@ -1,0 +1,91 @@
+"""Clairvoyant (Belady-style) keep-alive — the offline upper bound.
+
+Belady's MIN evicts the entry whose next use lies furthest in the
+future; it is optimal for unit-size, unit-cost caches and the standard
+upper bound any online policy is judged against. The paper frames
+Landlord's competitive ratio against exactly such an "optimal offline
+algorithm that knows future requests" (Section 4.2).
+
+This policy is given the trace up front and evicts the idle container
+whose function's **next invocation is furthest away** (infinitely far
+for functions never invoked again). With variable sizes and costs,
+furthest-next-use is no longer provably optimal — the generalized
+problem is NP-hard — but it remains the customary clairvoyant
+reference, and a cost/size-aware variant
+(:class:`CostAwareOraclePolicy`) divides the time-to-next-use decision
+by the Greedy-Dual value density so expensive-to-restart functions are
+held longer.
+
+Only meaningful in trace-driven simulation; a live system cannot run
+it (which is the point).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Dict, List
+
+from repro.core.container import Container
+from repro.core.policies.base import KeepAlivePolicy, register_policy
+from repro.traces.model import Trace, TraceFunction
+
+__all__ = ["OraclePolicy", "CostAwareOraclePolicy"]
+
+
+class _FutureIndex:
+    """Per-function sorted arrival times, for next-use queries."""
+
+    def __init__(self, trace: Trace) -> None:
+        self._arrivals: Dict[str, List[float]] = {}
+        for invocation in trace:
+            self._arrivals.setdefault(invocation.function_name, []).append(
+                invocation.time_s
+            )
+        for times in self._arrivals.values():
+            times.sort()
+
+    def next_use_after(self, function_name: str, now_s: float) -> float:
+        """First arrival strictly after ``now_s``; inf if none."""
+        times = self._arrivals.get(function_name)
+        if not times:
+            return math.inf
+        index = bisect.bisect_right(times, now_s)
+        if index >= len(times):
+            return math.inf
+        return times[index]
+
+
+@register_policy("ORACLE")
+class OraclePolicy(KeepAlivePolicy):
+    """Furthest-next-use eviction with full knowledge of the trace."""
+
+    def __init__(self, trace: Trace) -> None:
+        super().__init__()
+        self._future = _FutureIndex(trace)
+
+    def priority(self, container: Container, now_s: float) -> float:
+        next_use = self._future.next_use_after(container.function.name, now_s)
+        if math.isinf(next_use):
+            return -math.inf  # never used again: evict first
+        # Lower priority evicts first: sooner next use = higher priority.
+        return -next_use
+
+
+@register_policy("ORACLE-CS")
+class CostAwareOraclePolicy(OraclePolicy):
+    """Clairvoyant eviction weighted by the Greedy-Dual value density.
+
+    The victim score is ``time-to-next-use * size / cost``: evict what
+    is not needed for a long time, is large, and is cheap to restart.
+    Functions never used again always go first.
+    """
+
+    def priority(self, container: Container, now_s: float) -> float:
+        function: TraceFunction = container.function
+        next_use = self._future.next_use_after(function.name, now_s)
+        if math.isinf(next_use):
+            return -math.inf
+        wait = max(next_use - now_s, 0.0)
+        cost = max(function.init_time_s, 1e-9)
+        return -(wait * function.memory_mb / cost)

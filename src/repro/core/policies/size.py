@@ -1,0 +1,22 @@
+"""Size-aware keep-alive (the paper's SIZE variant).
+
+Section 4.2: a size-aware policy is obtained by using ``1 / size`` as
+the priority, so the largest containers are evicted first. Useful when
+server memory is at a premium and freeing space quickly matters more
+than recency or frequency.
+"""
+
+from __future__ import annotations
+
+from repro.core.container import Container
+from repro.core.policies.base import KeepAlivePolicy, register_policy
+
+__all__ = ["SizePolicy"]
+
+
+@register_policy("SIZE")
+class SizePolicy(KeepAlivePolicy):
+    """Evict the largest containers first (priority = 1/size)."""
+
+    def priority(self, container: Container, now_s: float) -> float:
+        return 1.0 / container.memory_mb

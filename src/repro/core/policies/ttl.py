@@ -1,0 +1,51 @@
+"""Fixed time-to-live keep-alive (the OpenWhisk default baseline).
+
+OpenWhisk keeps every function container alive for a constant 10
+minutes after its last use (Section 1). This policy is **not**
+resource-conserving: a container is terminated when its TTL lapses
+even if memory is plentiful. Under memory pressure, victims are chosen
+in LRU order (Section 7.1: "When the server is full, this TTL policy
+evicts containers in an LRU order").
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.container import Container
+from repro.core.policies.base import KeepAlivePolicy, register_policy
+from repro.core.pool import ContainerPool
+
+__all__ = ["TTLPolicy", "OPENWHISK_DEFAULT_TTL_S"]
+
+#: OpenWhisk's default container time-to-live: 10 minutes.
+OPENWHISK_DEFAULT_TTL_S = 600.0
+
+
+@register_policy("TTL")
+class TTLPolicy(KeepAlivePolicy):
+    """Constant TTL expiry with LRU eviction under pressure."""
+
+    def __init__(self, ttl_s: float = OPENWHISK_DEFAULT_TTL_S) -> None:
+        super().__init__()
+        if ttl_s <= 0:
+            raise ValueError(f"ttl must be positive, got {ttl_s}")
+        self.ttl_s = ttl_s
+
+    def expired_containers(
+        self, pool: ContainerPool, now_s: float
+    ) -> List[Tuple[Container, float]]:
+        expired = []
+        for container in pool.idle_containers():
+            expiry = container.last_used_s + self.ttl_s
+            if expiry <= now_s:
+                expired.append((container, expiry))
+        expired.sort(key=lambda pair: pair[1])
+        return expired
+
+    def priority(self, container: Container, now_s: float) -> float:
+        # LRU order under memory pressure.
+        return container.last_used_s
+
+    def __repr__(self) -> str:
+        return f"TTLPolicy(ttl_s={self.ttl_s})"

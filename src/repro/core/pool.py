@@ -1,0 +1,178 @@
+"""The container pool: capacity accounting and eviction mechanics.
+
+The pool is the keep-alive cache. It tracks every live container on a
+server, enforces the memory capacity, and provides the queries that
+keep-alive policies need for victim selection. Which containers to
+terminate is the *policy's* decision (Section 4); the pool only
+executes it and maintains the invariants:
+
+* total memory of live containers never exceeds capacity,
+* a running container is never evicted,
+* a dead container is never handed out again.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set
+
+from repro.core.container import Container, ContainerState
+from repro.traces.model import TraceFunction
+
+__all__ = ["ContainerPool", "CapacityError"]
+
+
+class CapacityError(Exception):
+    """Raised when an operation would exceed the pool's memory capacity."""
+
+
+class ContainerPool:
+    """All live containers on one server, bounded by a memory capacity."""
+
+    def __init__(self, capacity_mb: float) -> None:
+        if capacity_mb <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_mb}")
+        self._capacity_mb = float(capacity_mb)
+        self._used_mb = 0.0
+        self._containers: Dict[int, Container] = {}
+        self._by_function: Dict[str, Set[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Capacity accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def capacity_mb(self) -> float:
+        return self._capacity_mb
+
+    @property
+    def used_mb(self) -> float:
+        return self._used_mb
+
+    @property
+    def free_mb(self) -> float:
+        return self._capacity_mb - self._used_mb
+
+    def can_fit(self, memory_mb: float) -> bool:
+        # Tolerate float rounding from repeated add/remove cycles.
+        return memory_mb <= self.free_mb + 1e-9
+
+    def set_capacity(self, capacity_mb: float) -> None:
+        """Resize the pool (vertical scaling).
+
+        Shrinking below the currently used memory is allowed only if
+        the caller has already evicted enough idle containers; the pool
+        refuses to be put into an over-committed state.
+        """
+        if capacity_mb <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_mb}")
+        if capacity_mb < self._used_mb - 1e-9:
+            raise CapacityError(
+                f"cannot shrink capacity to {capacity_mb} MB while "
+                f"{self._used_mb} MB is in use"
+            )
+        self._capacity_mb = float(capacity_mb)
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    def add(self, container: Container) -> None:
+        """Admit a container; raises :class:`CapacityError` if it won't fit."""
+        if container.state == ContainerState.DEAD:
+            raise ValueError("cannot add a dead container")
+        if container.container_id in self._containers:
+            raise ValueError(f"container {container.container_id} already pooled")
+        if not self.can_fit(container.memory_mb):
+            raise CapacityError(
+                f"container needs {container.memory_mb} MB but only "
+                f"{self.free_mb:.1f} MB is free"
+            )
+        self._containers[container.container_id] = container
+        self._by_function.setdefault(container.function.name, set()).add(
+            container.container_id
+        )
+        self._used_mb += container.memory_mb
+
+    def evict(self, container: Container) -> None:
+        """Terminate and remove an idle container.
+
+        Returns silently having removed the container; raises if the
+        container is running or not in this pool.
+        """
+        if container.container_id not in self._containers:
+            raise KeyError(f"container {container.container_id} not in pool")
+        if container.pinned:
+            raise ValueError(
+                f"container {container.container_id} is pinned "
+                "(provisioned concurrency) and cannot be evicted"
+            )
+        container.terminate()  # raises if RUNNING
+        del self._containers[container.container_id]
+        peers = self._by_function[container.function.name]
+        peers.discard(container.container_id)
+        if not peers:
+            del self._by_function[container.function.name]
+        self._used_mb -= container.memory_mb
+        if self._used_mb < 1e-9:
+            self._used_mb = 0.0
+
+    # ------------------------------------------------------------------
+    # Queries for policies and the simulator
+    # ------------------------------------------------------------------
+
+    def idle_warm_container(self, function_name: str) -> Optional[Container]:
+        """An idle warm container for ``function_name``, if any.
+
+        When several are idle, the least recently used one is returned
+        so that hot containers stay hot (matching the original
+        simulator's behaviour of reusing the oldest match).
+        """
+        ids = self._by_function.get(function_name)
+        if not ids:
+            return None
+        idle = [self._containers[i] for i in ids if self._containers[i].is_idle]
+        if not idle:
+            return None
+        return min(idle, key=lambda c: c.last_used_s)
+
+    def containers_of(self, function_name: str) -> List[Container]:
+        ids = self._by_function.get(function_name, set())
+        return [self._containers[i] for i in ids]
+
+    def has_containers_of(self, function_name: str) -> bool:
+        return bool(self._by_function.get(function_name))
+
+    def idle_containers(self) -> List[Container]:
+        """All containers eligible for eviction: warm, not running,
+        and not pinned (provisioned concurrency is reserved capacity
+        no policy may reclaim)."""
+        return [
+            c
+            for c in self._containers.values()
+            if c.is_idle and not c.pinned
+        ]
+
+    def running_containers(self) -> List[Container]:
+        return [c for c in self._containers.values() if c.is_running]
+
+    def all_containers(self) -> List[Container]:
+        return list(self._containers.values())
+
+    def evictable_mb(self) -> float:
+        """Total memory reclaimable by evicting every idle container."""
+        return sum(c.memory_mb for c in self.idle_containers())
+
+    def function_names(self) -> Set[str]:
+        return set(self._by_function)
+
+    def __len__(self) -> int:
+        return len(self._containers)
+
+    def __contains__(self, container: Container) -> bool:
+        return container.container_id in self._containers
+
+    def __repr__(self) -> str:
+        return (
+            f"ContainerPool(capacity={self._capacity_mb:.0f} MB, "
+            f"used={self._used_mb:.0f} MB, containers={len(self)})"
+        )

@@ -1,0 +1,114 @@
+"""Multi-dimensional container sizes (Section 4.1's size discussion).
+
+The Greedy-Dual priority divides by a scalar *size*. The paper uses
+container memory alone ("for ease of exposition and practicality"),
+but notes that multi-dimensional resource vectors — CPU, memory, I/O —
+can be folded into the same formula using standard scalarizations from
+multi-dimensional bin-packing:
+
+* **magnitude** — ``||d||``, the Euclidean norm of the demand vector;
+* **normalized-sum** — ``sum_j d_j / a_j``, each dimension normalized
+  by the server's total resources of that type;
+* **cosine-similarity** — how aligned the demand is with the server's
+  capacity vector; demand that matches the server's resource mix packs
+  well and is scored *smaller* (we use
+  ``||d|| * (2 - cos(d, a))`` so misaligned demands cost more).
+
+Each strategy maps a :class:`ResourceVector` to a positive scalar
+usable directly as the Greedy-Dual ``Size`` term.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+__all__ = ["ResourceVector", "SizingStrategy", "scalar_size"]
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    """A demand (or capacity) across the three paper dimensions."""
+
+    memory_mb: float
+    cpu_cores: float = 0.0
+    io_mbps: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.memory_mb < 0 or self.cpu_cores < 0 or self.io_mbps < 0:
+            raise ValueError("resource demands must be non-negative")
+        if self.memory_mb == 0 and self.cpu_cores == 0 and self.io_mbps == 0:
+            raise ValueError("resource vector must be non-zero")
+
+    def as_tuple(self) -> tuple:
+        return (self.memory_mb, self.cpu_cores, self.io_mbps)
+
+    @property
+    def magnitude(self) -> float:
+        return math.sqrt(sum(x * x for x in self.as_tuple()))
+
+    def normalized_sum(self, capacity: "ResourceVector") -> float:
+        """``sum_j d_j / a_j`` over the dimensions the server offers.
+
+        Dimensions with zero capacity must have zero demand.
+        """
+        total = 0.0
+        for demand, avail in zip(self.as_tuple(), capacity.as_tuple()):
+            if avail > 0:
+                total += demand / avail
+            elif demand > 0:
+                raise ValueError(
+                    "demand in a dimension the server has no capacity for"
+                )
+        if total <= 0:
+            raise ValueError("normalized size must be positive")
+        return total
+
+    def cosine_similarity(self, capacity: "ResourceVector") -> float:
+        dot = sum(
+            d * a for d, a in zip(self.as_tuple(), capacity.as_tuple())
+        )
+        return dot / (self.magnitude * capacity.magnitude)
+
+
+class SizingStrategy(enum.Enum):
+    """How to scalarize a resource vector for the Size term."""
+
+    MEMORY_ONLY = "memory-only"
+    MAGNITUDE = "magnitude"
+    NORMALIZED_SUM = "normalized-sum"
+    COSINE = "cosine"
+
+
+def scalar_size(
+    demand: ResourceVector,
+    strategy: SizingStrategy = SizingStrategy.MEMORY_ONLY,
+    capacity: ResourceVector | None = None,
+) -> float:
+    """Fold a multi-dimensional demand into a positive scalar size.
+
+    ``capacity`` (the server's total resources) is required for the
+    normalized-sum and cosine strategies.
+
+    >>> d = ResourceVector(memory_mb=300.0, cpu_cores=4.0)
+    >>> scalar_size(d)  # memory-only, the paper's default
+    300.0
+    """
+    if strategy == SizingStrategy.MEMORY_ONLY:
+        if demand.memory_mb <= 0:
+            raise ValueError("memory-only sizing needs positive memory")
+        return demand.memory_mb
+    if strategy == SizingStrategy.MAGNITUDE:
+        return demand.magnitude
+    if capacity is None:
+        raise ValueError(f"strategy {strategy.value} requires a capacity vector")
+    if strategy == SizingStrategy.NORMALIZED_SUM:
+        return demand.normalized_sum(capacity)
+    if strategy == SizingStrategy.COSINE:
+        # Aligned demand (cos -> 1) packs well: score approaches the
+        # plain magnitude. Misaligned demand (cos -> 0) is penalized
+        # toward twice its magnitude.
+        cos = demand.cosine_similarity(capacity)
+        return demand.magnitude * (2.0 - cos)
+    raise ValueError(f"unknown sizing strategy: {strategy!r}")

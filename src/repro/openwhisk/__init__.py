@@ -1,0 +1,36 @@
+"""Simulated OpenWhisk invoker substrate (paper Sections 6 and 7.2)."""
+
+from repro.openwhisk.containerpool import (
+    DEFAULT_FREE_THRESHOLD_MB,
+    InvokerContainerPool,
+    OnlineGreedyDualPolicy,
+)
+from repro.openwhisk.invoker import (
+    InvokerConfig,
+    InvokerResult,
+    RequestRecord,
+    SimulatedInvoker,
+)
+from repro.openwhisk.latency import ColdStartModel, PhaseBreakdown
+from repro.openwhisk.loadgen import (
+    LoadTestComparison,
+    compare_keepalive_systems,
+    faascache_invoker,
+    openwhisk_invoker,
+)
+
+__all__ = [
+    "DEFAULT_FREE_THRESHOLD_MB",
+    "InvokerContainerPool",
+    "OnlineGreedyDualPolicy",
+    "InvokerConfig",
+    "InvokerResult",
+    "RequestRecord",
+    "SimulatedInvoker",
+    "ColdStartModel",
+    "PhaseBreakdown",
+    "LoadTestComparison",
+    "compare_keepalive_systems",
+    "faascache_invoker",
+    "openwhisk_invoker",
+]

@@ -1,0 +1,174 @@
+"""Online hit-ratio curve construction (Section 5.2, "Online adjustments").
+
+The paper's provisioning policies have an offline preparation phase:
+the hit-ratio curve is computed from a full trace scan and refreshed
+periodically ("currently once per week") to absorb drift in function
+characteristics; constructing the curve *online* is listed as future
+work. This module implements that extension:
+
+* :class:`OnlineReuseTracker` — a streaming size-weighted
+  reuse-distance tracker. It maintains the Mattson stack over a
+  sliding window of the last ``window`` accesses with a Fenwick tree,
+  compacting in amortized O(log window) per access, and keeps the most
+  recent ``max_samples`` distances.
+* :class:`PeriodicCurveProvider` — feeds a tracker and re-derives the
+  :class:`~repro.provisioning.hit_ratio.HitRatioCurve` at a fixed
+  refresh interval, serving the last built curve in between — exactly
+  the periodic-refresh discipline the paper describes, with the
+  interval turned into a parameter instead of "one week".
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+from repro.provisioning.hit_ratio import HitRatioCurve
+from repro.provisioning.reuse_distance import FenwickTree
+
+__all__ = ["OnlineReuseTracker", "PeriodicCurveProvider"]
+
+
+class OnlineReuseTracker:
+    """Streaming size-weighted reuse distances over a sliding window.
+
+    Accesses older than ``window`` positions are forgotten: a function
+    whose previous use slid out of the window is treated as a first
+    access (infinite distance), which is what bounds both memory and
+    staleness.
+    """
+
+    def __init__(self, window: int = 100_000, max_samples: int = 100_000) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        if max_samples <= 0:
+            raise ValueError(f"max_samples must be positive, got {max_samples}")
+        self.window = window
+        # The tree spans up to 2*window absolute positions; when the
+        # write head reaches the end we compact to the last `window`.
+        self._tree = FenwickTree(2 * window)
+        self._base = 0  # absolute position of tree index 0
+        self._next = 0  # next absolute position
+        # Per function: (absolute position of most recent use, size).
+        self._last: Dict[str, Tuple[int, float]] = {}
+        # Access log inside the tree span, for compaction.
+        self._log: Deque[Tuple[int, str, float]] = deque()
+        self.distances: Deque[float] = deque(maxlen=max_samples)
+        self.total_accesses = 0
+        self.compulsory = 0
+
+    # ------------------------------------------------------------------
+
+    def _compact(self) -> None:
+        """Drop everything but the last ``window`` accesses, re-basing."""
+        new_base = self._next - self.window
+        tree = FenwickTree(2 * self.window)
+        survivors: Deque[Tuple[int, str, float]] = deque()
+        last: Dict[str, Tuple[int, float]] = {}
+        for pos, name, size in self._log:
+            if pos < new_base:
+                continue
+            survivors.append((pos, name, size))
+            previous = last.get(name)
+            if previous is not None:
+                tree.add(previous[0] - new_base, -previous[1])
+            tree.add(pos - new_base, size)
+            last[name] = (pos, size)
+        self._tree = tree
+        self._base = new_base
+        self._log = survivors
+        self._last = last
+
+    def observe(self, function_name: str, size_mb: float) -> float:
+        """Record one access; returns its reuse distance (inf if first
+        in-window access of the function)."""
+        if size_mb <= 0:
+            raise ValueError(f"size must be positive, got {size_mb}")
+        if self._next - self._base >= 2 * self.window:
+            self._compact()
+        pos = self._next
+        self._next += 1
+        self.total_accesses += 1
+
+        previous = self._last.get(function_name)
+        if previous is not None and previous[0] < pos - self.window:
+            # Slid out of the window: forget it.
+            self._tree.add(previous[0] - self._base, -previous[1])
+            previous = None
+            del self._last[function_name]
+
+        if previous is None:
+            distance = math.inf
+            self.compulsory += 1
+        else:
+            prev_pos, prev_size = previous
+            distance = self._tree.range_sum(
+                prev_pos - self._base + 1, pos - self._base - 1
+            )
+            self._tree.add(prev_pos - self._base, -prev_size)
+        self._tree.add(pos - self._base, size_mb)
+        self._last[function_name] = (pos, size_mb)
+        self._log.append((pos, function_name, size_mb))
+        self.distances.append(distance)
+        return distance
+
+    def curve(self) -> HitRatioCurve:
+        """The hit-ratio curve of the retained distance samples."""
+        if not self.distances:
+            raise ValueError("no accesses observed yet")
+        return HitRatioCurve.from_distances(self.distances)
+
+    def __len__(self) -> int:
+        return len(self.distances)
+
+
+class PeriodicCurveProvider:
+    """Serves a hit-ratio curve, rebuilt at a fixed time interval.
+
+    Feed accesses with :meth:`observe`; read the current curve with
+    :meth:`current_curve`. The curve is rebuilt lazily once
+    ``refresh_interval_s`` has elapsed since the last build, so the
+    cost stays off the per-invocation fast path.
+    """
+
+    def __init__(
+        self,
+        refresh_interval_s: float = 7 * 24 * 3600.0,
+        tracker: Optional[OnlineReuseTracker] = None,
+        min_samples: int = 100,
+    ) -> None:
+        if refresh_interval_s <= 0:
+            raise ValueError("refresh interval must be positive")
+        self.refresh_interval_s = refresh_interval_s
+        self.tracker = tracker if tracker is not None else OnlineReuseTracker()
+        self.min_samples = min_samples
+        self._curve: Optional[HitRatioCurve] = None
+        self._last_build_s: Optional[float] = None
+        self.rebuilds = 0
+
+    def observe(self, function_name: str, size_mb: float, now_s: float) -> None:
+        self.tracker.observe(function_name, size_mb)
+        if self._curve is None:
+            # Build eagerly once enough samples exist.
+            if len(self.tracker) >= self.min_samples:
+                self._rebuild(now_s)
+        elif now_s - self._last_build_s >= self.refresh_interval_s:
+            self._rebuild(now_s)
+
+    def _rebuild(self, now_s: float) -> None:
+        self._curve = self.tracker.curve()
+        self._last_build_s = now_s
+        self.rebuilds += 1
+
+    @property
+    def ready(self) -> bool:
+        return self._curve is not None
+
+    def current_curve(self) -> HitRatioCurve:
+        if self._curve is None:
+            raise ValueError(
+                f"curve not built yet: have {len(self.tracker)} samples, "
+                f"need {self.min_samples}"
+            )
+        return self._curve

@@ -1,0 +1,161 @@
+"""SLA-driven server sizing.
+
+The paper's provisioning targets a hit ratio or a miss speed; an
+operator's contract is usually phrased one level up — "the p99
+response time of function X stays under 2 seconds". This module
+closes that gap:
+
+* :func:`response_time_percentiles` — per-function response-time
+  percentiles from a keep-alive simulation (a warm start costs the
+  warm time; a cold start costs the cold time; drops count as SLA
+  violations outright).
+* :func:`minimum_memory_for_sla` — the smallest server memory meeting
+  an :class:`SLATarget`, by bisection over simulated sizes. Cold-start
+  ratios fall monotonically with memory for the resource-conserving
+  policies, so percentile response times do too (up to concurrency
+  noise), which is what makes bisection sound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.stats import percentile
+from repro.core.policies.base import create_policy
+from repro.sim.scheduler import KeepAliveSimulator
+from repro.traces.model import Trace
+
+__all__ = [
+    "SLATarget",
+    "response_time_percentiles",
+    "sla_violations",
+    "minimum_memory_for_sla",
+]
+
+
+@dataclass(frozen=True)
+class SLATarget:
+    """A response-time objective.
+
+    ``function_name=None`` applies the target to every function.
+    ``max_drop_ratio`` bounds outright drops (which no latency
+    percentile can express).
+    """
+
+    percentile: float = 99.0
+    max_response_time_s: float = 2.0
+    function_name: Optional[str] = None
+    max_drop_ratio: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.percentile <= 100.0:
+            raise ValueError(
+                f"percentile must be in (0, 100], got {self.percentile}"
+            )
+        if self.max_response_time_s <= 0:
+            raise ValueError("response-time bound must be positive")
+        if not 0.0 <= self.max_drop_ratio <= 1.0:
+            raise ValueError("drop-ratio bound must be in [0, 1]")
+
+
+def _replay(trace: Trace, policy_name: str, memory_mb: float):
+    """Run one simulation collecting per-invocation response times."""
+    policy = create_policy(policy_name)
+    sim = KeepAliveSimulator(trace, policy, memory_mb)
+    functions = trace.functions
+    responses: Dict[str, List[float]] = {}
+    drops: Dict[str, int] = {}
+    for invocation in trace:
+        function = functions[invocation.function_name]
+        outcome = sim.process_invocation(function, invocation.time_s)
+        if outcome == "dropped":
+            drops[function.name] = drops.get(function.name, 0) + 1
+        else:
+            elapsed = (
+                function.warm_time_s
+                if outcome == "warm"
+                else function.cold_time_s
+            )
+            responses.setdefault(function.name, []).append(elapsed)
+    return responses, drops
+
+
+def response_time_percentiles(
+    trace: Trace,
+    policy: str,
+    memory_mb: float,
+    q: float = 99.0,
+) -> Dict[str, float]:
+    """Per-function q-th percentile response time at one server size."""
+    responses, __ = _replay(trace, policy, memory_mb)
+    return {
+        name: percentile(times, q) for name, times in responses.items()
+    }
+
+
+def sla_violations(
+    trace: Trace,
+    policy: str,
+    memory_mb: float,
+    target: SLATarget,
+) -> List[str]:
+    """Functions violating the target at this size (empty = SLA met)."""
+    responses, drops = _replay(trace, policy, memory_mb)
+    names = (
+        [target.function_name]
+        if target.function_name is not None
+        else sorted(set(responses) | set(drops))
+    )
+    violators: List[str] = []
+    for name in names:
+        served = responses.get(name, [])
+        dropped = drops.get(name, 0)
+        total = len(served) + dropped
+        if total == 0:
+            continue
+        if dropped / total > target.max_drop_ratio:
+            violators.append(name)
+            continue
+        if served and percentile(served, target.percentile) > (
+            target.max_response_time_s
+        ):
+            violators.append(name)
+    return violators
+
+
+def minimum_memory_for_sla(
+    trace: Trace,
+    target: SLATarget,
+    policy: str = "GD",
+    low_mb: Optional[float] = None,
+    high_mb: Optional[float] = None,
+    tolerance_mb: float = 128.0,
+) -> Optional[float]:
+    """Smallest memory (within tolerance) meeting the SLA, or None.
+
+    ``high_mb`` defaults to the trace's one-container-per-function
+    working set times two (covering concurrency); if even that size
+    violates the target — e.g. the bound is below a function's warm
+    time — the SLA is unmeetable by memory alone and None is returned.
+    """
+    if tolerance_mb <= 0:
+        raise ValueError("tolerance must be positive")
+    functions = trace.functions.values()
+    if low_mb is None:
+        low_mb = max(f.memory_mb for f in functions)
+    if high_mb is None:
+        high_mb = 2.0 * sum(f.memory_mb for f in functions)
+    high_mb = max(high_mb, low_mb)
+    if sla_violations(trace, policy, high_mb, target):
+        return None
+    if not sla_violations(trace, policy, low_mb, target):
+        return low_mb
+    lo, hi = low_mb, high_mb  # lo violates, hi meets
+    while hi - lo > tolerance_mb:
+        mid = 0.5 * (lo + hi)
+        if sla_violations(trace, policy, mid, target):
+            lo = mid
+        else:
+            hi = mid
+    return hi

@@ -1,0 +1,25 @@
+"""Trace-driven discrete-event keep-alive simulator (paper Section 6)."""
+
+from repro.sim.events import EventQueue
+from repro.sim.metrics import FunctionOutcome, SimulationMetrics
+from repro.sim.parallel import run_sweep_parallel, simulate_cell
+from repro.sim.scheduler import KeepAliveSimulator, SimulationResult, simulate
+from repro.sim.server import GB_MB, ServerConfig
+from repro.sim.sweep import SweepPoint, SweepResult, memory_sizes_gb, run_sweep
+
+__all__ = [
+    "EventQueue",
+    "FunctionOutcome",
+    "SimulationMetrics",
+    "run_sweep_parallel",
+    "simulate_cell",
+    "KeepAliveSimulator",
+    "SimulationResult",
+    "simulate",
+    "GB_MB",
+    "ServerConfig",
+    "SweepPoint",
+    "SweepResult",
+    "memory_sizes_gb",
+    "run_sweep",
+]

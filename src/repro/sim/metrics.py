@@ -1,0 +1,191 @@
+"""Metrics collected by the keep-alive simulator.
+
+The paper evaluates two headline metrics (Section 7):
+
+* the **cold-start ratio** — the fraction of invocations that pay the
+  initialization overhead, and
+* the **increase in execution time** — total cold-start overhead
+  relative to the ideal all-warm execution time, averaged across all
+  invocations (this is the user-visible response-time inflation of
+  Figure 5).
+
+Dropped requests (invocations that could not obtain memory because
+every container was busy) are tracked separately; they are what bends
+the observed hit-ratio away from the reuse-distance prediction at
+small cache sizes (Figure 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = ["FunctionOutcome", "SimulationMetrics"]
+
+
+@dataclass
+class FunctionOutcome:
+    """Per-function invocation outcome counters."""
+
+    warm: int = 0
+    cold: int = 0
+    dropped: int = 0
+
+    @property
+    def served(self) -> int:
+        return self.warm + self.cold
+
+    @property
+    def total(self) -> int:
+        return self.served + self.dropped
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.warm / self.served if self.served else 0.0
+
+
+@dataclass
+class SimulationMetrics:
+    """Aggregated counters for one simulation run."""
+
+    warm_starts: int = 0
+    cold_starts: int = 0
+    dropped: int = 0
+    evictions: int = 0
+    expirations: int = 0
+    prewarms: int = 0
+
+    #: Sum of warm running times over served invocations: the ideal
+    #: execution time had every start been warm.
+    ideal_exec_time_s: float = 0.0
+    #: Sum of actual running times (warm or cold) over served invocations.
+    actual_exec_time_s: float = 0.0
+
+    per_function: Dict[str, FunctionOutcome] = field(default_factory=dict)
+    #: Sampled (time, used_mb) pairs, when timeline tracking is enabled.
+    memory_timeline: List[Tuple[float, float]] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def _outcome(self, function_name: str) -> FunctionOutcome:
+        outcome = self.per_function.get(function_name)
+        if outcome is None:
+            outcome = FunctionOutcome()
+            self.per_function[function_name] = outcome
+        return outcome
+
+    def record_warm(
+        self,
+        function_name: str,
+        warm_time_s: float,
+        actual_time_s: float | None = None,
+    ) -> None:
+        """Record a warm start. ``actual_time_s`` (default: the warm
+        time) can exceed the ideal when a prefetched container still
+        had initialization work left (Section 9's explicit-init gap)."""
+        self.warm_starts += 1
+        self.ideal_exec_time_s += warm_time_s
+        self.actual_exec_time_s += (
+            warm_time_s if actual_time_s is None else actual_time_s
+        )
+        self._outcome(function_name).warm += 1
+
+    def record_cold(
+        self, function_name: str, warm_time_s: float, cold_time_s: float
+    ) -> None:
+        self.cold_starts += 1
+        self.ideal_exec_time_s += warm_time_s
+        self.actual_exec_time_s += cold_time_s
+        self._outcome(function_name).cold += 1
+
+    def record_dropped(self, function_name: str) -> None:
+        self.dropped += 1
+        self._outcome(function_name).dropped += 1
+
+    # ------------------------------------------------------------------
+    # Derived metrics
+    # ------------------------------------------------------------------
+
+    @property
+    def served(self) -> int:
+        return self.warm_starts + self.cold_starts
+
+    @property
+    def total_requests(self) -> int:
+        return self.served + self.dropped
+
+    @property
+    def cold_start_ratio(self) -> float:
+        """Fraction of *served* invocations that were cold (Figure 6)."""
+        return self.cold_starts / self.served if self.served else 0.0
+
+    @property
+    def cold_start_pct(self) -> float:
+        return 100.0 * self.cold_start_ratio
+
+    @property
+    def hit_ratio(self) -> float:
+        """Warm starts over served invocations."""
+        return self.warm_starts / self.served if self.served else 0.0
+
+    @property
+    def global_hit_ratio(self) -> float:
+        """Warm starts over *all* requests: drops count as misses.
+
+        This is the observed hit-ratio plotted against the
+        reuse-distance prediction in Figure 3.
+        """
+        return self.warm_starts / self.total_requests if self.total_requests else 0.0
+
+    @property
+    def drop_ratio(self) -> float:
+        return self.dropped / self.total_requests if self.total_requests else 0.0
+
+    @property
+    def added_exec_time_s(self) -> float:
+        """Total cold-start overhead paid across the run."""
+        return self.actual_exec_time_s - self.ideal_exec_time_s
+
+    @property
+    def exec_time_increase_pct(self) -> float:
+        """Percentage increase in execution time due to cold starts.
+
+        The Figure 5 metric: the total overhead relative to the ideal
+        all-warm execution time, which equals the per-invocation
+        overhead averaged across every invocation of every function.
+        """
+        if self.ideal_exec_time_s <= 0:
+            return 0.0
+        return 100.0 * self.added_exec_time_s / self.ideal_exec_time_s
+
+    @property
+    def mean_memory_mb(self) -> float:
+        """Time-weighted mean of the sampled memory usage."""
+        timeline = self.memory_timeline
+        if len(timeline) < 2:
+            return timeline[0][1] if timeline else 0.0
+        weighted = 0.0
+        span = timeline[-1][0] - timeline[0][0]
+        if span <= 0:
+            return timeline[-1][1]
+        for (t0, used), (t1, __) in zip(timeline, timeline[1:]):
+            weighted += used * (t1 - t0)
+        return weighted / span
+
+    def summary(self) -> Dict[str, float]:
+        """A flat dict of the headline numbers, for tables and tests."""
+        return {
+            "warm_starts": self.warm_starts,
+            "cold_starts": self.cold_starts,
+            "dropped": self.dropped,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+            "prewarms": self.prewarms,
+            "cold_start_pct": self.cold_start_pct,
+            "exec_time_increase_pct": self.exec_time_increase_pct,
+            "hit_ratio": self.hit_ratio,
+            "global_hit_ratio": self.global_hit_ratio,
+            "drop_ratio": self.drop_ratio,
+        }

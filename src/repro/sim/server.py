@@ -1,0 +1,40 @@
+"""Server resource configuration.
+
+The paper's server-level focus (Section 3's system model) means a
+"server" is a memory capacity for the keep-alive cache plus, for the
+OpenWhisk invoker model, a CPU core count that bounds concurrent
+executions. The trace-driven simulator only constrains memory — the
+paper notes CPUs multiplex easily while memory swapping is ruinous, so
+memory is the binding resource for keep-alive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ServerConfig", "GB_MB"]
+
+#: Megabytes per gigabyte, for the GB-axis sweeps of Figures 5 and 6.
+GB_MB = 1024.0
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Physical resources of one FaaS server."""
+
+    memory_mb: float
+    cpu_cores: int = 48  # the paper's evaluation server
+
+    def __post_init__(self) -> None:
+        if self.memory_mb <= 0:
+            raise ValueError(f"memory must be positive, got {self.memory_mb}")
+        if self.cpu_cores <= 0:
+            raise ValueError(f"cpu cores must be positive, got {self.cpu_cores}")
+
+    @property
+    def memory_gb(self) -> float:
+        return self.memory_mb / GB_MB
+
+    @classmethod
+    def with_memory_gb(cls, memory_gb: float, cpu_cores: int = 48) -> "ServerConfig":
+        return cls(memory_mb=memory_gb * GB_MB, cpu_cores=cpu_cores)

@@ -1,0 +1,115 @@
+"""Parameter sweeps over (policy, memory size) grids.
+
+Figures 5 and 6 of the paper plot, for each of three trace samples,
+the execution-time increase and the cold-start fraction of seven
+keep-alive policies across a range of server memory sizes. This module
+runs those grids and returns tidy result tables the benchmark harness
+and plotting code consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.core.policies import PAPER_POLICIES, create_policy
+from repro.sim.scheduler import KeepAliveSimulator, SimulationResult
+from repro.sim.server import GB_MB
+from repro.traces.model import Trace
+
+__all__ = ["SweepPoint", "SweepResult", "run_sweep", "memory_sizes_gb"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One cell of the sweep grid."""
+
+    policy: str
+    memory_gb: float
+    cold_start_pct: float
+    exec_time_increase_pct: float
+    drop_ratio: float
+    hit_ratio: float
+    global_hit_ratio: float
+
+
+@dataclass
+class SweepResult:
+    """All points of a sweep over one trace."""
+
+    trace_name: str
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def series(self, policy: str, metric: str) -> List[tuple]:
+        """(memory_gb, value) pairs for one policy, sorted by memory."""
+        pairs = [
+            (p.memory_gb, getattr(p, metric))
+            for p in self.points
+            if p.policy == policy
+        ]
+        return sorted(pairs)
+
+    def policies(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for point in self.points:
+            seen.setdefault(point.policy, None)
+        return list(seen)
+
+    def memory_sizes(self) -> List[float]:
+        return sorted({p.memory_gb for p in self.points})
+
+    def best_policy_at(self, memory_gb: float, metric: str) -> str:
+        """The policy with the lowest ``metric`` at one memory size."""
+        candidates = [
+            p for p in self.points if abs(p.memory_gb - memory_gb) < 1e-9
+        ]
+        if not candidates:
+            raise ValueError(f"no sweep points at {memory_gb} GB")
+        return min(candidates, key=lambda p: getattr(p, metric)).policy
+
+
+def memory_sizes_gb(start_gb: float, stop_gb: float, step_gb: float) -> List[float]:
+    """Inclusive memory-size grid, e.g. the paper's 500 MB steps."""
+    if step_gb <= 0:
+        raise ValueError(f"step must be positive, got {step_gb}")
+    sizes = []
+    size = start_gb
+    while size <= stop_gb + 1e-9:
+        sizes.append(round(size, 6))
+        size += step_gb
+    return sizes
+
+
+def run_sweep(
+    trace: Trace,
+    memory_gbs: Sequence[float],
+    policies: Iterable[str] = PAPER_POLICIES,
+    progress: Optional[Callable[[str, float], None]] = None,
+) -> SweepResult:
+    """Simulate every (policy, memory) cell over ``trace``.
+
+    Each cell gets a fresh policy instance, so runs are independent and
+    order-insensitive. ``progress`` (if given) is called with the
+    policy name and memory size before each cell, for long sweeps.
+    """
+    result = SweepResult(trace_name=trace.name)
+    for policy_name in policies:
+        for memory_gb in memory_gbs:
+            if progress is not None:
+                progress(policy_name, memory_gb)
+            policy = create_policy(policy_name)
+            sim = KeepAliveSimulator(trace, policy, memory_gb * GB_MB)
+            run = sim.run()
+            metrics = run.metrics
+            result.points.append(
+                SweepPoint(
+                    policy=policy_name,
+                    memory_gb=memory_gb,
+                    cold_start_pct=metrics.cold_start_pct,
+                    exec_time_increase_pct=metrics.exec_time_increase_pct,
+                    drop_ratio=metrics.drop_ratio,
+                    hit_ratio=metrics.hit_ratio,
+                    global_hit_ratio=metrics.global_hit_ratio,
+                )
+            )
+    return result

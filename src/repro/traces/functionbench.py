@@ -1,0 +1,64 @@
+"""FunctionBench application models (Table 1 of the paper).
+
+The paper's empirical evaluation (Section 7.2) drives the FaasCache
+OpenWhisk implementation with applications from the FunctionBench
+suite [Kim & Lee 2019]. Table 1 gives their complete resource and
+timing characteristics — memory footprint, total running time, and
+initialization time — which is everything the keep-alive policies and
+our simulated invoker consume.
+
+Table 1 reports the *total* running time (initialization plus actual
+execution, Section 3), so the warm running time is the difference
+between the run-time and init-time columns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.traces.model import TraceFunction
+
+__all__ = [
+    "TABLE1_ROWS",
+    "functionbench_apps",
+    "functionbench_app",
+]
+
+#: (name, memory MB, total run time s, init time s) — Table 1 verbatim.
+TABLE1_ROWS: Tuple[Tuple[str, float, float, float], ...] = (
+    ("ml-inference-cnn", 512.0, 6.5, 4.5),
+    ("video-encoding", 500.0, 56.0, 3.0),
+    ("matrix-multiply", 256.0, 2.5, 2.2),
+    ("disk-bench-dd", 256.0, 2.2, 1.8),
+    ("web-serving", 64.0, 2.4, 2.0),
+    ("floating-point", 128.0, 2.0, 1.7),
+)
+
+
+def functionbench_apps() -> Dict[str, TraceFunction]:
+    """All six Table 1 applications, keyed by name.
+
+    >>> apps = functionbench_apps()
+    >>> apps["ml-inference-cnn"].init_time_s
+    4.5
+    """
+    apps: Dict[str, TraceFunction] = {}
+    for name, memory_mb, run_time_s, init_time_s in TABLE1_ROWS:
+        apps[name] = TraceFunction(
+            name=name,
+            memory_mb=memory_mb,
+            warm_time_s=run_time_s - init_time_s,
+            cold_time_s=run_time_s,
+        )
+    return apps
+
+
+def functionbench_app(name: str) -> TraceFunction:
+    """One Table 1 application by name."""
+    apps = functionbench_apps()
+    try:
+        return apps[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown FunctionBench app {name!r}; available: {sorted(apps)}"
+        ) from None

@@ -1,0 +1,124 @@
+"""Trace serialization.
+
+The original artifact serialized Azure trace samples into pickle files
+consumed by the simulator. We provide an equivalent, but in two
+portable formats instead of raw pickles:
+
+* **JSON** — one self-describing document with the function table and
+  the invocation list; convenient and versioned.
+* **CSV pair** — ``<stem>.functions.csv`` and
+  ``<stem>.invocations.csv``; convenient for spreadsheets and other
+  tools.
+
+Both round-trip exactly (function order, invocation timestamps to
+full float precision via JSON/CSV decimal repr).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import pathlib
+from typing import Union
+
+from repro.traces.model import Invocation, Trace, TraceFunction
+
+__all__ = ["save_trace_json", "load_trace_json", "save_trace_csv", "load_trace_csv"]
+
+_FORMAT_VERSION = 1
+
+PathLike = Union[str, pathlib.Path]
+
+
+def save_trace_json(trace: Trace, path: PathLike) -> None:
+    """Write a trace as one JSON document."""
+    document = {
+        "format": "repro-trace",
+        "version": _FORMAT_VERSION,
+        "name": trace.name,
+        "functions": [
+            {
+                "name": f.name,
+                "memory_mb": f.memory_mb,
+                "warm_time_s": f.warm_time_s,
+                "cold_time_s": f.cold_time_s,
+            }
+            for f in trace.functions.values()
+        ],
+        "invocations": [
+            [inv.time_s, inv.function_name] for inv in trace.invocations
+        ],
+    }
+    pathlib.Path(path).write_text(json.dumps(document))
+
+
+def load_trace_json(path: PathLike) -> Trace:
+    """Read a trace written by :func:`save_trace_json`."""
+    document = json.loads(pathlib.Path(path).read_text())
+    if document.get("format") != "repro-trace":
+        raise ValueError(f"{path}: not a repro trace file")
+    if document.get("version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: unsupported trace version {document.get('version')}"
+        )
+    functions = [
+        TraceFunction(
+            name=f["name"],
+            memory_mb=f["memory_mb"],
+            warm_time_s=f["warm_time_s"],
+            cold_time_s=f["cold_time_s"],
+        )
+        for f in document["functions"]
+    ]
+    invocations = [
+        Invocation(time_s, name) for time_s, name in document["invocations"]
+    ]
+    return Trace(functions, invocations, name=document.get("name", "trace"))
+
+
+def _csv_paths(stem: PathLike) -> tuple:
+    stem = pathlib.Path(stem)
+    return (
+        stem.with_suffix(".functions.csv"),
+        stem.with_suffix(".invocations.csv"),
+    )
+
+
+def save_trace_csv(trace: Trace, stem: PathLike) -> None:
+    """Write ``<stem>.functions.csv`` and ``<stem>.invocations.csv``."""
+    functions_path, invocations_path = _csv_paths(stem)
+    with open(functions_path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["name", "memory_mb", "warm_time_s", "cold_time_s"])
+        for f in trace.functions.values():
+            writer.writerow(
+                [f.name, repr(f.memory_mb), repr(f.warm_time_s), repr(f.cold_time_s)]
+            )
+    with open(invocations_path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["time_s", "function_name"])
+        for inv in trace.invocations:
+            writer.writerow([repr(inv.time_s), inv.function_name])
+
+
+def load_trace_csv(stem: PathLike, name: str = "trace") -> Trace:
+    """Read a trace written by :func:`save_trace_csv`."""
+    functions_path, invocations_path = _csv_paths(stem)
+    functions = []
+    with open(functions_path, newline="") as handle:
+        for row in csv.DictReader(handle):
+            functions.append(
+                TraceFunction(
+                    name=row["name"],
+                    memory_mb=float(row["memory_mb"]),
+                    warm_time_s=float(row["warm_time_s"]),
+                    cold_time_s=float(row["cold_time_s"]),
+                )
+            )
+    invocations = []
+    with open(invocations_path, newline="") as handle:
+        for row in csv.DictReader(handle):
+            invocations.append(
+                Invocation(float(row["time_s"]), row["function_name"])
+            )
+    return Trace(functions, invocations, name=name)

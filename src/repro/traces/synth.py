@@ -1,0 +1,307 @@
+"""Synthetic litmus workloads for the OpenWhisk evaluation (Section 7.2).
+
+Figure 7 uses three kinds of skewed workload traces — a skewed
+*frequency* workload (one function invoked much more often than the
+rest), a *cyclic* access pattern, and a skewed *size* workload (two
+memory-size classes). Figure 8 uses the Table 1 FunctionBench
+applications with the paper's stated inter-arrival times: 1500 ms for
+the CNN, disk-bench, and web-serving functions and 400 ms for the
+floating-point function.
+
+All generators are deterministic given a seed: arrivals are periodic
+with optional exponential jitter so container reuse patterns are
+realistic rather than metronomic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.traces.functionbench import functionbench_apps
+from repro.traces.model import Invocation, Trace, TraceFunction
+
+__all__ = [
+    "periodic_arrivals",
+    "bursty_arrivals",
+    "skewed_frequency_trace",
+    "cyclic_trace",
+    "skewed_size_trace",
+    "figure8_trace",
+    "multitenant_trace",
+]
+
+
+def periodic_arrivals(
+    function_name: str,
+    interarrival_s: float,
+    duration_s: float,
+    start_s: float = 0.0,
+    jitter: float = 0.0,
+    rng: Optional[random.Random] = None,
+) -> List[Invocation]:
+    """Periodic arrivals with optional multiplicative exponential jitter.
+
+    ``jitter`` of 0 gives exact periodicity; 1.0 gives a Poisson
+    process with the same mean rate (each gap drawn exponentially).
+    Intermediate values interpolate linearly between the two.
+    """
+    if interarrival_s <= 0:
+        raise ValueError(f"interarrival must be positive, got {interarrival_s}")
+    if not 0.0 <= jitter <= 1.0:
+        raise ValueError(f"jitter must be in [0, 1], got {jitter}")
+    if jitter > 0 and rng is None:
+        rng = random.Random(0)
+    arrivals: List[Invocation] = []
+    t = start_s
+    while t < start_s + duration_s:
+        arrivals.append(Invocation(t, function_name))
+        gap = interarrival_s
+        if jitter > 0:
+            exponential = rng.expovariate(1.0 / interarrival_s)
+            gap = (1.0 - jitter) * interarrival_s + jitter * exponential
+        t += max(gap, 1e-6)
+    return arrivals
+
+
+def bursty_arrivals(
+    function_name: str,
+    burst_rate_per_s: float,
+    burst_duration_s: float,
+    idle_duration_s: float,
+    total_duration_s: float,
+    start_s: float = 0.0,
+    rng: Optional[random.Random] = None,
+) -> List[Invocation]:
+    """On/off (interrupted-Poisson) arrivals: Poisson bursts separated
+    by idle gaps.
+
+    FaaS workloads are bursty, not just diurnal — the controller and
+    keep-alive experiments need arrival processes whose short-term
+    rate departs violently from the mean. Burst and idle lengths are
+    exponential with the given means; within a burst, arrivals are
+    Poisson at ``burst_rate_per_s``.
+    """
+    if burst_rate_per_s <= 0:
+        raise ValueError("burst rate must be positive")
+    if burst_duration_s <= 0 or idle_duration_s < 0:
+        raise ValueError("durations must be positive (idle may be zero)")
+    rng = rng if rng is not None else random.Random(0)
+    arrivals: List[Invocation] = []
+    t = start_s
+    end = start_s + total_duration_s
+    while t < end:
+        burst_end = t + rng.expovariate(1.0 / burst_duration_s)
+        while t < min(burst_end, end):
+            arrivals.append(Invocation(t, function_name))
+            t += rng.expovariate(burst_rate_per_s)
+        if idle_duration_s > 0:
+            t = burst_end + rng.expovariate(1.0 / idle_duration_s)
+        else:
+            t = burst_end
+    return arrivals
+
+
+def skewed_frequency_trace(
+    duration_s: float = 7200.0,
+    hot_interarrival_s: float = 0.4,
+    cold_interarrival_s: float = 1.5,
+    jitter: float = 0.3,
+    seed: int = 42,
+) -> Trace:
+    """One function invoked far more frequently than the others.
+
+    Mirrors the paper's skewed-frequency workload: the floating-point
+    function arrives every 400 ms while the CNN, disk-bench, and
+    web-serving functions arrive every 1500 ms.
+    """
+    rng = random.Random(seed)
+    apps = functionbench_apps()
+    hot = apps["floating-point"]
+    cold_names = ("ml-inference-cnn", "disk-bench-dd", "web-serving")
+    invocations = periodic_arrivals(
+        hot.name, hot_interarrival_s, duration_s, jitter=jitter, rng=rng
+    )
+    for name in cold_names:
+        invocations += periodic_arrivals(
+            name,
+            cold_interarrival_s,
+            duration_s,
+            start_s=rng.uniform(0, cold_interarrival_s),
+            jitter=jitter,
+            rng=rng,
+        )
+    functions = [hot] + [apps[name] for name in cold_names]
+    return Trace(functions, invocations, name="skewed-frequency")
+
+
+def cyclic_trace(
+    num_functions: int = 12,
+    cycle_gap_s: float = 2.0,
+    num_cycles: int = 400,
+    memory_choices_mb: Sequence[float] = (128.0, 256.0, 384.0, 512.0),
+    init_choices_s: Sequence[float] = (4.0, 3.0, 2.0, 1.0),
+    warm_time_s: float = 0.5,
+    seed: int = 42,
+) -> Trace:
+    """A strict cyclic access pattern: f0, f1, ..., fN-1, f0, f1, ...
+
+    Cyclic access is the classic LRU-adversarial pattern: when the
+    cache is smaller than the working set, LRU misses every access.
+    The cycle's functions are *heterogeneous* (sizes and init costs
+    drawn round-robin from the choice lists, deliberately out of
+    phase), so value-aware policies like Greedy-Dual can pin the
+    high-value subset (small and expensive-to-initialize functions)
+    while recency-only policies thrash.
+
+    With identical functions, Greedy-Dual provably degenerates to LRU
+    (equal value terms leave only the clock), so heterogeneity is what
+    makes this workload discriminating.
+    """
+    if num_functions < 2:
+        raise ValueError("a cycle needs at least 2 functions")
+    functions = [
+        TraceFunction(
+            name=f"cyclic-{i:03d}",
+            memory_mb=memory_choices_mb[i % len(memory_choices_mb)],
+            warm_time_s=warm_time_s,
+            cold_time_s=warm_time_s + init_choices_s[i % len(init_choices_s)],
+        )
+        for i in range(num_functions)
+    ]
+    invocations: List[Invocation] = []
+    t = 0.0
+    for __ in range(num_cycles):
+        for func in functions:
+            invocations.append(Invocation(t, func.name))
+            t += cycle_gap_s
+    return Trace(functions, invocations, name="cyclic")
+
+
+def skewed_size_trace(
+    duration_s: float = 7200.0,
+    interarrival_s: float = 1.0,
+    num_small: int = 6,
+    num_large: int = 6,
+    small_mb: float = 128.0,
+    large_mb: float = 1024.0,
+    warm_time_s: float = 0.5,
+    init_time_s: float = 2.0,
+    jitter: float = 0.3,
+    seed: int = 42,
+) -> Trace:
+    """Two memory-size classes with equal request rates.
+
+    Size-aware policies shine here: evicting one large container frees
+    as much memory as evicting eight small ones, at the same future
+    cold-start cost.
+    """
+    rng = random.Random(seed)
+    functions: List[TraceFunction] = []
+    for i in range(num_small):
+        functions.append(
+            TraceFunction(
+                name=f"small-{i:03d}",
+                memory_mb=small_mb,
+                warm_time_s=warm_time_s,
+                cold_time_s=warm_time_s + init_time_s,
+            )
+        )
+    for i in range(num_large):
+        functions.append(
+            TraceFunction(
+                name=f"large-{i:03d}",
+                memory_mb=large_mb,
+                warm_time_s=warm_time_s,
+                cold_time_s=warm_time_s + init_time_s,
+            )
+        )
+    invocations: List[Invocation] = []
+    for func in functions:
+        invocations += periodic_arrivals(
+            func.name,
+            interarrival_s * len(functions),
+            duration_s,
+            start_s=rng.uniform(0, interarrival_s * len(functions)),
+            jitter=jitter,
+            rng=rng,
+        )
+    return Trace(functions, invocations, name="skewed-size")
+
+
+def figure8_trace(
+    duration_s: float = 7200.0,
+    jitter: float = 0.2,
+    seed: int = 42,
+) -> Trace:
+    """The Figure 8 foreground workload: Table 1 apps at the paper's rates.
+
+    CNN, disk-bench (dd), and web-serving arrive every 1500 ms; the
+    floating-point function arrives every 400 ms. The paper replays
+    this against a 48 GB server for two hours.
+    """
+    return skewed_frequency_trace(
+        duration_s=duration_s,
+        hot_interarrival_s=0.4,
+        cold_interarrival_s=1.5,
+        jitter=jitter,
+        seed=seed,
+    )
+
+
+#: Background-tenant classes for :func:`multitenant_trace`: memory MB
+#: mapped to (init time s, base inter-arrival s). Large functions are
+#: cheap to initialize but frequent; small ones expensive but rarer —
+#: the recency-vs-value contradiction of real Azure-style populations
+#: (Section 2.1: sizes and rates vary by orders of magnitude).
+_TENANT_CLASSES = {
+    64.0: (6.0, 25.0),
+    128.0: (5.0, 30.0),
+    256.0: (4.0, 40.0),
+    512.0: (2.0, 20.0),
+    1024.0: (1.0, 12.0),
+    2048.0: (0.5, 15.0),
+}
+
+
+def multitenant_trace(
+    duration_s: float = 7200.0,
+    num_tenants: int = 48,
+    tenant_warm_time_s: float = 0.4,
+    jitter: float = 0.15,
+    seed: int = 7,
+) -> Trace:
+    """The Figure 8 workload on a realistically shared server.
+
+    The paper measures the four Table 1 foreground functions on an
+    invoker that — per Section 3.1 — concurrently runs hundreds of
+    other short-lived functions. This trace combines
+    :func:`figure8_trace` with ``num_tenants`` heterogeneous
+    background tenants drawn from Azure-like size/cost/frequency
+    classes, producing the sustained memory pressure under which the
+    keep-alive policy choice decides who stays warm.
+    """
+    rng = random.Random(seed)
+    foreground = figure8_trace(duration_s=duration_s, jitter=jitter, seed=seed)
+    functions: List[TraceFunction] = list(foreground.functions.values())
+    invocations: List[Invocation] = list(foreground.invocations)
+    classes = list(_TENANT_CLASSES.items())
+    for i in range(num_tenants):
+        memory_mb, (init_s, base_iat_s) = classes[i % len(classes)]
+        function = TraceFunction(
+            name=f"tenant-{i:02d}-{int(memory_mb)}mb",
+            memory_mb=memory_mb,
+            warm_time_s=tenant_warm_time_s,
+            cold_time_s=tenant_warm_time_s + init_s,
+        )
+        functions.append(function)
+        iat = base_iat_s * rng.uniform(0.8, 1.2)
+        invocations += periodic_arrivals(
+            function.name,
+            iat,
+            duration_s,
+            start_s=rng.uniform(0, iat),
+            jitter=jitter,
+            rng=rng,
+        )
+    return Trace(functions, invocations, name="fig8-multitenant")

@@ -1,0 +1,136 @@
+"""Tests for the real-Azure-dataset CSV loader (synthetic fixtures in
+the documented schema)."""
+
+import csv
+
+import pytest
+
+from repro.traces.azure_csv import (
+    DEFAULT_APP_MEMORY_MB,
+    load_azure_dataset_csv,
+)
+from repro.traces.preprocess import dataset_to_trace
+
+
+def write_csv(path, header, rows):
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+
+
+@pytest.fixture
+def azure_files(tmp_path):
+    """Three tiny files in the real dataset's schema (2 minute cols)."""
+    minutes = ["1", "2"]
+    inv_header = ["HashOwner", "HashApp", "HashFunction", "Trigger"] + minutes
+    write_csv(
+        tmp_path / "inv.csv",
+        inv_header,
+        [
+            ["o1", "a1", "f1", "http", "3", "1"],
+            ["o1", "a1", "f2", "timer", "0", "2"],
+            ["o2", "a2", "f3", "queue", "1", "0"],
+            ["o2", "a2", "f4", "http", "5", "5"],  # no duration row
+        ],
+    )
+    dur_header = [
+        "HashOwner", "HashApp", "HashFunction",
+        "Average", "Count", "Minimum", "Maximum",
+    ]
+    write_csv(
+        tmp_path / "dur.csv",
+        dur_header,
+        [
+            ["o1", "a1", "f1", "500", "4", "100", "2000"],
+            ["o1", "a1", "f2", "1000", "2", "900", "1500"],
+            ["o2", "a2", "f3", "250", "1", "250", "250"],
+        ],
+    )
+    mem_header = ["HashOwner", "HashApp", "SampleCount", "AverageAllocatedMb"]
+    write_csv(
+        tmp_path / "mem.csv",
+        mem_header,
+        [["o1", "a1", "10", "400"]],  # a2 has no memory row
+    )
+    return tmp_path / "inv.csv", tmp_path / "dur.csv", tmp_path / "mem.csv"
+
+
+class TestLoader:
+    def test_join(self, azure_files):
+        dataset, report = load_azure_dataset_csv(*azure_files, minutes=2)
+        assert report.functions_loaded == 3
+        assert report.functions_without_durations == 1  # f4
+        assert report.apps_without_memory == 1  # a2
+        assert dataset.num_functions == 3
+
+    def test_minute_counts(self, azure_files):
+        dataset, __ = load_azure_dataset_csv(*azure_files, minutes=2)
+        f1 = dataset.functions["o1-a1-f1"]
+        assert f1.minute_counts == (3, 1)
+        assert f1.total_invocations == 4
+
+    def test_durations_joined(self, azure_files):
+        dataset, __ = load_azure_dataset_csv(*azure_files, minutes=2)
+        f1 = dataset.functions["o1-a1-f1"]
+        assert f1.avg_duration_ms == 500.0
+        assert f1.max_duration_ms == 2000.0
+
+    def test_app_memory_and_default(self, azure_files):
+        dataset, __ = load_azure_dataset_csv(*azure_files, minutes=2)
+        assert dataset.applications["o1-a1"].memory_mb == 400.0
+        assert dataset.applications["o2-a2"].memory_mb == DEFAULT_APP_MEMORY_MB
+
+    def test_app_grouping(self, azure_files):
+        dataset, __ = load_azure_dataset_csv(*azure_files, minutes=2)
+        a1 = dataset.applications["o1-a1"]
+        assert set(a1.function_ids) == {"o1-a1-f1", "o1-a1-f2"}
+
+    def test_flows_into_paper_pipeline(self, azure_files):
+        """The loaded dataset runs through preprocessing + simulation."""
+        from repro.sim.scheduler import simulate
+
+        dataset, __ = load_azure_dataset_csv(*azure_files, minutes=2)
+        trace = dataset_to_trace(dataset, name="real-azure")
+        # f3 has one invocation and is dropped; f1 (4) and f2 (2) stay.
+        assert trace.num_functions == 2
+        # Memory split: app a1 has two functions sharing 400 MB.
+        assert trace.function("o1-a1-f1").memory_mb == pytest.approx(200.0)
+        result = simulate(trace, "GD", 1024.0)
+        assert result.metrics.served == len(trace)
+
+    def test_schema_errors(self, tmp_path, azure_files):
+        inv, dur, mem = azure_files
+        bad = tmp_path / "bad.csv"
+        write_csv(bad, ["Wrong", "Columns"], [["x", "y"]])
+        with pytest.raises((ValueError, KeyError)):
+            load_azure_dataset_csv(bad, dur, mem, minutes=2)
+        empty = tmp_path / "empty.csv"
+        write_csv(empty, ["HashOwner", "HashApp", "HashFunction"], [])
+        with pytest.raises(ValueError, match="no invocation rows"):
+            load_azure_dataset_csv(empty, dur, mem, minutes=2)
+
+    def test_bad_duration_value(self, tmp_path, azure_files):
+        inv, __, mem = azure_files
+        bad_dur = tmp_path / "bad_dur.csv"
+        write_csv(
+            bad_dur,
+            ["HashOwner", "HashApp", "HashFunction", "Average", "Maximum"],
+            [["o1", "a1", "f1", "not-a-number", "10"]],
+        )
+        with pytest.raises(ValueError, match="bad duration row"):
+            load_azure_dataset_csv(inv, bad_dur, mem, minutes=2)
+
+    def test_max_clamped_to_average(self, tmp_path, azure_files):
+        """Some dataset rows have Maximum < Average (sampling noise);
+        the loader clamps so cold >= warm holds downstream."""
+        inv, __, mem = azure_files
+        dur = tmp_path / "clamp.csv"
+        write_csv(
+            dur,
+            ["HashOwner", "HashApp", "HashFunction", "Average", "Maximum"],
+            [["o1", "a1", "f1", "500", "100"]],
+        )
+        dataset, __ = load_azure_dataset_csv(inv, dur, mem, minutes=2)
+        f1 = dataset.functions["o1-a1-f1"]
+        assert f1.max_duration_ms >= f1.avg_duration_ms

@@ -1,0 +1,96 @@
+"""Tests for the capacity-planning report generator."""
+
+import pytest
+
+from repro.provisioning.report import (
+    CapacityPlan,
+    SizingOption,
+    build_capacity_plan,
+    render_capacity_plan,
+)
+from repro.traces.azure import AzureGeneratorConfig, generate_azure_dataset
+from repro.traces.preprocess import dataset_to_trace
+
+
+@pytest.fixture(scope="module")
+def plan():
+    dataset = generate_azure_dataset(
+        AzureGeneratorConfig(num_functions=200, max_daily_invocations=1500),
+        seed=21,
+    )
+    trace = dataset_to_trace(dataset, name="plan-trace")
+    return build_capacity_plan(trace)
+
+
+class TestBuildPlan:
+    def test_options_sorted_by_size(self, plan):
+        sizes = [o.memory_mb for o in plan.options]
+        assert sizes == sorted(sizes)
+
+    def test_all_strategies_present(self, plan):
+        labels = {o.label for o in plan.options}
+        assert "target HR 90%" in labels
+        assert "inflection point" in labels
+        assert "knee + headroom" in labels
+
+    def test_simulated_columns_populated(self, plan):
+        for option in plan.options:
+            assert 0.0 <= option.simulated_hit_ratio <= 1.0
+            assert option.simulated_exec_increase_pct >= 0.0
+            assert 0.0 <= option.simulated_drop_ratio <= 1.0
+
+    def test_bigger_options_never_hit_worse(self, plan):
+        ratios = [o.simulated_hit_ratio for o in plan.options]
+        # Allow tiny non-monotonicity from concurrency noise.
+        for a, b in zip(ratios, ratios[1:]):
+            assert b >= a - 0.02
+
+    def test_recommended_is_an_option(self, plan):
+        assert plan.recommended() in plan.options
+
+    def test_recommended_prefers_small_viable(self):
+        options = [
+            SizingOption("small", 1000.0, 0.8, 0.89, 5.0, 0.0),
+            SizingOption("large", 4000.0, 0.9, 0.90, 4.0, 0.0),
+        ]
+        plan = CapacityPlan(
+            trace_name="t",
+            profile=None,
+            working_set_mb=5000.0,
+            concurrency_headroom_mb=0.0,
+            max_achievable_hit_ratio=0.95,
+            options=options,
+        )
+        # Small is within 2% of the best hit ratio: pick it.
+        assert plan.recommended().label == "small"
+
+    def test_recommended_avoids_droppy_options(self):
+        options = [
+            SizingOption("droppy", 1000.0, 0.9, 0.95, 2.0, 0.05),
+            SizingOption("safe", 4000.0, 0.9, 0.94, 2.5, 0.0),
+        ]
+        plan = CapacityPlan(
+            trace_name="t",
+            profile=None,
+            working_set_mb=5000.0,
+            concurrency_headroom_mb=0.0,
+            max_achievable_hit_ratio=0.95,
+            options=options,
+        )
+        assert plan.recommended().label == "safe"
+
+
+class TestRenderPlan:
+    def test_markdown_structure(self, plan):
+        text = render_capacity_plan(plan)
+        assert text.startswith("# Capacity plan:")
+        assert "## Workload" in text
+        assert "## Sizing options" in text
+        assert "**(recommended)**" in text
+        # One table row per option.
+        rows = [l for l in text.splitlines() if l.startswith("| ")]
+        assert len(rows) >= len(plan.options) + 1  # header + rows
+
+    def test_headroom_reported(self, plan):
+        text = render_capacity_plan(plan)
+        assert "concurrency headroom" in text

@@ -1,0 +1,174 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def small_trace_file(tmp_path):
+    path = tmp_path / "trace.json"
+    code = main(
+        [
+            "generate",
+            "--functions", "150",
+            "--max-daily-invocations", "500",
+            "--sample", "representative",
+            "--sample-size", "40",
+            "--seed", "5",
+            "--out", str(path),
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_subcommands_exist(self):
+        parser = build_parser()
+        for command in (
+            ["generate", "--out", "x.json"],
+            ["simulate", "--trace", "t"],
+            ["sweep", "--trace", "t", "--memory-gb", "1"],
+            ["provision", "--trace", "t"],
+            ["autoscale", "--trace", "t"],
+            ["loadtest"],
+        ):
+            args = parser.parse_args(command)
+            assert callable(args.func)
+
+
+class TestGenerate:
+    def test_writes_loadable_trace(self, small_trace_file):
+        from repro.traces.io import load_trace_json
+
+        trace = load_trace_json(small_trace_file)
+        assert trace.num_functions <= 40
+        assert len(trace) > 0
+
+    def test_full_sample(self, tmp_path):
+        out = tmp_path / "full.json"
+        code = main(
+            [
+                "generate",
+                "--functions", "60",
+                "--max-daily-invocations", "200",
+                "--sample", "full",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+
+
+class TestCommands:
+    def test_simulate(self, small_trace_file, capsys):
+        code = main(
+            [
+                "simulate",
+                "--trace", str(small_trace_file),
+                "--policy", "GD",
+                "--memory-gb", "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "warm_starts" in out
+        assert "GD" in out
+
+    def test_simulate_builtin_workload(self, capsys):
+        code = main(
+            ["simulate", "--trace", "cyclic", "--policy", "LRU",
+             "--memory-gb", "2"]
+        )
+        assert code == 0
+        assert "LRU" in capsys.readouterr().out
+
+    def test_sweep(self, small_trace_file, capsys):
+        code = main(
+            [
+                "sweep",
+                "--trace", str(small_trace_file),
+                "--memory-gb", "2", "4",
+                "--policies", "GD", "TTL",
+                "--metric", "cold_start_pct",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "GD" in out and "TTL" in out
+        assert "cold_start_pct" in out
+
+    def test_provision(self, small_trace_file, capsys):
+        code = main(["provision", "--trace", str(small_trace_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "working set" in out
+        assert "inflection" in out
+
+    def test_autoscale(self, small_trace_file, capsys):
+        code = main(
+            [
+                "autoscale",
+                "--trace", str(small_trace_file),
+                "--miss-ratio", "0.1",
+                "--period-s", "1200",
+            ]
+        )
+        assert code == 0
+        assert "Saving" in capsys.readouterr().out
+
+    def test_loadtest(self, capsys):
+        code = main(
+            ["loadtest", "--workload", "cyclic", "--memory-gb", "1.625"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "OpenWhisk" in out and "FaasCache" in out
+
+
+class TestNewCommands:
+    def test_characterize(self, small_trace_file, capsys):
+        code = main(["characterize", "--trace", str(small_trace_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "popularity Gini" in out
+        assert "diurnal peak/mean" in out
+
+    def test_characterize_builtin(self, capsys):
+        code = main(["characterize", "--trace", "skewed-size"])
+        assert code == 0
+        assert "functions" in capsys.readouterr().out
+
+    def test_balancers(self, small_trace_file, capsys):
+        code = main(
+            [
+                "balancers",
+                "--trace", str(small_trace_file),
+                "--servers", "2",
+                "--server-memory-gb", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hash-affinity" in out
+        assert "affinity-spillover" in out
+
+    def test_plan(self, small_trace_file, capsys, tmp_path):
+        out = tmp_path / "plan.md"
+        code = main(
+            ["plan", "--trace", str(small_trace_file), "--out", str(out)]
+        )
+        assert code == 0
+        text = out.read_text()
+        assert text.startswith("# Capacity plan:")
+        assert "**(recommended)**" in text
+
+    def test_plan_stdout(self, capsys):
+        code = main(["plan", "--trace", "skewed-size"])
+        assert code == 0
+        assert "Sizing options" in capsys.readouterr().out

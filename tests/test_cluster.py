@@ -1,0 +1,183 @@
+"""Tests for cluster-level load balancing and the cluster simulator."""
+
+import pytest
+
+from repro.cluster.loadbalancer import (
+    HashAffinityBalancer,
+    LeastLoadedBalancer,
+    RandomBalancer,
+    RoundRobinBalancer,
+    create_balancer,
+)
+from repro.cluster.simulation import ClusterSimulator
+from tests.conftest import make_trace
+
+
+class TestBalancers:
+    def test_registry(self):
+        for name in ("random", "round-robin", "hash-affinity", "least-loaded"):
+            assert create_balancer(name, 4).name == name
+        with pytest.raises(ValueError):
+            create_balancer("psychic", 4)
+
+    def test_server_count_validation(self):
+        with pytest.raises(ValueError):
+            RandomBalancer(0)
+
+    def test_round_robin_cycles(self):
+        lb = RoundRobinBalancer(3)
+        routes = [lb.route("f", [0, 0, 0]) for __ in range(6)]
+        assert routes == [0, 1, 2, 0, 1, 2]
+
+    def test_random_in_range_and_deterministic(self):
+        lb = RandomBalancer(4, seed=7)
+        routes = [lb.route("f", [0] * 4) for __ in range(50)]
+        assert all(0 <= r < 4 for r in routes)
+        lb2 = RandomBalancer(4, seed=7)
+        assert routes == [lb2.route("f", [0] * 4) for __ in range(50)]
+
+    def test_hash_affinity_is_sticky(self):
+        lb = HashAffinityBalancer(8, replicas=1)
+        routes = {lb.route("my-func", [0] * 8) for __ in range(20)}
+        assert len(routes) == 1
+
+    def test_hash_affinity_replicas_rotate(self):
+        lb = HashAffinityBalancer(8, replicas=3)
+        routes = [lb.route("my-func", [0] * 8) for __ in range(9)]
+        assert len(set(routes)) == 3
+        # Strict rotation among the replica set.
+        assert routes[:3] == routes[3:6] == routes[6:9]
+
+    def test_hash_affinity_spreads_functions(self):
+        lb = HashAffinityBalancer(8, replicas=1)
+        routes = {lb.route(f"fn-{i}", [0] * 8) for i in range(100)}
+        assert len(routes) >= 6  # most servers receive some function
+
+    def test_hash_affinity_replica_validation(self):
+        with pytest.raises(ValueError):
+            HashAffinityBalancer(4, replicas=5)
+
+    def test_least_loaded_picks_minimum(self):
+        lb = LeastLoadedBalancer(3)
+        assert lb.route("f", [100.0, 5.0, 50.0]) == 1
+
+    def test_least_loaded_length_check(self):
+        lb = LeastLoadedBalancer(3)
+        with pytest.raises(ValueError):
+            lb.route("f", [1.0])
+
+
+class TestClusterSimulator:
+    def test_all_invocations_routed(self):
+        trace = make_trace("ABCD" * 25, gap_s=1.0)
+        result = ClusterSimulator(
+            trace, "round-robin", num_servers=4, server_memory_mb=2048.0
+        ).run()
+        assert sum(result.routed) == len(trace)
+        assert result.served + result.dropped == len(trace)
+
+    def test_single_server_matches_plain_simulator(self):
+        from repro.sim.scheduler import simulate
+
+        trace = make_trace("ABCABCBCA" * 10, gap_s=2.0)
+        cluster = ClusterSimulator(
+            trace, "round-robin", num_servers=1, server_memory_mb=1024.0
+        ).run()
+        single = simulate(trace, "GD", 1024.0).metrics
+        assert cluster.cold_starts == single.cold_starts
+        assert cluster.warm_starts == single.warm_starts
+
+    def test_affinity_beats_random_on_locality(self):
+        # Many functions, several servers, constrained memory: the
+        # Section 9 claim — stateful routing improves keep-alive.
+        sequence = []
+        names = [chr(ord("A") + i) for i in range(20)]
+        for round_ in range(40):
+            sequence.extend(names)
+        trace = make_trace("".join(sequence), gap_s=1.0)
+        random_result = ClusterSimulator(
+            trace, "random", num_servers=4, server_memory_mb=1280.0
+        ).run()
+        affinity_result = ClusterSimulator(
+            trace, "hash-affinity", num_servers=4, server_memory_mb=1280.0
+        ).run()
+        assert (
+            affinity_result.cold_start_pct < random_result.cold_start_pct
+        )
+
+    def test_balancer_instance_accepted(self):
+        trace = make_trace("AB" * 5)
+        lb = RoundRobinBalancer(2)
+        result = ClusterSimulator(
+            trace, lb, num_servers=2, server_memory_mb=1024.0
+        ).run()
+        assert result.balancer_name == "round-robin"
+
+    def test_mismatched_balancer_size_rejected(self):
+        trace = make_trace("AB")
+        with pytest.raises(ValueError):
+            ClusterSimulator(trace, RoundRobinBalancer(3), num_servers=2)
+
+    def test_load_imbalance_metric(self):
+        trace = make_trace("A" * 20, gap_s=100.0)
+        # Affinity pins everything on one of two servers.
+        result = ClusterSimulator(
+            trace, "hash-affinity", num_servers=2, server_memory_mb=2048.0
+        ).run()
+        assert result.load_imbalance() == pytest.approx(2.0)
+
+
+class TestAffinityWithSpillover:
+    def test_registered(self):
+        assert create_balancer("affinity-spillover", 4).name == (
+            "affinity-spillover"
+        )
+
+    def test_factor_validation(self):
+        from repro.cluster.loadbalancer import AffinityWithSpilloverBalancer
+
+        with pytest.raises(ValueError):
+            AffinityWithSpilloverBalancer(4, spillover_factor=1.0)
+
+    def test_stays_home_under_balanced_load(self):
+        from repro.cluster.loadbalancer import (
+            AffinityWithSpilloverBalancer,
+            HashAffinityBalancer,
+        )
+
+        lb = AffinityWithSpilloverBalancer(4, spillover_factor=1.5)
+        home = HashAffinityBalancer(4).route("fn-x", [100.0] * 4)
+        assert lb.route("fn-x", [100.0] * 4) == home
+        assert lb.spillovers == 0
+
+    def test_spills_when_home_is_hot(self):
+        from repro.cluster.loadbalancer import (
+            AffinityWithSpilloverBalancer,
+            HashAffinityBalancer,
+        )
+
+        lb = AffinityWithSpilloverBalancer(4, spillover_factor=1.5)
+        home = HashAffinityBalancer(4).route("fn-x", [0.0] * 4)
+        load = [100.0] * 4
+        load[home] = 1000.0  # home far above the mean
+        coldest = min(range(4), key=lambda i: load[i])
+        assert lb.route("fn-x", load) == coldest
+        assert lb.spillovers == 1
+
+    def test_bounds_imbalance_vs_pure_affinity(self):
+        """Spillover keeps routed-load imbalance below pure affinity's
+        on a skewed workload, at similar locality."""
+        sequence = []
+        names = [chr(ord("A") + i) for i in range(12)]
+        for __ in range(60):
+            sequence.extend(names)
+        trace = make_trace("".join(sequence), gap_s=1.0)
+        pure = ClusterSimulator(
+            trace, "hash-affinity", num_servers=4, server_memory_mb=1024.0
+        ).run()
+        spill = ClusterSimulator(
+            trace, "affinity-spillover", num_servers=4,
+            server_memory_mb=1024.0,
+            balancer_kwargs={"spillover_factor": 1.2},
+        ).run()
+        assert spill.load_imbalance() <= pure.load_imbalance() + 1e-9

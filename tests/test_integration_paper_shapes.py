@@ -1,0 +1,150 @@
+"""Integration tests: the paper's qualitative claims at small scale.
+
+Each test reproduces — with reduced workload sizes so the suite stays
+fast — the *shape* of a paper result: who wins, in which regime, and
+roughly by how much. The full-scale regenerations live in
+``benchmarks/``.
+"""
+
+import pytest
+
+from repro.openwhisk.invoker import InvokerConfig
+from repro.openwhisk.loadgen import compare_keepalive_systems
+from repro.provisioning.autoscale import AutoscaledSimulation
+from repro.provisioning.controller import ProportionalController
+from repro.provisioning.hit_ratio import HitRatioCurve
+from repro.provisioning.reuse_distance import reuse_distances
+from repro.sim.scheduler import simulate
+from repro.sim.server import GB_MB
+from repro.sim.sweep import run_sweep
+from repro.traces.azure import AzureGeneratorConfig, generate_azure_dataset
+from repro.traces.sampling import make_paper_traces
+from repro.traces.synth import cyclic_trace, skewed_size_trace
+
+
+@pytest.fixture(scope="module")
+def paper_traces():
+    dataset = generate_azure_dataset(
+        AzureGeneratorConfig(num_functions=900, max_daily_invocations=10_000),
+        seed=7,
+    )
+    return make_paper_traces(
+        dataset,
+        sizes={"rare": 250, "representative": 120, "random": 60},
+        seed=3,
+    )
+
+
+class TestFigure5Shapes:
+    """Figure 5: execution-time increase across policies and sizes."""
+
+    def test_representative_gd_beats_ttl_by_3x(self, paper_traces):
+        trace = paper_traces["representative"]
+        sweep = run_sweep(trace, [8.0, 16.0], policies=("GD", "TTL"))
+        for memory_gb in (8.0, 16.0):
+            gd = dict(sweep.series("GD", "exec_time_increase_pct"))[memory_gb]
+            ttl = dict(sweep.series("TTL", "exec_time_increase_pct"))[memory_gb]
+            assert ttl > 3.0 * gd, (
+                f"at {memory_gb} GB: GD={gd:.2f}% TTL={ttl:.2f}%"
+            )
+
+    def test_gd_shrinks_cache_requirement(self, paper_traces):
+        """GD at a small cache should match or beat TTL at a much
+        larger one (the paper's 3x cache-size reduction claim)."""
+        trace = paper_traces["representative"]
+        gd_small = simulate(trace, "GD", 8.0 * GB_MB).metrics
+        ttl_large = simulate(trace, "TTL", 24.0 * GB_MB).metrics
+        assert (
+            gd_small.exec_time_increase_pct
+            <= ttl_large.exec_time_increase_pct
+        )
+
+    def test_rare_trace_caching_beats_ttl(self, paper_traces):
+        """Figure 5b: for rare functions, caching-based policies beat
+        the expiring TTL (which pays a cold start after every lapse)."""
+        trace = paper_traces["rare"]
+        sweep = run_sweep(trace, [16.0], policies=("LRU", "GD", "TTL"))
+        ttl = dict(sweep.series("TTL", "exec_time_increase_pct"))[16.0]
+        lru = dict(sweep.series("LRU", "exec_time_increase_pct"))[16.0]
+        assert ttl > 1.5 * lru
+
+    def test_random_trace_lru_close_to_best(self, paper_traces):
+        """Figure 5c: recency dominates on random samples; LRU is
+        within a whisker of every other caching policy."""
+        trace = paper_traces["random"]
+        sweep = run_sweep(
+            trace, [12.0], policies=("GD", "LRU", "FREQ", "SIZE", "LND")
+        )
+        values = {
+            p: dict(sweep.series(p, "exec_time_increase_pct"))[12.0]
+            for p in ("GD", "LRU", "FREQ", "SIZE", "LND")
+        }
+        best = min(values.values())
+        assert values["LRU"] <= best * 1.5 + 0.5
+
+
+class TestFigure6Shapes:
+    def test_cold_start_fraction_ordering(self, paper_traces):
+        trace = paper_traces["representative"]
+        sweep = run_sweep(trace, [8.0], policies=("GD", "TTL"))
+        gd = dict(sweep.series("GD", "cold_start_pct"))[8.0]
+        ttl = dict(sweep.series("TTL", "cold_start_pct"))[8.0]
+        assert gd < ttl
+
+    def test_cold_starts_shrink_with_memory(self, paper_traces):
+        trace = paper_traces["representative"]
+        sweep = run_sweep(trace, [2.0, 8.0, 24.0], policies=("GD",))
+        series = [v for __, v in sweep.series("GD", "cold_start_pct")]
+        assert series[0] >= series[1] >= series[2]
+
+
+class TestFigure3Shape:
+    def test_reuse_distance_curve_tracks_observed(self, paper_traces):
+        from repro.analysis.curves import figure3_data
+
+        trace = paper_traces["representative"]
+        data = figure3_data(trace, [2.0, 6.0, 12.0, 24.0])
+        # Prediction and observation agree within coarse tolerance...
+        for p, o in zip(data.predicted, data.observed):
+            assert abs(p - o) < 0.25
+        # ...and both rise with cache size.
+        assert data.predicted == sorted(data.predicted)
+
+
+class TestFigure7Shape:
+    def test_faascache_wins_on_cyclic(self):
+        trace = cyclic_trace(num_functions=12, cycle_gap_s=2.0, num_cycles=80)
+        config = InvokerConfig(memory_mb=1664.0, cpu_cores=8)
+        cmp = compare_keepalive_systems(trace, config)
+        assert cmp.warm_start_gain > 1.5
+
+    def test_faascache_wins_on_skewed_size(self):
+        trace = skewed_size_trace(duration_s=1800.0)
+        config = InvokerConfig(memory_mb=4838.0, cpu_cores=8)
+        cmp = compare_keepalive_systems(trace, config)
+        assert cmp.faascache.warm_starts > 1.2 * cmp.openwhisk.warm_starts
+
+
+class TestFigure9Shape:
+    def test_controller_reduces_average_size_30pct(self, paper_traces):
+        """Dynamic scaling vs a conservative static provision."""
+        trace = paper_traces["representative"]
+        curve = HitRatioCurve.from_distances(reuse_distances(trace))
+        static_mb = curve.required_size(min(0.95, curve.max_hit_ratio))
+        mean_rate = trace.arrival_rate()
+        controller = ProportionalController.from_miss_ratio_target(
+            curve,
+            desired_miss_ratio=0.05,
+            mean_arrival_rate=mean_rate,
+            initial_size_mb=static_mb,
+            max_size_mb=static_mb,
+            control_period_s=600.0,
+        )
+        result = AutoscaledSimulation(trace, controller, policy="GD").run()
+        savings = result.savings_vs_static(static_mb)
+        assert savings > 0.2, f"savings only {savings:.1%}"
+        # The miss speed stays in the same order of magnitude as the
+        # target once warmed up.
+        steady = result.decisions[len(result.decisions) // 2 :]
+        mean_miss = sum(d.miss_speed for d in steady) / len(steady)
+        assert mean_miss < 10 * controller.target_miss_speed

@@ -1,0 +1,191 @@
+"""Tests for the online reuse-distance tracker and periodic curve provider."""
+
+import math
+
+import pytest
+
+from repro.provisioning.online_curve import (
+    OnlineReuseTracker,
+    PeriodicCurveProvider,
+)
+from repro.provisioning.reuse_distance import reuse_distances
+from tests.conftest import make_trace
+
+
+class TestOnlineReuseTracker:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OnlineReuseTracker(window=0)
+        with pytest.raises(ValueError):
+            OnlineReuseTracker(max_samples=0)
+        with pytest.raises(ValueError):
+            OnlineReuseTracker().observe("f", 0.0)
+
+    def test_first_access_infinite(self):
+        tracker = OnlineReuseTracker()
+        assert math.isinf(tracker.observe("A", 100.0))
+        assert tracker.compulsory == 1
+
+    def test_matches_offline_on_short_stream(self):
+        sequence = "ABCBCABBACCA"
+        trace = make_trace(sequence)
+        offline = reuse_distances(trace)
+        tracker = OnlineReuseTracker(window=1000)
+        online = [
+            tracker.observe(name, trace.functions[name].memory_mb)
+            for name in sequence
+        ]
+        for a, b in zip(online, offline):
+            if math.isinf(b):
+                assert math.isinf(a)
+            else:
+                assert a == pytest.approx(b)
+
+    def test_matches_offline_across_compactions(self):
+        import random
+
+        rng = random.Random(3)
+        names = [f"f{i}" for i in range(8)]
+        sequence = [rng.choice(names) for __ in range(500)]
+        trace = make_trace(sequence, gap_s=1.0)
+        offline = reuse_distances(trace)
+        # Window larger than the stream: results must be identical
+        # even though the small tree forces repeated compactions.
+        tracker = OnlineReuseTracker(window=600)
+        for (name, expected) in zip(sequence, offline):
+            got = tracker.observe(name, trace.functions[name].memory_mb)
+            if math.isinf(expected):
+                assert math.isinf(got)
+            else:
+                assert got == pytest.approx(expected)
+
+    def test_window_expiry_forgets_old_accesses(self):
+        tracker = OnlineReuseTracker(window=3)
+        tracker.observe("A", 10.0)
+        for name in ("B", "C", "D"):
+            tracker.observe(name, 10.0)
+        # A's previous use is 4 accesses back, beyond window 3.
+        assert math.isinf(tracker.observe("A", 10.0))
+
+    def test_within_window_still_tracked(self):
+        tracker = OnlineReuseTracker(window=10)
+        tracker.observe("A", 10.0)
+        tracker.observe("B", 20.0)
+        tracker.observe("C", 30.0)
+        assert tracker.observe("A", 10.0) == pytest.approx(50.0)
+
+    def test_max_samples_bounds_memory(self):
+        tracker = OnlineReuseTracker(window=100, max_samples=10)
+        for i in range(50):
+            tracker.observe("A", 10.0)
+        assert len(tracker) == 10
+        assert tracker.total_accesses == 50
+
+    def test_curve_requires_samples(self):
+        with pytest.raises(ValueError):
+            OnlineReuseTracker().curve()
+
+    def test_curve_reflects_stream(self):
+        tracker = OnlineReuseTracker()
+        for __ in range(5):
+            for name in ("A", "B"):
+                tracker.observe(name, 100.0)
+        curve = tracker.curve()
+        # Reuses have distance 100 (one other function in between).
+        assert curve.hit_ratio(100.0) > curve.hit_ratio(99.0)
+
+
+class TestPeriodicCurveProvider:
+    def test_not_ready_before_min_samples(self):
+        provider = PeriodicCurveProvider(min_samples=5)
+        provider.observe("A", 100.0, now_s=0.0)
+        assert not provider.ready
+        with pytest.raises(ValueError):
+            provider.current_curve()
+
+    def test_builds_once_enough_samples(self):
+        provider = PeriodicCurveProvider(min_samples=3)
+        for i in range(3):
+            provider.observe("A", 100.0, now_s=float(i))
+        assert provider.ready
+        assert provider.rebuilds == 1
+
+    def test_refresh_interval_respected(self):
+        provider = PeriodicCurveProvider(
+            refresh_interval_s=100.0, min_samples=2
+        )
+        provider.observe("A", 100.0, now_s=0.0)
+        provider.observe("A", 100.0, now_s=1.0)  # first build
+        provider.observe("A", 100.0, now_s=50.0)  # too soon
+        assert provider.rebuilds == 1
+        provider.observe("A", 100.0, now_s=150.0)  # past the interval
+        assert provider.rebuilds == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PeriodicCurveProvider(refresh_interval_s=0.0)
+
+
+class TestDriftAdaptation:
+    """Section 5.2: 'A drift in function characteristics is fixed by
+    periodically updating the hit-ratio curve.'"""
+
+    def _phase_trace(self, seed, num_functions, mem_mult, name):
+        from repro.traces.azure import (
+            AzureGeneratorConfig,
+            generate_azure_dataset,
+        )
+        from repro.traces.preprocess import dataset_to_trace
+
+        config = AzureGeneratorConfig(
+            num_functions=num_functions,
+            max_daily_invocations=600,
+            memory_median_mb=170.0 * mem_mult,
+        )
+        dataset = generate_azure_dataset(config, seed=seed)
+        return dataset_to_trace(dataset, name=name)
+
+    def test_refreshed_curve_tracks_drifted_workload(self):
+        from repro.provisioning.online_curve import PeriodicCurveProvider
+        from repro.provisioning.reuse_distance import reuse_distances
+        from repro.provisioning.hit_ratio import HitRatioCurve
+
+        from repro.traces.model import Invocation, Trace, TraceFunction
+
+        # Phase 1: small functions; phase 2: the population drifts to
+        # 4x the memory footprint (e.g. ML workloads moving in).
+        phase1 = self._phase_trace(1, 150, 1.0, "phase1")
+        raw_phase2 = self._phase_trace(2, 150, 4.0, "phase2")
+        # Generator ids collide across phases; prefix phase 2's.
+        phase2 = Trace(
+            [
+                TraceFunction(
+                    f"p2-{f.name}", f.memory_mb, f.warm_time_s, f.cold_time_s
+                )
+                for f in raw_phase2.functions.values()
+            ],
+            [
+                Invocation(i.time_s, f"p2-{i.function_name}")
+                for i in raw_phase2.invocations
+            ],
+            name="phase2",
+        )
+        drifted = phase1.merged_with(
+            phase2.shifted(phase1.duration_s + 60.0), name="drifted"
+        )
+
+        provider = PeriodicCurveProvider(
+            refresh_interval_s=6 * 3600.0, min_samples=200
+        )
+        for invocation in drifted:
+            size = drifted.functions[invocation.function_name].memory_mb
+            provider.observe(invocation.function_name, size, invocation.time_s)
+        assert provider.rebuilds >= 2  # it actually refreshed
+
+        # The refreshed curve must reflect phase 2's larger working
+        # set: the size needed for a 60% hit ratio grows well beyond
+        # what a curve frozen on phase 1 would report.
+        stale = HitRatioCurve.from_distances(reuse_distances(phase1))
+        fresh = provider.current_curve()
+        target = min(0.6, stale.max_hit_ratio, fresh.max_hit_ratio)
+        assert fresh.required_size(target) > 1.5 * stale.required_size(target)

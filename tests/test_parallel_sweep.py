@@ -1,0 +1,47 @@
+"""Tests for the parallel sweep runner."""
+
+import pytest
+
+from repro.sim.parallel import run_sweep_parallel, simulate_cell
+from repro.sim.sweep import run_sweep
+from tests.conftest import make_trace
+
+
+@pytest.fixture
+def trace():
+    return make_trace("ABCDABCDBCAD" * 20, gap_s=2.0)
+
+
+class TestParallelSweep:
+    def test_matches_sequential(self, trace):
+        grid = [0.5, 1.0]
+        policies = ("GD", "LRU", "TTL")
+        sequential = run_sweep(trace, grid, policies=policies)
+        parallel = run_sweep_parallel(
+            trace, grid, policies=policies, max_workers=2
+        )
+        seq = {(p.policy, p.memory_gb): p for p in sequential.points}
+        par = {(p.policy, p.memory_gb): p for p in parallel.points}
+        assert set(seq) == set(par)
+        for key in seq:
+            assert seq[key] == par[key]
+
+    def test_inline_fallback(self, trace):
+        result = run_sweep_parallel(
+            trace, [1.0], policies=("GD",), max_workers=1
+        )
+        assert len(result.points) == 1
+        assert result.points[0].policy == "GD"
+
+    def test_simulate_cell_standalone(self, trace):
+        point = simulate_cell(trace, "LRU", 1.0)
+        assert point.policy == "LRU"
+        assert point.memory_gb == 1.0
+        assert 0.0 <= point.cold_start_pct <= 100.0
+
+    def test_grid_complete(self, trace):
+        result = run_sweep_parallel(
+            trace, [0.5, 1.0, 2.0], policies=("GD", "FREQ"), max_workers=2
+        )
+        assert len(result.points) == 6
+        assert result.memory_sizes() == [0.5, 1.0, 2.0]

@@ -1,0 +1,186 @@
+"""Unit tests for the Greedy-Dual-Size-Frequency policy (Equation 1)."""
+
+import pytest
+
+from repro.core.container import Container
+from repro.core.policies.greedy_dual import GreedyDualPolicy
+from repro.core.pool import ContainerPool
+from tests.conftest import make_function
+
+
+def start_cold(policy, pool, function, now):
+    """Simulate the scheduler's cold-start sequence for one invocation."""
+    policy.on_invocation(function, now)
+    container = Container(function, now)
+    pool.add(container)
+    container.start_invocation(now, function.cold_time_s)
+    policy.on_cold_start(container, now, pool)
+    container.finish_invocation(now + function.cold_time_s)
+    return container
+
+
+def hit(policy, pool, container, now):
+    function = container.function
+    policy.on_invocation(function, now)
+    container.start_invocation(now, function.warm_time_s)
+    policy.on_warm_start(container, now, pool)
+    container.finish_invocation(now + function.warm_time_s)
+
+
+class TestPriorityFormula:
+    def test_priority_is_clock_plus_value(self):
+        policy = GreedyDualPolicy()
+        pool = ContainerPool(10_000.0)
+        f = make_function("A", memory_mb=100.0, warm_time_s=1.0, cold_time_s=3.0)
+        c = start_cold(policy, pool, f, now=0.0)
+        # clock=0, freq=1, cost=2, size=100
+        assert c.priority == pytest.approx(0.0 + 1 * 2.0 / 100.0)
+
+    def test_frequency_raises_priority(self):
+        policy = GreedyDualPolicy()
+        pool = ContainerPool(10_000.0)
+        f = make_function("A", memory_mb=100.0, warm_time_s=1.0, cold_time_s=3.0)
+        c = start_cold(policy, pool, f, now=0.0)
+        p1 = c.priority
+        hit(policy, pool, c, now=10.0)
+        assert c.priority == pytest.approx(2 * p1)
+
+    def test_larger_size_lowers_priority(self):
+        policy = GreedyDualPolicy()
+        pool = ContainerPool(10_000.0)
+        small = make_function("S", memory_mb=100.0, warm_time_s=1.0, cold_time_s=3.0)
+        large = make_function("L", memory_mb=1000.0, warm_time_s=1.0, cold_time_s=3.0)
+        cs = start_cold(policy, pool, small, now=0.0)
+        cl = start_cold(policy, pool, large, now=0.0)
+        assert cs.priority > cl.priority
+
+    def test_higher_cost_raises_priority(self):
+        policy = GreedyDualPolicy()
+        pool = ContainerPool(10_000.0)
+        cheap = make_function("C", memory_mb=100.0, warm_time_s=1.0, cold_time_s=1.5)
+        dear = make_function("D", memory_mb=100.0, warm_time_s=1.0, cold_time_s=9.0)
+        cc = start_cold(policy, pool, cheap, now=0.0)
+        cd = start_cold(policy, pool, dear, now=0.0)
+        assert cd.priority > cc.priority
+
+    def test_all_containers_of_function_share_value_term(self):
+        policy = GreedyDualPolicy()
+        pool = ContainerPool(10_000.0)
+        f = make_function("A", memory_mb=100.0, warm_time_s=1.0, cold_time_s=3.0)
+        c1 = start_cold(policy, pool, f, now=0.0)
+        c2 = start_cold(policy, pool, f, now=1.0)  # concurrent second container
+        # freq is now 2 for both; stamps both 0 (no evictions yet).
+        assert c1.priority == pytest.approx(c2.priority)
+
+
+class TestClockSemantics:
+    def test_clock_starts_at_zero_and_only_advances_on_eviction(self):
+        policy = GreedyDualPolicy()
+        pool = ContainerPool(10_000.0)
+        f = make_function("A")
+        start_cold(policy, pool, f, now=0.0)
+        assert policy.clock.value == 0.0  # hits/misses don't move it
+
+    def test_eviction_advances_clock_to_victim_priority(self):
+        policy = GreedyDualPolicy()
+        pool = ContainerPool(200.0)
+        a = make_function("A", memory_mb=100.0, warm_time_s=1.0, cold_time_s=2.0)
+        b = make_function("B", memory_mb=100.0, warm_time_s=1.0, cold_time_s=2.0)
+        big = make_function("BIG", memory_mb=200.0, warm_time_s=1.0, cold_time_s=2.0)
+        ca = start_cold(policy, pool, a, now=0.0)
+        cb = start_cold(policy, pool, b, now=2.0)
+        policy.on_invocation(big, 10.0)
+        victims = policy.select_victims(pool, big.memory_mb, 10.0)
+        assert victims is not None and len(victims) == 2
+        max_priority = max(v.priority for v in victims)
+        for v in victims:
+            pool.evict(v)
+            policy.on_evict(v, 10.0, pool, pressure=True)
+        assert policy.clock.value == pytest.approx(max_priority)
+
+    def test_recently_used_containers_outlive_clock_advance(self):
+        """After evictions raise the clock, fresh containers stamp higher."""
+        policy = GreedyDualPolicy()
+        pool = ContainerPool(300.0)
+        f1 = make_function("A", memory_mb=100.0, warm_time_s=1.0, cold_time_s=2.0)
+        f2 = make_function("B", memory_mb=100.0, warm_time_s=1.0, cold_time_s=2.0)
+        f3 = make_function("C", memory_mb=200.0, warm_time_s=1.0, cold_time_s=2.0)
+        c1 = start_cold(policy, pool, f1, now=0.0)
+        c2 = start_cold(policy, pool, f2, now=1.0)
+        # Evict to fit C: both A and B are candidates; one dies.
+        policy.on_invocation(f3, 5.0)
+        victims = policy.select_victims(pool, f3.memory_mb, 5.0)
+        for v in victims:
+            pool.evict(v)
+            policy.on_evict(v, 5.0, pool, pressure=True)
+        c3 = start_cold(policy, pool, f3, now=5.0)
+        assert c3.clock_stamp == policy.clock.value
+        assert c3.clock_stamp > 0.0
+
+
+class TestFrequencyLifecycle:
+    def test_frequency_resets_when_last_container_dies(self):
+        policy = GreedyDualPolicy()
+        pool = ContainerPool(10_000.0)
+        f = make_function("A")
+        c = start_cold(policy, pool, f, now=0.0)
+        hit(policy, pool, c, now=1.0)
+        assert policy.frequency_of("A") == 2
+        pool.evict(c)
+        policy.on_evict(c, 2.0, pool, pressure=True)
+        assert policy.frequency_of("A") == 0
+
+    def test_frequency_kept_while_peers_remain(self):
+        policy = GreedyDualPolicy()
+        pool = ContainerPool(10_000.0)
+        f = make_function("A")
+        c1 = start_cold(policy, pool, f, now=0.0)
+        c2 = start_cold(policy, pool, f, now=0.5)
+        pool.evict(c1)
+        policy.on_evict(c1, 1.0, pool, pressure=True)
+        assert policy.frequency_of("A") == 2
+
+
+class TestVictimSelection:
+    def test_returns_empty_when_space_is_free(self):
+        policy = GreedyDualPolicy()
+        pool = ContainerPool(1000.0)
+        assert policy.select_victims(pool, 500.0, 0.0) == []
+
+    def test_returns_none_when_unsatisfiable(self):
+        policy = GreedyDualPolicy()
+        pool = ContainerPool(300.0)
+        f = make_function("A", memory_mb=200.0)
+        c = Container(f, 0.0)
+        pool.add(c)
+        c.start_invocation(0.0, 100.0)  # running: not evictable
+        assert policy.select_victims(pool, 200.0, 1.0) is None
+
+    def test_evicts_lowest_priority_first(self):
+        policy = GreedyDualPolicy()
+        pool = ContainerPool(300.0)
+        # B has a much higher cost: A should be the victim.
+        a = make_function("A", memory_mb=100.0, warm_time_s=1.0, cold_time_s=1.1)
+        b = make_function("B", memory_mb=100.0, warm_time_s=1.0, cold_time_s=9.0)
+        ca = start_cold(policy, pool, a, now=0.0)
+        cb = start_cold(policy, pool, b, now=0.0)
+        victims = policy.select_victims(pool, 150.0, 5.0)
+        assert victims == [ca]
+
+    def test_weights_allow_lru_degeneration(self):
+        """Zeroing the value weights reduces GD to pure clock order."""
+        policy = GreedyDualPolicy(frequency_weight=0.0)
+        pool = ContainerPool(10_000.0)
+        f = make_function("A", memory_mb=100.0, warm_time_s=1.0, cold_time_s=5.0)
+        c = start_cold(policy, pool, f, now=0.0)
+        assert c.priority == pytest.approx(0.0)
+
+    def test_reset_clears_clock_and_frequencies(self):
+        policy = GreedyDualPolicy()
+        pool = ContainerPool(10_000.0)
+        f = make_function("A")
+        start_cold(policy, pool, f, now=0.0)
+        policy.clock.advance_to(5.0)
+        policy.reset()
+        assert policy.clock.value == 0.0
+        assert policy.frequency_of("A") == 0

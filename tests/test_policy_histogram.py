@@ -1,0 +1,197 @@
+"""Unit tests for the HIST (hybrid histogram) policy."""
+
+import pytest
+
+from repro.core.container import Container
+from repro.core.policies.histogram import FunctionHistogram, HistogramPolicy
+from repro.core.pool import ContainerPool
+from tests.conftest import make_function
+
+MIN = 60.0
+
+
+class TestFunctionHistogram:
+    def test_first_arrival_records_nothing(self):
+        h = FunctionHistogram(window_minutes=240)
+        h.record_arrival(100.0)
+        assert h.in_window_count == 0
+        assert h.last_arrival_s == 100.0
+
+    def test_iat_bucketing(self):
+        h = FunctionHistogram(window_minutes=240)
+        h.record_arrival(0.0)
+        h.record_arrival(90.0)  # 1.5 minutes -> bucket 1
+        assert h.buckets[1] == 1
+        assert h.in_window_count == 1
+
+    def test_out_of_window_iat(self):
+        h = FunctionHistogram(window_minutes=240)
+        h.record_arrival(0.0)
+        h.record_arrival(241.0 * MIN)
+        assert h.out_of_window == 1
+        assert h.in_window_count == 0
+
+    def test_predictable_requires_samples(self):
+        h = FunctionHistogram(window_minutes=240)
+        assert not h.is_predictable(cov_threshold=2.0, min_samples=2)
+
+    def test_regular_iats_are_predictable(self):
+        h = FunctionHistogram(window_minutes=240)
+        for i in range(10):
+            h.record_arrival(i * 10 * MIN)
+        assert h.is_predictable(cov_threshold=2.0, min_samples=2)
+
+    def test_wild_iats_are_unpredictable(self):
+        h = FunctionHistogram(window_minutes=240)
+        t = 0.0
+        # Alternating 1-minute and ~3.9-hour gaps: CoV > 2.
+        for i in range(40):
+            t += MIN if i % 2 else 232 * MIN
+            h.record_arrival(t)
+        assert not h.is_predictable(cov_threshold=0.5, min_samples=2)
+
+    def test_mostly_out_of_window_is_unpredictable(self):
+        h = FunctionHistogram(window_minutes=240)
+        t = 0.0
+        for i in range(10):
+            t += 300 * MIN  # beyond the window
+            h.record_arrival(t)
+        h.record_arrival(t + MIN)
+        assert not h.is_predictable(cov_threshold=2.0, min_samples=1)
+
+    def test_head_and_tail_windows(self):
+        h = FunctionHistogram(window_minutes=240)
+        for i in range(100):
+            h.record_arrival(i * 10 * MIN)  # all IATs exactly 10 min
+        assert h.head_s() == pytest.approx(10 * MIN)
+        assert h.tail_s() == pytest.approx(11 * MIN)  # upper bucket edge
+
+    def test_percentiles_on_empty_histogram(self):
+        h = FunctionHistogram(window_minutes=240)
+        assert h.head_s() == 0.0
+        assert h.tail_s() == 0.0
+        assert h.mean_iat_s() is None
+
+
+class TestHistogramPolicyExpiry:
+    def test_unpredictable_gets_generic_ttl(self):
+        policy = HistogramPolicy(generic_ttl_s=7200.0)
+        pool = ContainerPool(1000.0)
+        f = make_function("A")
+        c = Container(f, 0.0)
+        pool.add(c)
+        policy.on_invocation(f, 0.0)
+        policy.on_cold_start(c, 0.0, pool)
+        assert policy.expired_containers(pool, 7199.0) == []
+        expired = policy.expired_containers(pool, 7200.0)
+        assert [e[0] for e in expired] == [c]
+
+    def test_frequent_predictable_keeps_through_tail(self):
+        policy = HistogramPolicy(min_samples=2)
+        pool = ContainerPool(1000.0)
+        f = make_function("A")
+        c = Container(f, 0.0)
+        pool.add(c)
+        # Train: IATs of ~30 s (bucket 0 -> head 0, release threshold
+        # keeps the container alive through the tail).
+        t = 0.0
+        for __ in range(10):
+            policy.on_invocation(f, t)
+            t += 30.0
+        policy.on_cold_start(c, t, pool)
+        # Tail is 1 minute (bucket 0 upper edge), margin 1.15.
+        assert policy.expired_containers(pool, t + 60.0) == []
+        assert policy.expired_containers(pool, t + 1.15 * 60.0 + 1.0)
+
+    def test_sparse_predictable_releases_then_prewarms(self):
+        policy = HistogramPolicy(min_samples=2, release_threshold_s=60.0)
+        pool = ContainerPool(1000.0)
+        f = make_function("A")
+        c = Container(f, 0.0)
+        pool.add(c)
+        t = 0.0
+        for __ in range(10):
+            policy.on_invocation(f, t)
+            t += 600.0  # 10-minute IATs: head = 10 min > release threshold
+        policy.on_cold_start(c, t, pool)
+        # Container released quickly...
+        assert policy.expired_containers(pool, t + 61.0)
+        # ...and a prewarm is scheduled around 0.85 * head.
+        assert policy.due_prewarms(t + 0.85 * 600.0 - 5.0) == []
+        due = policy.due_prewarms(t + 0.85 * 600.0 + 5.0)
+        assert len(due) == 1
+        assert due[0].function.name == "A"
+        assert due[0].expiry_s > due[0].at_time_s
+
+    def test_prewarm_cancelled_by_real_arrival(self):
+        policy = HistogramPolicy(min_samples=2, release_threshold_s=60.0)
+        pool = ContainerPool(1000.0)
+        f = make_function("A")
+        c = Container(f, 0.0)
+        pool.add(c)
+        t = 0.0
+        for __ in range(10):
+            policy.on_invocation(f, t)
+            t += 600.0
+        policy.on_cold_start(c, t, pool)
+        # The next invocation arrives before the prewarm fires.
+        policy.on_invocation(f, t + 120.0)
+        policy.on_warm_start(c, t + 120.0, pool)
+        # The original prewarm (for time t + 510) must not fire.
+        due = policy.due_prewarms(t + 520.0)
+        assert all(r.at_time_s > t + 520.0 for r in due) or due == []
+
+    def test_prewarm_expiry_applied_via_on_prewarm(self):
+        policy = HistogramPolicy()
+        pool = ContainerPool(1000.0)
+        f = make_function("A")
+        c = Container(f, 100.0)
+        pool.add(c)
+        from repro.core.policies.base import PrewarmRequest
+
+        request = PrewarmRequest(f, at_time_s=100.0, expiry_s=400.0)
+        policy.on_prewarm(c, request, pool)
+        assert policy.expired_containers(pool, 399.0) == []
+        assert policy.expired_containers(pool, 400.0)
+
+    def test_eviction_cleans_expiry_state(self):
+        policy = HistogramPolicy()
+        pool = ContainerPool(1000.0)
+        f = make_function("A")
+        c = Container(f, 0.0)
+        pool.add(c)
+        policy.on_invocation(f, 0.0)
+        policy.on_cold_start(c, 0.0, pool)
+        pool.evict(c)
+        policy.on_evict(c, 1.0, pool, pressure=True)
+        assert c.container_id not in policy._expiry
+
+
+class TestHistogramPolicyPressure:
+    def test_evicts_furthest_predicted_first(self):
+        policy = HistogramPolicy(min_samples=2)
+        pool = ContainerPool(200.0)
+        soon = make_function("SOON", memory_mb=100.0)
+        late = make_function("LATE", memory_mb=100.0)
+        # SOON arrives every 2 minutes, LATE every 30 minutes.
+        t = 0.0
+        for i in range(10):
+            policy.on_invocation(soon, i * 120.0)
+            policy.on_invocation(late, i * 1800.0)
+        cs = Container(soon, 1080.0)
+        cs.last_used_s = 1080.0
+        cl = Container(late, 1080.0)
+        cl.last_used_s = 1080.0
+        pool.add(cs)
+        pool.add(cl)
+        victims = policy.select_victims(pool, 100.0, 1100.0)
+        assert victims == [cl]
+
+    def test_reset_clears_everything(self):
+        policy = HistogramPolicy()
+        f = make_function("A")
+        policy.on_invocation(f, 0.0)
+        policy.on_invocation(f, 60.0)
+        policy.reset()
+        assert policy.frequency_of("A") == 0
+        assert policy.histogram_of("A").in_window_count == 0

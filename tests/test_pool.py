@@ -1,0 +1,163 @@
+"""Unit tests for the container pool."""
+
+import pytest
+
+from repro.core.container import Container
+from repro.core.pool import CapacityError, ContainerPool
+from tests.conftest import make_function
+
+
+def pooled(pool, function, created_at=0.0):
+    c = Container(function, created_at)
+    pool.add(c)
+    return c
+
+
+class TestCapacityAccounting:
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            ContainerPool(0.0)
+
+    def test_add_updates_usage(self):
+        pool = ContainerPool(1000.0)
+        pooled(pool, make_function(memory_mb=300.0))
+        assert pool.used_mb == 300.0
+        assert pool.free_mb == 700.0
+
+    def test_add_over_capacity_raises(self):
+        pool = ContainerPool(250.0)
+        with pytest.raises(CapacityError):
+            pooled(pool, make_function(memory_mb=300.0))
+
+    def test_evict_restores_capacity(self):
+        pool = ContainerPool(1000.0)
+        c = pooled(pool, make_function(memory_mb=300.0))
+        pool.evict(c)
+        assert pool.used_mb == 0.0
+        assert len(pool) == 0
+
+    def test_can_fit(self):
+        pool = ContainerPool(500.0)
+        assert pool.can_fit(500.0)
+        pooled(pool, make_function(memory_mb=300.0))
+        assert pool.can_fit(200.0)
+        assert not pool.can_fit(201.0)
+
+    def test_repeated_add_evict_no_drift(self):
+        pool = ContainerPool(1000.0)
+        f = make_function(memory_mb=333.33)
+        for __ in range(100):
+            c = pooled(pool, f)
+            pool.evict(c)
+        assert pool.used_mb == 0.0
+
+    def test_set_capacity_grow(self):
+        pool = ContainerPool(500.0)
+        pool.set_capacity(1000.0)
+        assert pool.capacity_mb == 1000.0
+
+    def test_set_capacity_below_usage_raises(self):
+        pool = ContainerPool(1000.0)
+        pooled(pool, make_function(memory_mb=600.0))
+        with pytest.raises(CapacityError):
+            pool.set_capacity(500.0)
+
+    def test_set_capacity_to_exact_usage(self):
+        pool = ContainerPool(1000.0)
+        pooled(pool, make_function(memory_mb=600.0))
+        pool.set_capacity(600.0)
+        assert pool.free_mb == pytest.approx(0.0)
+
+
+class TestMembership:
+    def test_cannot_add_twice(self):
+        pool = ContainerPool(1000.0)
+        c = pooled(pool, make_function())
+        with pytest.raises(ValueError):
+            pool.add(c)
+
+    def test_cannot_add_dead_container(self):
+        pool = ContainerPool(1000.0)
+        c = Container(make_function(), 0.0)
+        c.terminate()
+        with pytest.raises(ValueError):
+            pool.add(c)
+
+    def test_evict_unknown_raises(self):
+        pool = ContainerPool(1000.0)
+        c = Container(make_function(), 0.0)
+        with pytest.raises(KeyError):
+            pool.evict(c)
+
+    def test_evict_running_raises_and_keeps_container(self):
+        pool = ContainerPool(1000.0)
+        c = pooled(pool, make_function())
+        c.start_invocation(0.0, 5.0)
+        with pytest.raises(RuntimeError):
+            pool.evict(c)
+        assert c in pool
+        assert pool.used_mb == c.memory_mb
+
+    def test_contains(self):
+        pool = ContainerPool(1000.0)
+        c = pooled(pool, make_function())
+        assert c in pool
+        pool.evict(c)
+        assert c not in pool
+
+
+class TestQueries:
+    def test_idle_warm_container_prefers_lru(self):
+        pool = ContainerPool(1000.0)
+        f = make_function("A", memory_mb=100.0)
+        old = pooled(pool, f, created_at=0.0)
+        new = pooled(pool, f, created_at=50.0)
+        found = pool.idle_warm_container("A")
+        assert found is old
+
+    def test_idle_warm_container_skips_running(self):
+        pool = ContainerPool(1000.0)
+        f = make_function("A", memory_mb=100.0)
+        c = pooled(pool, f)
+        c.start_invocation(0.0, 10.0)
+        assert pool.idle_warm_container("A") is None
+
+    def test_idle_warm_container_unknown_function(self):
+        pool = ContainerPool(1000.0)
+        assert pool.idle_warm_container("missing") is None
+
+    def test_containers_of_and_names(self):
+        pool = ContainerPool(1000.0)
+        a = make_function("A", memory_mb=100.0)
+        b = make_function("B", memory_mb=100.0)
+        pooled(pool, a)
+        pooled(pool, a)
+        pooled(pool, b)
+        assert len(pool.containers_of("A")) == 2
+        assert pool.function_names() == {"A", "B"}
+        assert pool.has_containers_of("A")
+        assert not pool.has_containers_of("Z")
+
+    def test_has_containers_cleared_after_last_eviction(self):
+        pool = ContainerPool(1000.0)
+        c = pooled(pool, make_function("A"))
+        pool.evict(c)
+        assert not pool.has_containers_of("A")
+
+    def test_idle_and_running_partition(self):
+        pool = ContainerPool(1000.0)
+        f = make_function("A", memory_mb=100.0)
+        idle = pooled(pool, f)
+        running = pooled(pool, f)
+        running.start_invocation(0.0, 10.0)
+        assert pool.idle_containers() == [idle]
+        assert pool.running_containers() == [running]
+        assert set(pool.all_containers()) == {idle, running}
+
+    def test_evictable_mb(self):
+        pool = ContainerPool(1000.0)
+        f = make_function("A", memory_mb=100.0)
+        pooled(pool, f)
+        busy = pooled(pool, f)
+        busy.start_invocation(0.0, 10.0)
+        assert pool.evictable_mb() == pytest.approx(100.0)

@@ -1,0 +1,210 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+These pin down the structural guarantees the paper's machinery relies
+on: pool capacity safety, reuse-distance/CDF identities, Greedy-Dual
+clock monotonicity, Welford-vs-two-pass equivalence, and simulator
+conservation laws — across arbitrary workloads, not hand-picked ones.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import Welford
+from repro.core.policies import create_policy
+from repro.provisioning.hit_ratio import HitRatioCurve
+from repro.provisioning.reuse_distance import (
+    reuse_distances,
+    reuse_distances_naive,
+)
+from repro.sim.scheduler import KeepAliveSimulator
+from repro.traces.model import Invocation, Trace, TraceFunction
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+function_names = st.sampled_from(["A", "B", "C", "D", "E", "F"])
+
+
+@st.composite
+def traces(draw, max_len=80):
+    """Random traces over up to six functions with random shapes."""
+    names = sorted(set(draw(st.lists(function_names, min_size=1, max_size=6))))
+    functions = []
+    for name in names:
+        memory = draw(st.floats(min_value=16.0, max_value=2048.0))
+        warm = draw(st.floats(min_value=0.01, max_value=20.0))
+        init = draw(st.floats(min_value=0.0, max_value=30.0))
+        functions.append(TraceFunction(name, memory, warm, warm + init))
+    length = draw(st.integers(min_value=0, max_value=max_len))
+    gaps = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=120.0),
+            min_size=length,
+            max_size=length,
+        )
+    )
+    t = 0.0
+    invocations = []
+    for gap in gaps:
+        t += gap
+        invocations.append(Invocation(t, draw(st.sampled_from(names))))
+    return Trace(functions, invocations)
+
+
+policy_names = st.sampled_from(["GD", "TTL", "LRU", "FREQ", "SIZE", "LND", "HIST"])
+
+
+# ----------------------------------------------------------------------
+# Welford
+# ----------------------------------------------------------------------
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2, max_size=50))
+def test_welford_matches_two_pass(data):
+    w = Welford()
+    for x in data:
+        w.update(x)
+    mean = sum(data) / len(data)
+    var = sum((x - mean) ** 2 for x in data) / (len(data) - 1)
+    assert math.isclose(w.mean, mean, rel_tol=1e-9, abs_tol=1e-6)
+    assert math.isclose(w.variance, var, rel_tol=1e-6, abs_tol=1e-3)
+
+
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=30),
+    st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=30),
+)
+def test_welford_merge_is_concatenation(left, right):
+    a, b, c = Welford(), Welford(), Welford()
+    for x in left:
+        a.update(x)
+        c.update(x)
+    for x in right:
+        b.update(x)
+        c.update(x)
+    merged = a.merge(b)
+    assert math.isclose(merged.mean, c.mean, rel_tol=1e-9, abs_tol=1e-6)
+    assert math.isclose(merged.variance, c.variance, rel_tol=1e-6, abs_tol=1e-3)
+
+
+# ----------------------------------------------------------------------
+# Reuse distances and hit-ratio curves
+# ----------------------------------------------------------------------
+
+
+@settings(deadline=None)
+@given(traces())
+def test_fenwick_matches_naive_reuse_distances(trace):
+    fast = reuse_distances(trace)
+    slow = reuse_distances_naive(trace)
+    assert len(fast) == len(slow)
+    for f, s in zip(fast, slow):
+        if math.isinf(s):
+            assert math.isinf(f)
+        else:
+            assert math.isclose(f, s, rel_tol=1e-9, abs_tol=1e-6)
+
+
+@settings(deadline=None)
+@given(traces())
+def test_first_accesses_are_exactly_the_unique_functions(trace):
+    distances = reuse_distances(trace)
+    infinite = sum(1 for d in distances if math.isinf(d))
+    unique = len({i.function_name for i in trace})
+    assert infinite == unique or len(trace) == 0
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=60
+    )
+)
+def test_hit_ratio_curve_is_monotone_cdf(distances):
+    curve = HitRatioCurve.from_distances(distances)
+    probes = sorted(set(distances)) + [max(distances) + 1.0]
+    values = [curve.hit_ratio(p) for p in [0.0] + probes]
+    assert all(0.0 <= v <= 1.0 for v in values)
+    assert values == sorted(values)
+    assert curve.hit_ratio(max(distances)) == 1.0
+
+
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=60),
+    st.floats(min_value=0.01, max_value=1.0),
+)
+def test_required_size_achieves_target(distances, target):
+    curve = HitRatioCurve.from_distances(distances)
+    size = curve.required_size(target)
+    assert curve.hit_ratio(size) >= target - 1e-9
+
+
+# ----------------------------------------------------------------------
+# Simulator invariants
+# ----------------------------------------------------------------------
+
+
+@settings(deadline=None, max_examples=40)
+@given(traces(), policy_names, st.floats(min_value=64.0, max_value=8192.0))
+def test_simulator_conservation_and_capacity(trace, policy_name, memory_mb):
+    policy = create_policy(policy_name)
+    sim = KeepAliveSimulator(trace, policy, memory_mb)
+    functions = trace.functions
+    for inv in trace:
+        sim.process_invocation(functions[inv.function_name], inv.time_s)
+        assert sim.pool.used_mb <= sim.pool.capacity_mb + 1e-6
+        assert sim.pool.used_mb >= -1e-6
+    m = sim.metrics
+    assert m.warm_starts + m.cold_starts + m.dropped == len(trace)
+    assert m.actual_exec_time_s >= m.ideal_exec_time_s - 1e-9
+    assert 0.0 <= m.cold_start_ratio <= 1.0
+    assert 0.0 <= m.global_hit_ratio <= 1.0
+
+
+@settings(deadline=None, max_examples=30)
+@given(traces())
+def test_gd_clock_never_decreases(trace):
+    policy = create_policy("GD")
+    sim = KeepAliveSimulator(trace, policy, 1024.0)
+    functions = trace.functions
+    last_clock = policy.clock.value
+    for inv in trace:
+        sim.process_invocation(functions[inv.function_name], inv.time_s)
+        assert policy.clock.value >= last_clock
+        last_clock = policy.clock.value
+
+
+@settings(deadline=None, max_examples=30)
+@given(traces(), st.floats(min_value=64.0, max_value=4096.0))
+def test_warm_start_requires_prior_cold_start(trace, memory_mb):
+    """Per function: the first served invocation can never be warm."""
+    policy = create_policy("GD")
+    sim = KeepAliveSimulator(trace, policy, memory_mb)
+    functions = trace.functions
+    seen_cold = set()
+    for inv in trace:
+        outcome = sim.process_invocation(
+            functions[inv.function_name], inv.time_s
+        )
+        if outcome == "warm":
+            assert inv.function_name in seen_cold
+        elif outcome == "cold":
+            seen_cold.add(inv.function_name)
+
+
+@settings(deadline=None, max_examples=20)
+@given(traces())
+def test_infinite_memory_gives_one_cold_per_function_gd(trace):
+    """With infinite memory and GD (resource-conserving, no
+    concurrency pressure beyond busy containers), cold starts are at
+    most one per function plus concurrency overlaps."""
+    policy = create_policy("GD")
+    sim = KeepAliveSimulator(trace, policy, 1e12)
+    functions = trace.functions
+    for inv in trace:
+        sim.process_invocation(functions[inv.function_name], inv.time_s)
+    m = sim.metrics
+    assert m.dropped == 0
+    assert m.evictions == 0

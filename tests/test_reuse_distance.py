@@ -1,0 +1,119 @@
+"""Tests for reuse distances (naive and Fenwick implementations)."""
+
+import math
+
+import pytest
+
+from repro.provisioning.reuse_distance import (
+    FenwickTree,
+    reuse_distances,
+    reuse_distances_naive,
+)
+from repro.traces.model import Invocation, Trace, TraceFunction
+from tests.conftest import make_trace
+
+
+def sized_trace(sequence, sizes):
+    functions = [
+        TraceFunction(name, mb, 1.0, 2.0) for name, mb in sizes.items()
+    ]
+    invocations = [Invocation(float(i), n) for i, n in enumerate(sequence)]
+    return Trace(functions, invocations)
+
+
+class TestFenwickTree:
+    def test_prefix_sums(self):
+        tree = FenwickTree(5)
+        tree.add(0, 1.0)
+        tree.add(2, 3.0)
+        tree.add(4, 5.0)
+        assert tree.prefix_sum(0) == 1.0
+        assert tree.prefix_sum(2) == 4.0
+        assert tree.prefix_sum(4) == 9.0
+
+    def test_range_sum(self):
+        tree = FenwickTree(5)
+        for i in range(5):
+            tree.add(i, float(i + 1))
+        assert tree.range_sum(1, 3) == 2.0 + 3.0 + 4.0
+        assert tree.range_sum(3, 1) == 0.0  # empty range
+
+    def test_negative_updates(self):
+        tree = FenwickTree(3)
+        tree.add(1, 5.0)
+        tree.add(1, -5.0)
+        assert tree.prefix_sum(2) == 0.0
+
+    def test_bounds_checked(self):
+        tree = FenwickTree(3)
+        with pytest.raises(IndexError):
+            tree.add(3, 1.0)
+        with pytest.raises(ValueError):
+            FenwickTree(-1)
+
+    def test_prefix_of_negative_index_is_zero(self):
+        assert FenwickTree(3).prefix_sum(-1) == 0.0
+
+
+class TestReuseDistances:
+    def test_paper_example(self):
+        """ABCBCA: reuse distance of the final A is size(B)+size(C)."""
+        trace = sized_trace("ABCBCA", {"A": 10.0, "B": 20.0, "C": 30.0})
+        distances = reuse_distances(trace)
+        assert distances[-1] == pytest.approx(50.0)
+
+    def test_first_access_is_infinite(self):
+        trace = sized_trace("ABC", {"A": 1.0, "B": 1.0, "C": 1.0})
+        assert all(math.isinf(d) for d in reuse_distances(trace))
+
+    def test_immediate_reuse_distance_zero(self):
+        trace = sized_trace("AA", {"A": 64.0})
+        assert reuse_distances(trace)[1] == 0.0
+
+    def test_duplicates_counted_once(self):
+        # A B B B A: only one unique function between the two As.
+        trace = sized_trace("ABBBA", {"A": 10.0, "B": 20.0})
+        assert reuse_distances(trace)[-1] == pytest.approx(20.0)
+
+    def test_self_not_counted(self):
+        # A B A B: distance of second B is size(A) only.
+        trace = sized_trace("ABAB", {"A": 10.0, "B": 20.0})
+        assert reuse_distances(trace)[-1] == pytest.approx(10.0)
+
+    def test_matches_naive_on_structured_sequence(self):
+        trace = sized_trace(
+            "ABCBADCACBDABCD",
+            {"A": 5.0, "B": 7.0, "C": 11.0, "D": 13.0},
+        )
+        fast = reuse_distances(trace)
+        slow = reuse_distances_naive(trace)
+        assert len(fast) == len(slow)
+        for f, s in zip(fast, slow):
+            if math.isinf(s):
+                assert math.isinf(f)
+            else:
+                assert f == pytest.approx(s)
+
+    def test_matches_naive_on_random_sequence(self):
+        import random
+
+        rng = random.Random(17)
+        names = ["f%d" % i for i in range(12)]
+        sizes = {n: float(rng.randint(32, 2048)) for n in names}
+        sequence = [rng.choice(names) for __ in range(400)]
+        trace = sized_trace(sequence, sizes)
+        fast = reuse_distances(trace)
+        slow = reuse_distances_naive(trace)
+        for f, s in zip(fast, slow):
+            if math.isinf(s):
+                assert math.isinf(f)
+            else:
+                assert f == pytest.approx(s)
+
+    def test_one_distance_per_invocation(self):
+        trace = make_trace("ABCBCABCA")
+        assert len(reuse_distances(trace)) == 9
+
+    def test_empty_trace(self):
+        trace = Trace([TraceFunction("A", 1.0, 1.0, 2.0)], [])
+        assert reuse_distances(trace) == []

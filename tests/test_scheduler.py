@@ -1,0 +1,238 @@
+"""Unit and behavioural tests for the keep-alive simulator."""
+
+import pytest
+
+from repro.core.policies import create_policy
+from repro.sim.scheduler import KeepAliveSimulator, simulate
+from repro.traces.model import Invocation, Trace, TraceFunction
+from tests.conftest import make_function, make_trace
+
+
+class TestBasicReplay:
+    def test_first_invocation_is_cold(self):
+        result = simulate(make_trace("A"), "LRU", 1024.0)
+        assert result.metrics.cold_starts == 1
+        assert result.metrics.warm_starts == 0
+
+    def test_reuse_is_warm(self):
+        result = simulate(make_trace("AA"), "LRU", 1024.0)
+        assert result.metrics.cold_starts == 1
+        assert result.metrics.warm_starts == 1
+
+    def test_each_function_pays_one_compulsory_miss(self):
+        result = simulate(make_trace("ABCABC"), "LRU", 10_000.0)
+        assert result.metrics.cold_starts == 3
+        assert result.metrics.warm_starts == 3
+
+    def test_result_labels(self):
+        result = simulate(make_trace("A"), "GD", 2048.0)
+        assert result.policy_name == "GD"
+        assert result.memory_mb == 2048.0
+        assert result.trace_name == "seq"
+
+    def test_policy_instance_accepted(self):
+        policy = create_policy("LRU")
+        result = simulate(make_trace("AA"), policy, 1024.0)
+        assert result.metrics.warm_starts == 1
+
+    def test_policy_kwargs_with_instance_rejected(self):
+        with pytest.raises(ValueError):
+            simulate(make_trace("A"), create_policy("LRU"), 1024.0, ttl_s=5.0)
+
+
+class TestConcurrency:
+    def test_concurrent_invocations_need_extra_containers(self):
+        # Two invocations of A at the same instant: the second cannot
+        # reuse the busy container and goes cold.
+        f = make_function("A", memory_mb=100.0, warm_time_s=10.0, cold_time_s=12.0)
+        trace = Trace([f], [Invocation(0.0, "A"), Invocation(1.0, "A")])
+        result = simulate(trace, "GD", 1024.0)
+        assert result.metrics.cold_starts == 2
+
+    def test_container_free_after_completion(self):
+        f = make_function("A", memory_mb=100.0, warm_time_s=1.0, cold_time_s=2.0)
+        trace = Trace([f], [Invocation(0.0, "A"), Invocation(5.0, "A")])
+        result = simulate(trace, "GD", 1024.0)
+        assert result.metrics.warm_starts == 1
+
+    def test_completion_uses_cold_time_for_cold_start(self):
+        # Cold run is 5 s; a second arrival at t=4 finds it still busy.
+        f = make_function("A", memory_mb=100.0, warm_time_s=1.0, cold_time_s=5.0)
+        trace = Trace([f], [Invocation(0.0, "A"), Invocation(4.0, "A")])
+        result = simulate(trace, "GD", 1024.0)
+        assert result.metrics.cold_starts == 2
+
+
+class TestDrops:
+    def test_request_dropped_when_all_containers_busy(self):
+        a = make_function("A", memory_mb=600.0, warm_time_s=30.0, cold_time_s=40.0)
+        b = make_function("B", memory_mb=600.0, warm_time_s=1.0, cold_time_s=2.0)
+        trace = Trace([a, b], [Invocation(0.0, "A"), Invocation(1.0, "B")])
+        result = simulate(trace, "GD", 1000.0)
+        assert result.metrics.dropped == 1
+        assert result.metrics.per_function["B"].dropped == 1
+
+    def test_function_bigger_than_server_always_drops(self):
+        f = make_function("A", memory_mb=4096.0)
+        trace = Trace([f], [Invocation(0.0, "A"), Invocation(1.0, "A")])
+        result = simulate(trace, "GD", 1024.0)
+        assert result.metrics.dropped == 2
+
+    def test_idle_containers_are_evicted_not_dropped(self):
+        a = make_function("A", memory_mb=600.0, warm_time_s=1.0, cold_time_s=2.0)
+        b = make_function("B", memory_mb=600.0, warm_time_s=1.0, cold_time_s=2.0)
+        trace = Trace([a, b], [Invocation(0.0, "A"), Invocation(10.0, "B")])
+        result = simulate(trace, "GD", 1000.0)
+        assert result.metrics.dropped == 0
+        assert result.metrics.evictions == 1
+
+
+class TestTTLBehaviour:
+    def test_ttl_expires_idle_containers(self):
+        f = make_function("A")
+        trace = Trace(
+            [f], [Invocation(0.0, "A"), Invocation(700.0, "A")]
+        )
+        result = simulate(trace, "TTL", 10_000.0)
+        assert result.metrics.cold_starts == 2
+        assert result.metrics.expirations == 1
+
+    def test_reuse_within_ttl_is_warm(self):
+        f = make_function("A")
+        trace = Trace(
+            [f], [Invocation(0.0, "A"), Invocation(500.0, "A")]
+        )
+        result = simulate(trace, "TTL", 10_000.0)
+        assert result.metrics.warm_starts == 1
+
+    def test_resource_conserving_policies_never_expire(self):
+        f = make_function("A")
+        trace = Trace(
+            [f], [Invocation(0.0, "A"), Invocation(100_000.0, "A")]
+        )
+        for policy in ("GD", "LRU", "FREQ", "SIZE", "LND"):
+            result = simulate(trace, policy, 10_000.0)
+            assert result.metrics.warm_starts == 1, policy
+            assert result.metrics.expirations == 0, policy
+
+
+class TestMetricsAccounting:
+    def test_exec_time_increase(self):
+        # One cold (3 s) + one warm (1 s): ideal 2 s, actual 4 s.
+        result = simulate(make_trace("AA"), "LRU", 1024.0)
+        m = result.metrics
+        assert m.ideal_exec_time_s == pytest.approx(2.0)
+        assert m.actual_exec_time_s == pytest.approx(4.0)
+        assert m.exec_time_increase_pct == pytest.approx(100.0)
+
+    def test_cold_start_pct(self):
+        result = simulate(make_trace("AAAA"), "LRU", 1024.0)
+        assert result.metrics.cold_start_pct == pytest.approx(25.0)
+
+    def test_global_hit_ratio_counts_drops_as_misses(self):
+        a = make_function("A", memory_mb=600.0, warm_time_s=30.0, cold_time_s=40.0)
+        b = make_function("B", memory_mb=600.0, warm_time_s=1.0, cold_time_s=2.0)
+        trace = Trace([a, b], [Invocation(0.0, "A"), Invocation(1.0, "B")])
+        metrics = simulate(trace, "GD", 1000.0).metrics
+        assert metrics.global_hit_ratio == 0.0
+        assert metrics.drop_ratio == pytest.approx(0.5)
+
+    def test_memory_timeline_tracking(self):
+        result = simulate(
+            make_trace("ABAB", gap_s=120.0), "GD", 10_000.0,
+            track_memory_timeline=True,
+        )
+        timeline = result.metrics.memory_timeline
+        assert timeline
+        times = [t for t, __ in timeline]
+        assert times == sorted(times)
+        assert all(used >= 0 for __, used in timeline)
+
+    def test_summary_keys(self):
+        summary = simulate(make_trace("AA"), "GD", 1024.0).metrics.summary()
+        for key in (
+            "warm_starts",
+            "cold_starts",
+            "dropped",
+            "cold_start_pct",
+            "exec_time_increase_pct",
+        ):
+            assert key in summary
+
+
+class TestEvictionCorrectness:
+    def test_pool_never_exceeds_capacity(self):
+        trace = make_trace("ABCABCCBA" * 20, gap_s=1.0)
+        sim = KeepAliveSimulator(
+            trace, create_policy("GD"), memory_mb=500.0
+        )
+        functions = trace.functions
+        for inv in trace:
+            sim.process_invocation(functions[inv.function_name], inv.time_s)
+            assert sim.pool.used_mb <= sim.pool.capacity_mb + 1e-9
+
+    def test_gd_keeps_high_value_function(self):
+        # gem: small and expensive; bloat: large and cheap. Under
+        # pressure GD must sacrifice the bloat.
+        gem = TraceFunction("gem", 100.0, warm_time_s=1.0, cold_time_s=6.0)
+        bloat = TraceFunction("bloat", 800.0, warm_time_s=1.0, cold_time_s=1.2)
+        other = TraceFunction("other", 900.0, warm_time_s=1.0, cold_time_s=1.2)
+        invocations = []
+        t = 0.0
+        for __ in range(30):
+            invocations += [
+                Invocation(t, "gem"),
+                Invocation(t + 3.0, "bloat"),
+                Invocation(t + 6.0, "other"),
+            ]
+            t += 9.0
+        trace = Trace([gem, bloat, other], invocations)
+        gd = simulate(trace, "GD", 1024.0).metrics
+        # After warmup the gem should essentially always hit.
+        assert gd.per_function["gem"].warm >= 28
+
+
+class TestWarmupExclusion:
+    def test_validation(self):
+        from repro.core.policies import create_policy
+
+        with pytest.raises(ValueError):
+            KeepAliveSimulator(
+                make_trace("A"), create_policy("GD"), 1024.0, warmup_s=-1.0
+            )
+
+    def test_compulsory_misses_excluded(self):
+        from repro.core.policies import create_policy
+
+        # Arrivals at 0, 10, 20, ... Warmup 15 s hides the first two.
+        trace = make_trace("AAAA", gap_s=10.0)
+        sim = KeepAliveSimulator(
+            trace, create_policy("GD"), 1024.0, warmup_s=15.0
+        )
+        metrics = sim.run().metrics
+        assert metrics.cold_starts == 0  # the cold start was at t=0
+        assert metrics.warm_starts == 2
+
+    def test_warmup_still_populates_cache(self):
+        from repro.core.policies import create_policy
+
+        trace = make_trace("ABAB", gap_s=10.0)
+        sim = KeepAliveSimulator(
+            trace, create_policy("GD"), 1024.0, warmup_s=15.0
+        )
+        metrics = sim.run().metrics
+        # Post-warmup arrivals hit containers created during warmup.
+        assert metrics.warm_starts == 2
+        assert metrics.cold_start_pct == 0.0
+
+    def test_zero_warmup_matches_default(self):
+        from repro.core.policies import create_policy
+
+        trace = make_trace("ABCABC" * 5, gap_s=5.0)
+        default = KeepAliveSimulator(
+            trace, create_policy("GD"), 1024.0
+        ).run().metrics
+        explicit = KeepAliveSimulator(
+            trace, create_policy("GD"), 1024.0, warmup_s=0.0
+        ).run().metrics
+        assert default.summary() == explicit.summary()

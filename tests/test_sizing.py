@@ -1,0 +1,80 @@
+"""Tests for multi-dimensional size scalarization."""
+
+import math
+
+import pytest
+
+from repro.core.sizing import ResourceVector, SizingStrategy, scalar_size
+
+
+class TestResourceVector:
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ResourceVector(memory_mb=-1.0)
+
+    def test_rejects_zero_vector(self):
+        with pytest.raises(ValueError):
+            ResourceVector(memory_mb=0.0, cpu_cores=0.0, io_mbps=0.0)
+
+    def test_magnitude(self):
+        v = ResourceVector(memory_mb=3.0, cpu_cores=4.0)
+        assert v.magnitude == pytest.approx(5.0)
+
+    def test_normalized_sum(self):
+        demand = ResourceVector(memory_mb=512.0, cpu_cores=2.0)
+        capacity = ResourceVector(memory_mb=2048.0, cpu_cores=8.0)
+        assert demand.normalized_sum(capacity) == pytest.approx(0.25 + 0.25)
+
+    def test_normalized_sum_missing_capacity_dimension(self):
+        demand = ResourceVector(memory_mb=100.0, io_mbps=5.0)
+        capacity = ResourceVector(memory_mb=1000.0)  # no I/O capacity
+        with pytest.raises(ValueError):
+            demand.normalized_sum(capacity)
+
+    def test_cosine_similarity_aligned(self):
+        d = ResourceVector(memory_mb=100.0, cpu_cores=1.0)
+        a = ResourceVector(memory_mb=200.0, cpu_cores=2.0)
+        assert d.cosine_similarity(a) == pytest.approx(1.0)
+
+    def test_cosine_similarity_orthogonal(self):
+        d = ResourceVector(memory_mb=100.0)
+        a = ResourceVector(memory_mb=1e-12, cpu_cores=8.0)
+        assert d.cosine_similarity(a) == pytest.approx(0.0, abs=1e-6)
+
+
+class TestScalarSize:
+    def test_memory_only_default(self):
+        d = ResourceVector(memory_mb=300.0, cpu_cores=4.0, io_mbps=50.0)
+        assert scalar_size(d) == 300.0
+
+    def test_magnitude_strategy(self):
+        d = ResourceVector(memory_mb=3.0, cpu_cores=4.0)
+        assert scalar_size(d, SizingStrategy.MAGNITUDE) == pytest.approx(5.0)
+
+    def test_normalized_sum_requires_capacity(self):
+        d = ResourceVector(memory_mb=100.0)
+        with pytest.raises(ValueError):
+            scalar_size(d, SizingStrategy.NORMALIZED_SUM)
+
+    def test_normalized_sum_strategy(self):
+        d = ResourceVector(memory_mb=512.0)
+        a = ResourceVector(memory_mb=2048.0)
+        value = scalar_size(d, SizingStrategy.NORMALIZED_SUM, capacity=a)
+        assert value == pytest.approx(0.25)
+
+    def test_cosine_penalizes_misaligned_demand(self):
+        capacity = ResourceVector(memory_mb=1000.0, cpu_cores=1e-9)
+        aligned = ResourceVector(memory_mb=100.0)
+        misaligned = ResourceVector(memory_mb=1e-9, cpu_cores=100.0)
+        size_aligned = scalar_size(aligned, SizingStrategy.COSINE, capacity)
+        size_misaligned = scalar_size(
+            misaligned, SizingStrategy.COSINE, capacity
+        )
+        # Equal magnitudes, but the misaligned demand scores larger.
+        assert size_misaligned > 1.5 * size_aligned
+
+    def test_all_strategies_positive(self):
+        d = ResourceVector(memory_mb=100.0, cpu_cores=2.0, io_mbps=10.0)
+        a = ResourceVector(memory_mb=1000.0, cpu_cores=8.0, io_mbps=100.0)
+        for strategy in SizingStrategy:
+            assert scalar_size(d, strategy, capacity=a) > 0.0

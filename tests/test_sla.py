@@ -1,0 +1,111 @@
+"""Tests for SLA-driven sizing."""
+
+import pytest
+
+from repro.provisioning.sla import (
+    SLATarget,
+    minimum_memory_for_sla,
+    response_time_percentiles,
+    sla_violations,
+)
+from repro.traces.model import Invocation, Trace, TraceFunction
+from tests.conftest import make_trace
+
+
+def churn_trace(num_functions=8, rounds=40):
+    """Functions cycling with heterogeneous init costs."""
+    functions = [
+        TraceFunction(f"f{i}", 256.0, warm_time_s=0.5, cold_time_s=3.5)
+        for i in range(num_functions)
+    ]
+    invocations = []
+    t = 0.0
+    for __ in range(rounds):
+        for f in functions:
+            invocations.append(Invocation(t, f.name))
+            t += 5.0
+    return Trace(functions, invocations, name="churn")
+
+
+class TestSLATarget:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SLATarget(percentile=0.0)
+        with pytest.raises(ValueError):
+            SLATarget(max_response_time_s=0.0)
+        with pytest.raises(ValueError):
+            SLATarget(max_drop_ratio=1.5)
+
+
+class TestPercentiles:
+    def test_all_warm_gives_warm_time(self):
+        trace = make_trace("AAAA", gap_s=30.0)
+        p = response_time_percentiles(trace, "GD", 10_000.0, q=50.0)
+        assert p["A"] == pytest.approx(1.0)  # conftest warm time
+
+    def test_tight_memory_raises_percentiles(self):
+        trace = churn_trace()
+        roomy = response_time_percentiles(trace, "GD", 8 * 256.0, q=99.0)
+        tight = response_time_percentiles(trace, "GD", 3 * 256.0, q=99.0)
+        assert max(tight.values()) >= max(roomy.values())
+
+
+class TestViolations:
+    def test_met_sla_has_no_violators(self):
+        trace = churn_trace()
+        target = SLATarget(percentile=99.0, max_response_time_s=4.0)
+        assert sla_violations(trace, "GD", 8 * 256.0, target) == []
+
+    def test_unmeetable_bound_flags_everything(self):
+        trace = churn_trace()
+        # Bound below even the warm time.
+        target = SLATarget(percentile=50.0, max_response_time_s=0.1)
+        violators = sla_violations(trace, "GD", 10_000.0, target)
+        assert len(violators) == 8
+
+    def test_single_function_scope(self):
+        trace = churn_trace()
+        target = SLATarget(
+            percentile=99.0, max_response_time_s=0.1, function_name="f0"
+        )
+        assert sla_violations(trace, "GD", 10_000.0, target) == ["f0"]
+
+    def test_drop_bound(self):
+        a = TraceFunction("A", 600.0, warm_time_s=50.0, cold_time_s=60.0)
+        b = TraceFunction("B", 600.0, warm_time_s=1.0, cold_time_s=2.0)
+        trace = Trace([a, b], [Invocation(0.0, "A"), Invocation(1.0, "B")])
+        target = SLATarget(percentile=99.0, max_response_time_s=100.0)
+        violators = sla_violations(trace, "GD", 1000.0, target)
+        assert violators == ["B"]  # dropped, and drops bound is 0
+
+
+class TestMinimumMemory:
+    def test_finds_working_set_scale_size(self):
+        trace = churn_trace(num_functions=8)
+        # p99 under 1 s requires essentially all warm: needs all 8
+        # containers resident (2048 MB).
+        target = SLATarget(percentile=90.0, max_response_time_s=1.0)
+        size = minimum_memory_for_sla(
+            trace, target, policy="GD", tolerance_mb=64.0
+        )
+        assert size is not None
+        assert 1536.0 <= size <= 2304.0
+        assert sla_violations(trace, "GD", size, target) == []
+
+    def test_loose_sla_needs_only_floor(self):
+        trace = churn_trace()
+        target = SLATarget(percentile=99.0, max_response_time_s=10.0)
+        size = minimum_memory_for_sla(trace, target, policy="GD")
+        assert size == pytest.approx(256.0)  # one container floor
+
+    def test_impossible_sla_returns_none(self):
+        trace = churn_trace()
+        target = SLATarget(percentile=50.0, max_response_time_s=0.01)
+        assert minimum_memory_for_sla(trace, target) is None
+
+    def test_tolerance_validation(self):
+        trace = churn_trace()
+        with pytest.raises(ValueError):
+            minimum_memory_for_sla(
+                trace, SLATarget(), tolerance_mb=0.0
+            )

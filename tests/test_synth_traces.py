@@ -1,0 +1,203 @@
+"""Tests for the FunctionBench models and synthetic litmus workloads."""
+
+import pytest
+
+from repro.traces.functionbench import (
+    TABLE1_ROWS,
+    functionbench_app,
+    functionbench_apps,
+)
+from repro.traces.synth import (
+    cyclic_trace,
+    figure8_trace,
+    multitenant_trace,
+    periodic_arrivals,
+    skewed_frequency_trace,
+    skewed_size_trace,
+)
+
+
+class TestFunctionBench:
+    def test_six_table1_applications(self):
+        apps = functionbench_apps()
+        assert len(apps) == 6
+        assert len(TABLE1_ROWS) == 6
+
+    def test_table1_values(self):
+        cnn = functionbench_app("ml-inference-cnn")
+        assert cnn.memory_mb == 512.0
+        assert cnn.cold_time_s == 6.5
+        assert cnn.init_time_s == 4.5
+        assert cnn.warm_time_s == pytest.approx(2.0)
+
+    def test_web_serving_init_dominates(self):
+        web = functionbench_app("web-serving")
+        # Init is ~83% of the total run time (the paper's "up to 80%").
+        assert web.init_time_s / web.cold_time_s > 0.8
+
+    def test_unknown_app_raises(self):
+        with pytest.raises(ValueError, match="unknown FunctionBench app"):
+            functionbench_app("quantum-sim")
+
+
+class TestPeriodicArrivals:
+    def test_exact_periodicity_without_jitter(self):
+        arrivals = periodic_arrivals("f", 2.0, 10.0)
+        times = [a.time_s for a in arrivals]
+        assert times == [0.0, 2.0, 4.0, 6.0, 8.0]
+
+    def test_mean_rate_with_jitter(self):
+        import random
+
+        arrivals = periodic_arrivals(
+            "f", 1.0, 10_000.0, jitter=1.0, rng=random.Random(5)
+        )
+        assert len(arrivals) == pytest.approx(10_000, rel=0.05)
+
+    def test_times_strictly_increase(self):
+        import random
+
+        arrivals = periodic_arrivals(
+            "f", 0.5, 100.0, jitter=0.8, rng=random.Random(1)
+        )
+        times = [a.time_s for a in arrivals]
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            periodic_arrivals("f", 0.0, 10.0)
+        with pytest.raises(ValueError):
+            periodic_arrivals("f", 1.0, 10.0, jitter=2.0)
+
+
+class TestSkewedFrequency:
+    def test_hot_function_dominates(self):
+        trace = skewed_frequency_trace(duration_s=600.0)
+        counts = trace.per_function_counts()
+        hot = counts["floating-point"]
+        for name, count in counts.items():
+            if name != "floating-point":
+                assert hot > 2 * count
+
+    def test_deterministic(self):
+        a = skewed_frequency_trace(duration_s=300.0, seed=9)
+        b = skewed_frequency_trace(duration_s=300.0, seed=9)
+        assert [i.time_s for i in a] == [i.time_s for i in b]
+
+    def test_uses_table1_functions(self):
+        trace = skewed_frequency_trace(duration_s=60.0)
+        assert "ml-inference-cnn" in trace.functions
+
+
+class TestCyclic:
+    def test_strict_cycle_order(self):
+        trace = cyclic_trace(num_functions=4, num_cycles=3)
+        names = [i.function_name for i in trace]
+        assert names == [f"cyclic-{i:03d}" for i in range(4)] * 3
+
+    def test_heterogeneous_by_default(self):
+        trace = cyclic_trace(num_functions=8)
+        sizes = {f.memory_mb for f in trace.functions.values()}
+        inits = {f.init_time_s for f in trace.functions.values()}
+        assert len(sizes) > 1
+        assert len(inits) > 1
+
+    def test_minimum_cycle_length(self):
+        with pytest.raises(ValueError):
+            cyclic_trace(num_functions=1)
+
+
+class TestSkewedSize:
+    def test_two_size_classes(self):
+        trace = skewed_size_trace(duration_s=120.0)
+        sizes = {f.memory_mb for f in trace.functions.values()}
+        assert sizes == {128.0, 1024.0}
+
+    def test_function_counts(self):
+        trace = skewed_size_trace(duration_s=120.0, num_small=3, num_large=2)
+        assert trace.num_functions == 5
+
+
+class TestFigure8AndMultitenant:
+    def test_figure8_rates(self):
+        trace = figure8_trace(duration_s=600.0, jitter=0.0)
+        counts = trace.per_function_counts()
+        # 400 ms IAT -> ~1500 invocations; 1500 ms -> ~400.
+        assert counts["floating-point"] == pytest.approx(1500, rel=0.01)
+        assert counts["ml-inference-cnn"] == pytest.approx(400, rel=0.01)
+
+    def test_multitenant_adds_background(self):
+        trace = multitenant_trace(duration_s=300.0, num_tenants=12)
+        assert trace.num_functions == 4 + 12
+        tenant_names = [n for n in trace.functions if n.startswith("tenant-")]
+        assert len(tenant_names) == 12
+
+    def test_multitenant_tenant_heterogeneity(self):
+        trace = multitenant_trace(duration_s=300.0, num_tenants=12)
+        tenant_sizes = {
+            f.memory_mb
+            for n, f in trace.functions.items()
+            if n.startswith("tenant-")
+        }
+        assert len(tenant_sizes) >= 4
+
+    def test_multitenant_deterministic(self):
+        a = multitenant_trace(duration_s=300.0, seed=3)
+        b = multitenant_trace(duration_s=300.0, seed=3)
+        assert len(a) == len(b)
+        assert [i.time_s for i in a][:50] == [i.time_s for i in b][:50]
+
+
+class TestBurstyArrivals:
+    def test_validation(self):
+        import pytest
+        from repro.traces.synth import bursty_arrivals
+
+        with pytest.raises(ValueError):
+            bursty_arrivals("f", 0.0, 1.0, 1.0, 10.0)
+        with pytest.raises(ValueError):
+            bursty_arrivals("f", 1.0, 0.0, 1.0, 10.0)
+
+    def test_deterministic_per_rng(self):
+        import random
+        from repro.traces.synth import bursty_arrivals
+
+        a = bursty_arrivals("f", 5.0, 10.0, 30.0, 500.0, rng=random.Random(2))
+        b = bursty_arrivals("f", 5.0, 10.0, 30.0, 500.0, rng=random.Random(2))
+        assert [x.time_s for x in a] == [x.time_s for x in b]
+
+    def test_burstiness_exceeds_poisson(self):
+        """Short-window rate variance far above a same-mean Poisson's."""
+        import random
+        from repro.traces.synth import bursty_arrivals, periodic_arrivals
+
+        duration = 20_000.0
+        bursty = bursty_arrivals(
+            "f", 10.0, 5.0, 95.0, duration, rng=random.Random(3)
+        )
+        mean_rate = len(bursty) / duration
+        poisson = periodic_arrivals(
+            "f", 1.0 / mean_rate, duration, jitter=1.0, rng=random.Random(3)
+        )
+
+        def window_variance(arrivals, window=10.0):
+            bins = {}
+            for inv in arrivals:
+                bins[int(inv.time_s // window)] = (
+                    bins.get(int(inv.time_s // window), 0) + 1
+                )
+            n = int(duration // window)
+            counts = [bins.get(i, 0) for i in range(n)]
+            mean = sum(counts) / n
+            return sum((c - mean) ** 2 for c in counts) / n
+
+        assert window_variance(bursty) > 3.0 * window_variance(poisson)
+
+    def test_respects_duration(self):
+        import random
+        from repro.traces.synth import bursty_arrivals
+
+        arrivals = bursty_arrivals(
+            "f", 5.0, 10.0, 20.0, 100.0, start_s=50.0, rng=random.Random(1)
+        )
+        assert all(50.0 <= a.time_s < 150.0 for a in arrivals)

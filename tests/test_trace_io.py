@@ -1,0 +1,80 @@
+"""Tests for trace serialization (JSON and CSV round trips)."""
+
+import json
+
+import pytest
+
+from repro.traces.io import (
+    load_trace_csv,
+    load_trace_json,
+    save_trace_csv,
+    save_trace_json,
+)
+from repro.traces.synth import skewed_size_trace
+from tests.conftest import make_trace
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_preserves_everything(self, tmp_path):
+        trace = skewed_size_trace(duration_s=120.0)
+        path = tmp_path / "trace.json"
+        save_trace_json(trace, path)
+        loaded = load_trace_json(path)
+        assert loaded.name == trace.name
+        assert loaded.functions == trace.functions
+        assert list(loaded.invocations) == list(trace.invocations)
+
+    def test_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"hello": "world"}))
+        with pytest.raises(ValueError, match="not a repro trace"):
+            load_trace_json(path)
+
+    def test_rejects_future_version(self, tmp_path):
+        trace = make_trace("AB")
+        path = tmp_path / "trace.json"
+        save_trace_json(trace, path)
+        document = json.loads(path.read_text())
+        document["version"] = 999
+        path.write_text(json.dumps(document))
+        with pytest.raises(ValueError, match="unsupported trace version"):
+            load_trace_json(path)
+
+    def test_empty_trace(self, tmp_path):
+        from repro.traces.model import Trace
+        from tests.conftest import make_function
+
+        trace = Trace([make_function("A")], [], name="empty")
+        path = tmp_path / "empty.json"
+        save_trace_json(trace, path)
+        loaded = load_trace_json(path)
+        assert len(loaded) == 0
+        assert loaded.num_functions == 1
+
+
+class TestCsvRoundTrip:
+    def test_round_trip(self, tmp_path):
+        trace = make_trace("ABCBA", gap_s=1.5)
+        stem = tmp_path / "trace"
+        save_trace_csv(trace, stem)
+        loaded = load_trace_csv(stem, name="seq")
+        assert loaded.functions == trace.functions
+        assert list(loaded.invocations) == list(trace.invocations)
+
+    def test_creates_two_files(self, tmp_path):
+        trace = make_trace("AB")
+        stem = tmp_path / "trace"
+        save_trace_csv(trace, stem)
+        assert (tmp_path / "trace.functions.csv").exists()
+        assert (tmp_path / "trace.invocations.csv").exists()
+
+    def test_float_precision_survives(self, tmp_path):
+        from repro.traces.model import Invocation, Trace
+        from tests.conftest import make_function
+
+        t = 0.1 + 0.2  # not exactly representable
+        trace = Trace([make_function("A")], [Invocation(t, "A")])
+        stem = tmp_path / "trace"
+        save_trace_csv(trace, stem)
+        loaded = load_trace_csv(stem)
+        assert loaded.invocations[0].time_s == t

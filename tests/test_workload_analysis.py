@@ -1,0 +1,113 @@
+"""Tests for the workload-characterization toolkit."""
+
+import pytest
+
+from repro.analysis.workload import (
+    WorkloadProfile,
+    diurnal_peak_to_mean,
+    gini_coefficient,
+    orders_of_magnitude,
+    profile_trace,
+    top_share,
+)
+from repro.traces.azure import AzureGeneratorConfig, generate_azure_dataset
+from repro.traces.preprocess import dataset_to_trace
+from tests.conftest import make_trace
+
+
+class TestGini:
+    def test_equal_values_zero(self):
+        assert gini_coefficient([5.0, 5.0, 5.0]) == pytest.approx(0.0)
+
+    def test_concentration_approaches_one(self):
+        values = [0.0] * 99 + [100.0]
+        assert gini_coefficient(values) > 0.95
+
+    def test_known_value(self):
+        # For [1, 3]: Gini = (2*(1*1+2*3))/(2*4) - 3/2 = 14/8 - 1.5 = 0.25
+        assert gini_coefficient([1.0, 3.0]) == pytest.approx(0.25)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gini_coefficient([])
+        with pytest.raises(ValueError):
+            gini_coefficient([-1.0])
+
+    def test_all_zero(self):
+        assert gini_coefficient([0.0, 0.0]) == 0.0
+
+
+class TestTopShare:
+    def test_uniform(self):
+        assert top_share([1.0] * 10, fraction=0.1) == pytest.approx(0.1)
+
+    def test_concentrated(self):
+        values = [1.0] * 9 + [91.0]
+        assert top_share(values, fraction=0.1) == pytest.approx(0.91)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            top_share([1.0], fraction=0.0)
+        with pytest.raises(ValueError):
+            top_share([], fraction=0.5)
+
+
+class TestOrdersOfMagnitude:
+    def test_three_orders(self):
+        assert orders_of_magnitude([1.0, 1000.0]) == pytest.approx(3.0)
+
+    def test_ignores_nonpositive(self):
+        assert orders_of_magnitude([0.0, 1.0, 100.0]) == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            orders_of_magnitude([0.0])
+
+
+class TestDiurnal:
+    def test_uniform_trace_ratio_near_one(self):
+        trace = make_trace("AB" * 500, gap_s=10.0)
+        assert diurnal_peak_to_mean(trace, window_s=1000.0) == pytest.approx(
+            1.0, abs=0.1
+        )
+
+    def test_bursty_trace_high_ratio(self):
+        from repro.traces.model import Invocation, Trace
+        from tests.conftest import make_function
+
+        f = make_function("A")
+        invocations = [Invocation(0.001 * i, "A") for i in range(100)]
+        invocations += [Invocation(10_000.0, "A")]
+        trace = Trace([f], invocations)
+        assert diurnal_peak_to_mean(trace, window_s=100.0) > 10.0
+
+    def test_empty_trace(self):
+        from repro.traces.model import Trace
+        from tests.conftest import make_function
+
+        trace = Trace([make_function("A")], [])
+        assert diurnal_peak_to_mean(trace) == 0.0
+
+
+class TestProfileTrace:
+    def test_profile_fields(self):
+        trace = make_trace("AABBBAB" * 20, gap_s=5.0)
+        profile = profile_trace(trace)
+        assert profile.num_functions == 2
+        assert profile.num_invocations == 140
+        assert 0.0 <= profile.popularity_gini < 1.0
+        assert len(profile.rows()) == 12
+
+    def test_synthetic_dataset_has_paper_properties(self):
+        """The generator must exhibit the Section 3 claims: heavy
+        tails spanning orders of magnitude and a ~2x diurnal peak."""
+        dataset = generate_azure_dataset(
+            AzureGeneratorConfig(num_functions=800, max_daily_invocations=20_000),
+            seed=3,
+        )
+        trace = dataset_to_trace(dataset)
+        profile = profile_trace(trace)
+        assert profile.iat_orders_of_magnitude >= 2.0
+        assert profile.memory_orders_of_magnitude >= 1.0
+        assert profile.popularity_top10_share > 0.5  # heavy hitters
+        assert 1.5 <= profile.diurnal_peak_to_mean <= 3.0
