@@ -89,8 +89,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.sim.scheduler import simulate
 
     trace = _load_trace(args.trace)
-    result = simulate(trace, args.policy, args.memory_gb * 1024.0)
+    result = simulate(
+        trace,
+        args.policy,
+        args.memory_gb * 1024.0,
+        warmup_s=args.warmup_s,
+        reserved_concurrency=_parse_reserved(args.reserve),
+    )
     rows = [[key, value] for key, value in result.metrics.summary().items()]
+    for key, value in result.metrics.throughput_summary().items():
+        rows.append([key, round(value, 3)])
     print(
         format_table(
             ["Metric", "Value"],
@@ -104,25 +112,81 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_reserved(specs: Optional[List[str]]) -> Optional[dict]:
+    """Parse ``NAME=COUNT`` reserved-concurrency arguments."""
+    if not specs:
+        return None
+    reserved = {}
+    for spec in specs:
+        name, sep, count = spec.partition("=")
+        if not sep or not name:
+            raise SystemExit(f"--reserve expects NAME=COUNT, got {spec!r}")
+        try:
+            reserved[name] = int(count)
+        except ValueError:
+            raise SystemExit(f"--reserve count must be an integer: {spec!r}")
+    return reserved
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.sim.parallel import run_sweep_parallel
     from repro.sim.sweep import run_sweep
 
     trace = _load_trace(args.trace)
     policies = args.policies or list(PAPER_POLICIES)
-    sweep = run_sweep(trace, args.memory_gb, policies=policies)
+    if args.workers is not None and args.workers != 1:
+        def report(done: int, total: int, policy: str, memory_gb: float) -> None:
+            print(
+                f"[{done}/{total}] {policy} @ {memory_gb:g} GB",
+                file=sys.stderr,
+            )
+
+        sweep = run_sweep_parallel(
+            trace,
+            args.memory_gb,
+            policies=policies,
+            max_workers=args.workers or None,
+            progress=report if not args.quiet else None,
+        )
+        for cell in sweep.failed_cells:
+            print(
+                f"warning: cell {cell.policy} @ {cell.memory_gb:g} GB "
+                f"failed: {cell.error}",
+                file=sys.stderr,
+            )
+    else:
+        sweep = run_sweep(trace, args.memory_gb, policies=policies)
     metric = args.metric
-    series = {
-        policy: [value for __, value in sweep.series(policy, metric)]
-        for policy in policies
-    }
+    sizes = sweep.memory_sizes()
+    # Align each policy's column to the full memory grid: failed cells
+    # leave holes (rendered as nan) and a fully-failed policy drops
+    # out of the table instead of crashing the formatter.
+    series = {}
+    for policy in policies:
+        values = dict(sweep.series(policy, metric))
+        if values:
+            series[policy] = [values.get(gb, float("nan")) for gb in sizes]
     print(
         format_series_table(
             "Mem (GB)",
-            sweep.memory_sizes(),
+            sizes,
             series,
             title=f"{metric} on {trace.name!r}",
         )
     )
+    if sweep.points:
+        total_wall = sum(p.wall_time_s for p in sweep.points)
+        total_inv = sum(
+            p.wall_time_s * p.invocations_per_s for p in sweep.points
+        )
+        rate = total_inv / total_wall if total_wall > 0 else 0.0
+        print(
+            f"{len(sweep.points)} cells in {total_wall:.2f} s simulator "
+            f"time ({rate:,.0f} invocations/s)"
+        )
+    if sweep.failed_cells:
+        print(f"{len(sweep.failed_cells)} cells FAILED", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -333,6 +397,18 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--trace", required=True)
     simulate.add_argument("--policy", default="GD")
     simulate.add_argument("--memory-gb", type=float, default=16.0)
+    simulate.add_argument(
+        "--warmup-s",
+        type=float,
+        default=0.0,
+        help="exclude invocations before this time from the metrics",
+    )
+    simulate.add_argument(
+        "--reserve",
+        nargs="*",
+        metavar="NAME=COUNT",
+        help="pin NAME=COUNT provisioned-concurrency containers",
+    )
     simulate.set_defaults(func=_cmd_simulate)
 
     sweep = sub.add_parser("sweep", help="sweep policies across memory sizes")
@@ -343,6 +419,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--metric",
         default="exec_time_increase_pct",
         choices=("exec_time_increase_pct", "cold_start_pct", "drop_ratio"),
+    )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "fan the grid out over worker processes (0 = one per CPU); "
+            "omit or pass 1 for the sequential engine"
+        ),
+    )
+    sweep.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-cell progress lines on stderr",
     )
     sweep.set_defaults(func=_cmd_sweep)
 

@@ -51,6 +51,7 @@ class Container:
         "invocation_count",
         "prewarmed",
         "pinned",
+        "pool",
     )
 
     def __init__(self, function: TraceFunction, created_at_s: float) -> None:
@@ -71,6 +72,10 @@ class Container:
         # True for provisioned-concurrency containers (AWS-style
         # reserved capacity): never evictable, never expiring.
         self.pinned: bool = False
+        # Back-reference to the owning ContainerPool (set by the pool
+        # on add/evict) so busy/idle transitions keep the pool's O(1)
+        # evictable-memory accounting current.
+        self.pool = None
 
     @property
     def memory_mb(self) -> float:
@@ -95,6 +100,8 @@ class Container:
         self.last_used_s = now_s
         self.busy_until_s = now_s + duration_s
         self.invocation_count += 1
+        if self.pool is not None:
+            self.pool._container_became_busy(self)
 
     def finish_invocation(self, now_s: float) -> None:
         """Transition back to WARM once the invocation completes."""
@@ -105,6 +112,8 @@ class Container:
             )
         self.state = ContainerState.WARM
         self.last_used_s = max(self.last_used_s, now_s)
+        if self.pool is not None:
+            self.pool._container_became_idle(self)
 
     def terminate(self) -> None:
         """Transition to DEAD; a dead container can never be reused."""

@@ -139,7 +139,7 @@ class ARCPolicy(KeepAlivePolicy):
             candidates = [
                 c
                 for c in pool.containers_of(name)
-                if c.is_idle and c.container_id not in chosen
+                if c.is_idle and not c.pinned and c.container_id not in chosen
             ]
             if candidates:
                 return min(
@@ -176,7 +176,7 @@ class ARCPolicy(KeepAlivePolicy):
         deficit = needed_mb - pool.free_mb
         if deficit <= 1e-9:
             return []
-        if sum(c.memory_mb for c in pool.idle_containers()) < deficit - 1e-9:
+        if pool.evictable_mb() < deficit - 1e-9:
             return None
         victims: List[Container] = []
         reclaimed = 0.0

@@ -65,6 +65,20 @@ class KeepAlivePolicy(abc.ABC):
     #: Short name used in the registry and in the paper's figures.
     name: str = "base"
 
+    #: Opt-in to the pool's lazy victim index
+    #: (:meth:`ContainerPool.iter_victims`). A policy may set this to
+    #: True only if its victim-selection key ``(priority, last_used,
+    #: id)`` never *decreases* for a container while it remains in the
+    #: pool — i.e. :meth:`priority` is independent of ``now_s`` between
+    #: lifecycle events and every lifecycle event can only raise it.
+    #: GD/GDS (clock + frequency, both monotone), LRU/TTL (last-used
+    #: time), FREQ (frequency), SIZE/FIFO/RAND (constant per
+    #: container), and LRU-K (backward K-distance) qualify; policies
+    #: whose scores decay with time (HYPERBOLIC, HIST) or that demote
+    #: entries (SLRU) must keep the default and get the exact
+    #: sort-every-miss path.
+    monotone_priority: bool = False
+
     def __init__(self) -> None:
         # Shared per-function frequency counters, used by the
         # Greedy-Dual family and LFU. Reset when the last container of
@@ -133,13 +147,23 @@ class KeepAlivePolicy(abc.ABC):
         already free), or ``None`` when the request cannot be satisfied
         even by evicting every idle container — the invocation is then
         dropped by the caller.
+
+        Policies with :attr:`monotone_priority` use the pool's lazy
+        victim index, selecting in O((victims + touched) * log n);
+        everyone else sorts the idle set, which is exact for arbitrary
+        (e.g. time-decaying) priorities. Both paths pick the same
+        victims in the same order for a monotone policy.
         """
         deficit = needed_mb - pool.free_mb
         if deficit <= 1e-9:
             return []
-        idle = pool.idle_containers()
-        if sum(c.memory_mb for c in idle) < deficit - 1e-9:
+        if pool.evictable_mb() < deficit - 1e-9:
+            # O(1) drop decision: evicting every idle container would
+            # still not make room, so don't score anything.
             return None
+        if self.monotone_priority:
+            return self._select_victims_indexed(pool, deficit, now_s)
+        idle = pool.idle_containers()
         idle.sort(
             key=lambda c: (self.priority(c, now_s), c.last_used_s, c.container_id)
         )
@@ -151,6 +175,29 @@ class KeepAlivePolicy(abc.ABC):
             if reclaimed >= deficit - 1e-9:
                 break
         return victims
+
+    def _select_victims_indexed(
+        self, pool: ContainerPool, deficit_mb: float, now_s: float
+    ) -> Optional[List[Container]]:
+        """Take lowest-key containers from the pool's lazy index until
+        ``deficit_mb`` is covered; ``None`` if the whole idle set is
+        not enough (the caller then drops the request)."""
+
+        def key_of(container: Container) -> Tuple[float, float, int]:
+            return (
+                self.priority(container, now_s),
+                container.last_used_s,
+                container.container_id,
+            )
+
+        victims: List[Container] = []
+        reclaimed = 0.0
+        for container in pool.iter_victims(key_of):
+            victims.append(container)
+            reclaimed += container.memory_mb
+            if reclaimed >= deficit_mb - 1e-9:
+                return victims
+        return None
 
     def expired_containers(
         self, pool: ContainerPool, now_s: float

@@ -21,6 +21,10 @@ __all__ = ["FIFOPolicy", "RandomPolicy"]
 class FIFOPolicy(KeepAlivePolicy):
     """Evict the oldest-created idle container first."""
 
+    # Creation time is constant per container, so the lazy victim
+    # index applies.
+    monotone_priority = True
+
     def priority(self, container: Container, now_s: float) -> float:
         return container.created_at_s
 
@@ -33,6 +37,10 @@ class RandomPolicy(KeepAlivePolicy):
     stable pseudo-random number derived from its id, so repeated runs
     of the same trace produce identical evictions.
     """
+
+    # The pseudo-random priority is constant per container, so the
+    # lazy victim index applies.
+    monotone_priority = True
 
     def __init__(self, seed: int = 0) -> None:
         super().__init__()

@@ -35,6 +35,11 @@ __all__ = ["GreedyDualPolicy"]
 class GreedyDualPolicy(KeepAlivePolicy):
     """Greedy-Dual-Size-Frequency (GDSF) keep-alive."""
 
+    # Priority = clock stamp (monotone logical clock) + Freq*Cost/Size
+    # (frequency only grows while the function stays resident), so the
+    # lazy victim index applies. GDS inherits the same structure.
+    monotone_priority = True
+
     def __init__(
         self,
         frequency_weight: float = 1.0,

@@ -58,9 +58,9 @@ class LandlordPolicy(KeepAlivePolicy):
         deficit = needed_mb - pool.free_mb
         if deficit <= 1e-9:
             return []
-        idle = pool.idle_containers()
-        if sum(c.memory_mb for c in idle) < deficit - 1e-9:
+        if pool.evictable_mb() < deficit - 1e-9:
             return None
+        idle = pool.idle_containers()
         victims: List[Container] = []
         remaining = list(idle)
         reclaimed = 0.0

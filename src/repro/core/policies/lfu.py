@@ -19,5 +19,11 @@ __all__ = ["LFUPolicy"]
 class LFUPolicy(KeepAlivePolicy):
     """Least-frequently-used keep-alive."""
 
+    # The shared frequency only grows while the function keeps at
+    # least one container resident (it resets only when the last one
+    # dies, at which point no index entries remain), so the lazy
+    # victim index applies.
+    monotone_priority = True
+
     def priority(self, container: Container, now_s: float) -> float:
         return float(self.frequency_of(container.function.name))

@@ -22,5 +22,8 @@ __all__ = ["LRUPolicy"]
 class LRUPolicy(KeepAlivePolicy):
     """Least-recently-used keep-alive."""
 
+    # last_used_s never decreases, so the lazy victim index applies.
+    monotone_priority = True
+
     def priority(self, container: Container, now_s: float) -> float:
         return container.last_used_s

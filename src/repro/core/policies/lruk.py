@@ -29,6 +29,12 @@ __all__ = ["LRUKPolicy"]
 class LRUKPolicy(KeepAlivePolicy):
     """Evict by oldest K-th most recent reference."""
 
+    # The backward K-distance key only moves forward: within the
+    # fewer-than-K class the newest reference grows, finite K-distances
+    # grow as the history window slides, and the -1e12 offset keeps the
+    # class transition monotone too — the lazy victim index applies.
+    monotone_priority = True
+
     def __init__(self, k: int = 2) -> None:
         super().__init__()
         if k < 1:

@@ -18,5 +18,8 @@ __all__ = ["SizePolicy"]
 class SizePolicy(KeepAlivePolicy):
     """Evict the largest containers first (priority = 1/size)."""
 
+    # 1/size is constant per container, so the lazy victim index applies.
+    monotone_priority = True
+
     def priority(self, container: Container, now_s: float) -> float:
         return 1.0 / container.memory_mb

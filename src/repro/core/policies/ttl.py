@@ -26,6 +26,10 @@ OPENWHISK_DEFAULT_TTL_S = 600.0
 class TTLPolicy(KeepAlivePolicy):
     """Constant TTL expiry with LRU eviction under pressure."""
 
+    # Pressure evictions are LRU-ordered (last_used_s, monotone), so
+    # the lazy victim index applies; TTL expiry is a separate path.
+    monotone_priority = True
+
     def __init__(self, ttl_s: float = OPENWHISK_DEFAULT_TTL_S) -> None:
         super().__init__()
         if ttl_s <= 0:

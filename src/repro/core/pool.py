@@ -13,12 +13,18 @@ executes it and maintains the invariants:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Set
+import heapq
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.core.container import Container, ContainerState
 from repro.traces.model import TraceFunction
 
 __all__ = ["ContainerPool", "CapacityError"]
+
+#: Heap key a container is enrolled with before any policy has scored
+#: it. Compares below every real ``(priority, last_used, id)`` key, so
+#: the first pop revalidates and rescores the entry.
+_UNSCORED_KEY = (float("-inf"), float("-inf"), -1)
 
 
 class CapacityError(Exception):
@@ -35,6 +41,16 @@ class ContainerPool:
         self._used_mb = 0.0
         self._containers: Dict[int, Container] = {}
         self._by_function: Dict[str, Set[int]] = {}
+        # Lazy victim index: a min-heap of (key, container_id) entries,
+        # at most one live entry per container. Entries are pushed with
+        # a sentinel key on admission and revalidated against the
+        # policy's current key on pop (see :meth:`iter_victims`);
+        # entries of evicted containers are discarded lazily.
+        self._victim_heap: List[Tuple[Tuple[float, float, int], int]] = []
+        # Idle, unpinned memory, maintained incrementally through the
+        # containers' busy/idle notifications so the unsatisfiable-
+        # deficit check on every drop is O(1) instead of a pool scan.
+        self._evictable_mb = 0.0
 
     # ------------------------------------------------------------------
     # Capacity accounting
@@ -87,11 +103,25 @@ class ContainerPool:
                 f"container needs {container.memory_mb} MB but only "
                 f"{self.free_mb:.1f} MB is free"
             )
+        if container.pool is not None:
+            raise ValueError(
+                f"container {container.container_id} already belongs "
+                "to a pool"
+            )
+        container.pool = self
         self._containers[container.container_id] = container
         self._by_function.setdefault(container.function.name, set()).add(
             container.container_id
         )
         self._used_mb += container.memory_mb
+        if not container.pinned:
+            # Pinned containers are never eviction candidates; everyone
+            # else enters the victim index unscored.
+            heapq.heappush(
+                self._victim_heap, (_UNSCORED_KEY, container.container_id)
+            )
+            if container.is_idle:
+                self._evictable_mb += container.memory_mb
 
     def evict(self, container: Container) -> None:
         """Terminate and remove an idle container.
@@ -107,6 +137,7 @@ class ContainerPool:
                 "(provisioned concurrency) and cannot be evicted"
             )
         container.terminate()  # raises if RUNNING
+        container.pool = None
         del self._containers[container.container_id]
         peers = self._by_function[container.function.name]
         peers.discard(container.container_id)
@@ -115,6 +146,11 @@ class ContainerPool:
         self._used_mb -= container.memory_mb
         if self._used_mb < 1e-9:
             self._used_mb = 0.0
+        # An evicted container was necessarily idle (terminate refuses
+        # RUNNING ones) and unpinned, so it was counted as evictable.
+        self._evictable_mb -= container.memory_mb
+        if self._evictable_mb < 1e-9:
+            self._evictable_mb = 0.0
 
     # ------------------------------------------------------------------
     # Queries for policies and the simulator
@@ -159,8 +195,79 @@ class ContainerPool:
         return list(self._containers.values())
 
     def evictable_mb(self) -> float:
-        """Total memory reclaimable by evicting every idle container."""
-        return sum(c.memory_mb for c in self.idle_containers())
+        """Total memory reclaimable by evicting every idle container.
+
+        O(1): maintained incrementally via the containers' busy/idle
+        notifications instead of scanning the pool.
+        """
+        return self._evictable_mb
+
+    # ------------------------------------------------------------------
+    # State-change notifications from containers
+    # ------------------------------------------------------------------
+
+    def _container_became_busy(self, container: Container) -> None:
+        if not container.pinned:
+            self._evictable_mb -= container.memory_mb
+            if self._evictable_mb < 1e-9:
+                self._evictable_mb = 0.0
+
+    def _container_became_idle(self, container: Container) -> None:
+        if not container.pinned:
+            self._evictable_mb += container.memory_mb
+
+    def iter_victims(
+        self,
+        key_of: Callable[[Container], Tuple[float, float, int]],
+    ) -> Iterator[Container]:
+        """Idle, unpinned containers in ascending ``key_of`` order.
+
+        The lazy priority index behind the policies' victim selection:
+        instead of sorting every idle container on each miss, entries
+        sit in a min-heap under the key they were last scored with and
+        are revalidated when popped. A popped entry whose stored key no
+        longer matches the container's current key is re-pushed under
+        the fresh key and the scan continues, so each selection costs
+        O((victims + touched) * log n), where *touched* is the number
+        of containers whose key changed since the last selection — not
+        the whole idle population.
+
+        Correctness requires **monotone keys**: a container's key must
+        never decrease while it stays in the pool (see
+        :attr:`KeepAlivePolicy.monotone_priority`). Under that
+        contract the first entry that revalidates equals the true
+        minimum, because every other entry's stored key is a lower
+        bound on its current key.
+
+        Running containers are set aside and restored when the
+        iterator closes; yielded containers keep their index entry, so
+        callers may evict all, some, or none of them afterwards —
+        entries of evicted containers are discarded on a later pop.
+        """
+        heap = self._victim_heap
+        restore: List[Tuple[Tuple[float, float, int], int]] = []
+        try:
+            while heap:
+                stored_key, container_id = heapq.heappop(heap)
+                container = self._containers.get(container_id)
+                if container is None:
+                    continue  # evicted since enrollment: drop the entry
+                if container.pinned:
+                    continue  # reserved capacity: never a candidate
+                if not container.is_idle:
+                    # Busy right now; re-enroll unchanged once the scan
+                    # finishes (its key can only have grown by then).
+                    restore.append((stored_key, container_id))
+                    continue
+                current_key = key_of(container)
+                if current_key != stored_key:
+                    heapq.heappush(heap, (current_key, container_id))
+                    continue
+                restore.append((stored_key, container_id))
+                yield container
+        finally:
+            for entry in restore:
+                heapq.heappush(heap, entry)
 
     def function_names(self) -> Set[str]:
         return set(self._by_function)

@@ -5,9 +5,16 @@ from repro.sim.metrics import FunctionOutcome, SimulationMetrics
 from repro.sim.parallel import run_sweep_parallel, simulate_cell
 from repro.sim.scheduler import KeepAliveSimulator, SimulationResult, simulate
 from repro.sim.server import GB_MB, ServerConfig
-from repro.sim.sweep import SweepPoint, SweepResult, memory_sizes_gb, run_sweep
+from repro.sim.sweep import (
+    FailedCell,
+    SweepPoint,
+    SweepResult,
+    memory_sizes_gb,
+    run_sweep,
+)
 
 __all__ = [
+    "FailedCell",
     "EventQueue",
     "FunctionOutcome",
     "SimulationMetrics",

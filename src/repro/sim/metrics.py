@@ -63,7 +63,15 @@ class SimulationMetrics:
 
     per_function: Dict[str, FunctionOutcome] = field(default_factory=dict)
     #: Sampled (time, used_mb) pairs, when timeline tracking is enabled.
+    #: The simulator appends a closing sample at trace end so the tail
+    #: interval after the last periodic sample carries its weight in
+    #: :meth:`mean_memory_mb`.
     memory_timeline: List[Tuple[float, float]] = field(default_factory=list)
+
+    #: Wall-clock seconds the replay took (simulator throughput, not a
+    #: paper metric; excluded from :meth:`summary` so that equality
+    #: comparisons between runs stay meaningful).
+    wall_time_s: float = 0.0
 
     # ------------------------------------------------------------------
     # Recording
@@ -161,8 +169,30 @@ class SimulationMetrics:
         return 100.0 * self.added_exec_time_s / self.ideal_exec_time_s
 
     @property
+    def invocations_per_s(self) -> float:
+        """Replay throughput: trace invocations simulated per
+        wall-clock second (0.0 when no timing was recorded)."""
+        if self.wall_time_s <= 0.0:
+            return 0.0
+        return self.total_requests / self.wall_time_s
+
+    def throughput_summary(self) -> Dict[str, float]:
+        """Observability numbers for harnesses and the CLI, kept apart
+        from :meth:`summary` because they differ between otherwise
+        identical runs."""
+        return {
+            "wall_time_s": self.wall_time_s,
+            "invocations_per_s": self.invocations_per_s,
+        }
+
+    @property
     def mean_memory_mb(self) -> float:
-        """Time-weighted mean of the sampled memory usage."""
+        """Time-weighted mean of the sampled memory usage.
+
+        Each sample's value is weighted by the interval until the next
+        sample; the final sample (the simulator's closing sample at
+        trace end) only marks the end of the last interval.
+        """
         timeline = self.memory_timeline
         if len(timeline) < 2:
             return timeline[0][1] if timeline else 0.0

@@ -5,45 +5,79 @@ and is mainly limited by total system memory", running one process per
 (policy, memory) cell. This module provides the same fan-out on top of
 :func:`repro.sim.sweep.run_sweep`'s cell semantics, using a process
 pool. Results are bit-identical to the sequential sweep — each cell
-gets a fresh policy instance either way — so
-:func:`run_sweep_parallel` is a drop-in replacement when wall-clock
-matters (full Figure 5/6 grids).
+gets a fresh policy instance either way, and points are reassembled in
+grid order — so :func:`run_sweep_parallel` is a drop-in replacement
+when wall-clock matters (full Figure 5/6 grids).
 
-Cells are dispatched whole (trace included) via pickling; for very
-large traces prefer fewer processes over many small ones, since each
-worker holds a trace copy (the artifact's "1 GB RAM per core").
+Engine design (vs. the naive per-cell pickle of earlier revisions):
+
+* **One trace broadcast per worker, not per cell.** The trace is
+  shipped once through the pool initializer and cached in a
+  module-level global; each cell submission then carries only a
+  ``(policy, memory)`` pair. For the artifact's "1 GB RAM per core"
+  traces this removes the dominant serialization cost from the hot
+  loop.
+* **Streaming completion.** Cells are consumed as they finish, with an
+  optional ``progress(done, total, policy, memory_gb)`` callback, so
+  long grids report liveness instead of blocking until the slowest
+  cell.
+* **Fault tolerance.** A cell that raises is retried once; a cell that
+  fails again is recorded in ``SweepResult.failed_cells`` instead of
+  throwing away the rest of the grid. If a worker process dies hard
+  (``BrokenProcessPool``), the unfinished cells are each re-run in a
+  fresh single-worker pool so one poisoned cell cannot take down its
+  neighbours.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from typing import Iterable, List, Optional, Sequence, Tuple
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.policies import PAPER_POLICIES, create_policy
 from repro.sim.scheduler import KeepAliveSimulator
 from repro.sim.server import GB_MB
-from repro.sim.sweep import SweepPoint, SweepResult
+from repro.sim.sweep import FailedCell, SweepResult, point_from_result
 from repro.traces.model import Trace
 
 __all__ = ["run_sweep_parallel", "simulate_cell"]
 
+#: Per-worker trace cache, populated by the pool initializer so each
+#: cell submission only pickles its (policy, memory) coordinates.
+_WORKER_TRACE: Optional[Trace] = None
 
-def simulate_cell(
-    trace: Trace, policy_name: str, memory_gb: float
-) -> SweepPoint:
+#: Callback signature: ``progress(done, total, policy, memory_gb)``,
+#: invoked after every cell settles (point produced or finally failed).
+ProgressCallback = Callable[[int, int, str, float], None]
+
+
+def _init_worker(trace: Trace) -> None:
+    global _WORKER_TRACE
+    _WORKER_TRACE = trace
+
+
+def _run_cell(policy_name: str, memory_gb: float):
+    """Worker-side cell execution against the broadcast trace."""
+    if _WORKER_TRACE is None:
+        raise RuntimeError("worker pool was not initialized with a trace")
+    return simulate_cell(_WORKER_TRACE, policy_name, memory_gb)
+
+
+def simulate_cell(trace: Trace, policy_name: str, memory_gb: float):
     """Run one (policy, memory) cell; module-level so it pickles."""
     policy = create_policy(policy_name)
     sim = KeepAliveSimulator(trace, policy, memory_gb * GB_MB)
-    metrics = sim.run().metrics
-    return SweepPoint(
-        policy=policy_name,
-        memory_gb=memory_gb,
-        cold_start_pct=metrics.cold_start_pct,
-        exec_time_increase_pct=metrics.exec_time_increase_pct,
-        drop_ratio=metrics.drop_ratio,
-        hit_ratio=metrics.hit_ratio,
-        global_hit_ratio=metrics.global_hit_ratio,
-    )
+    return point_from_result(policy_name, memory_gb, sim.run())
+
+
+def _run_cell_isolated(trace: Trace, policy_name: str, memory_gb: float):
+    """Last-resort execution of one cell in its own single-worker
+    pool, isolating hard worker crashes to the cell that caused them."""
+    with ProcessPoolExecutor(
+        max_workers=1, initializer=_init_worker, initargs=(trace,)
+    ) as solo:
+        return solo.submit(_run_cell, policy_name, memory_gb).result()
 
 
 def run_sweep_parallel(
@@ -51,29 +85,122 @@ def run_sweep_parallel(
     memory_gbs: Sequence[float],
     policies: Iterable[str] = PAPER_POLICIES,
     max_workers: Optional[int] = None,
+    progress: Optional[ProgressCallback] = None,
+    retries: int = 1,
 ) -> SweepResult:
     """Like :func:`repro.sim.sweep.run_sweep`, fanned out over processes.
 
     ``max_workers=None`` uses the interpreter default (CPU count);
     ``max_workers=0`` or ``1`` falls back to in-process execution,
     which is also the safe choice inside an already-parallel harness.
+
+    Each failing cell is retried ``retries`` times; cells that still
+    fail land in the returned :attr:`SweepResult.failed_cells` (as
+    ``(policy, memory_gb, error)``) while every other point is kept —
+    a partial grid instead of a lost one. Points are ordered exactly
+    as :func:`run_sweep` orders them (policy-major, then memory), with
+    failed cells skipped, so a clean run compares equal to the
+    sequential sweep.
     """
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
     cells: List[Tuple[str, float]] = [
         (policy, memory_gb)
         for policy in policies
         for memory_gb in memory_gbs
     ]
     result = SweepResult(trace_name=trace.name)
+    total = len(cells)
+    points_by_cell: Dict[int, object] = {}
+    done = 0
+
+    def settle(index: int, point) -> None:
+        nonlocal done
+        done += 1
+        if point is not None:
+            points_by_cell[index] = point
+        if progress is not None:
+            policy_name, memory_gb = cells[index]
+            progress(done, total, policy_name, memory_gb)
+
     if max_workers is not None and max_workers <= 1:
+        for index, (policy_name, memory_gb) in enumerate(cells):
+            try:
+                point = simulate_cell(trace, policy_name, memory_gb)
+            except Exception as exc:
+                result.failed_cells.append(
+                    FailedCell(policy_name, memory_gb, repr(exc))
+                )
+                point = None
+            settle(index, point)
         result.points = [
-            simulate_cell(trace, policy, memory_gb)
-            for policy, memory_gb in cells
+            points_by_cell[i] for i in range(total) if i in points_by_cell
         ]
         return result
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        futures = [
-            pool.submit(simulate_cell, trace, policy, memory_gb)
-            for policy, memory_gb in cells
-        ]
-        result.points = [future.result() for future in futures]
+
+    broken = False
+    with ProcessPoolExecutor(
+        max_workers=max_workers,
+        initializer=_init_worker,
+        initargs=(trace,),
+    ) as pool:
+        futures = {
+            pool.submit(_run_cell, policy_name, memory_gb): (index, 0)
+            for index, (policy_name, memory_gb) in enumerate(cells)
+        }
+        pending = set(futures)
+        while pending and not broken:
+            finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in finished:
+                index, attempts = futures.pop(future)
+                policy_name, memory_gb = cells[index]
+                try:
+                    point = future.result()
+                except BrokenProcessPool:
+                    # The pool is unusable; every sibling future fails
+                    # the same way. Salvage the rest outside.
+                    broken = True
+                    futures[future] = (index, attempts)
+                    pending.add(future)
+                    break
+                except Exception as exc:
+                    if attempts < retries:
+                        try:
+                            retry = pool.submit(
+                                _run_cell, policy_name, memory_gb
+                            )
+                        except RuntimeError:
+                            broken = True
+                            futures[future] = (index, attempts)
+                            pending.add(future)
+                            break
+                        futures[retry] = (index, attempts + 1)
+                        pending.add(retry)
+                        continue
+                    result.failed_cells.append(
+                        FailedCell(policy_name, memory_gb, repr(exc))
+                    )
+                    settle(index, None)
+                    continue
+                settle(index, point)
+
+    if broken:
+        # One poisoned cell killed a worker; re-run every unfinished
+        # cell in quarantine so the others still complete.
+        unfinished = sorted({futures[f][0] for f in pending})
+        for index in unfinished:
+            policy_name, memory_gb = cells[index]
+            try:
+                point = _run_cell_isolated(trace, policy_name, memory_gb)
+            except Exception as exc:
+                result.failed_cells.append(
+                    FailedCell(policy_name, memory_gb, repr(exc))
+                )
+                point = None
+            settle(index, point)
+
+    result.points = [
+        points_by_cell[i] for i in range(total) if i in points_by_cell
+    ]
+    result.failed_cells.sort(key=lambda c: (c.policy, c.memory_gb))
     return result

@@ -23,6 +23,7 @@ the behaviour that separates FaaS keep-alive from classical caching
 from __future__ import annotations
 
 import heapq
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -129,6 +130,11 @@ class KeepAliveSimulator:
         while self._running and self._running[0][0] <= now_s:
             finish_s, __, container = heapq.heappop(self._running)
             container.finish_invocation(finish_s)
+            # Provisioned concurrency is retained by definition: the
+            # admission gate below must never see a pinned container
+            # (``pool.evict`` rightly refuses to terminate one).
+            if container.pinned:
+                continue
             # Admission gate: policies with a doorkeeper may refuse to
             # keep an unproven function's container warm at all.
             if not self.policy.should_retain(container, finish_s, self.pool):
@@ -233,12 +239,29 @@ class KeepAliveSimulator:
         return "cold"
 
     def run(self) -> SimulationResult:
-        """Replay the whole trace and return the collected metrics."""
+        """Replay the whole trace and return the collected metrics.
+
+        Besides the paper's counters this also records throughput
+        observability: the wall-clock time of the replay and (derived)
+        invocations simulated per second, so sweep harnesses can spot
+        hot-path regressions per cell. When timeline tracking is on, a
+        closing ``(trace_end, used_mb)`` sample is appended so the
+        tail interval after the last periodic sample is weighted in
+        :meth:`SimulationMetrics.mean_memory_mb` instead of silently
+        dropped.
+        """
+        started = time.perf_counter()
         functions = self.trace.functions
+        end_s = 0.0
         for invocation in self.trace:
             self.process_invocation(
                 functions[invocation.function_name], invocation.time_s
             )
+            end_s = invocation.time_s
+        if self._track_timeline and end_s > self._last_sample_s:
+            self.metrics.memory_timeline.append((end_s, self.pool.used_mb))
+            self._last_sample_s = end_s
+        self.metrics.wall_time_s = time.perf_counter() - started
         return SimulationResult(
             trace_name=self.trace.name,
             policy_name=self.policy.name,
@@ -252,12 +275,21 @@ def simulate(
     policy: str | KeepAlivePolicy,
     memory_mb: float,
     track_memory_timeline: bool = False,
+    timeline_interval_s: float = 60.0,
+    prewarm_effectiveness: float = 1.0,
+    reserved_concurrency: Optional[dict] = None,
+    warmup_s: float = 0.0,
     **policy_kwargs,
 ) -> SimulationResult:
     """Convenience one-shot simulation.
 
     ``policy`` may be a short policy name (``"GD"``, ``"TTL"``, ...) or
-    an already-constructed policy instance.
+    an already-constructed policy instance. The simulator's own knobs
+    (``timeline_interval_s``, ``prewarm_effectiveness``,
+    ``reserved_concurrency``, ``warmup_s``) are forwarded to
+    :class:`KeepAliveSimulator` explicitly; any remaining keyword
+    arguments configure the *policy* and are therefore only valid with
+    a policy name.
 
     >>> from repro.traces.synth import skewed_frequency_trace
     >>> result = simulate(skewed_frequency_trace(seed=1), "GD", 4096)
@@ -269,6 +301,13 @@ def simulate(
     elif policy_kwargs:
         raise ValueError("policy_kwargs are only valid with a policy name")
     simulator = KeepAliveSimulator(
-        trace, policy, memory_mb, track_memory_timeline=track_memory_timeline
+        trace,
+        policy,
+        memory_mb,
+        track_memory_timeline=track_memory_timeline,
+        timeline_interval_s=timeline_interval_s,
+        prewarm_effectiveness=prewarm_effectiveness,
+        reserved_concurrency=reserved_concurrency,
+        warmup_s=warmup_s,
     )
     return simulator.run()

@@ -17,12 +17,25 @@ from repro.sim.scheduler import KeepAliveSimulator, SimulationResult
 from repro.sim.server import GB_MB
 from repro.traces.model import Trace
 
-__all__ = ["SweepPoint", "SweepResult", "run_sweep", "memory_sizes_gb"]
+__all__ = [
+    "SweepPoint",
+    "FailedCell",
+    "SweepResult",
+    "run_sweep",
+    "memory_sizes_gb",
+    "point_from_result",
+]
 
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One cell of the sweep grid."""
+    """One cell of the sweep grid.
+
+    The two throughput fields are observability, not simulation
+    output: they vary between identical runs and are therefore
+    excluded from equality, keeping sequential and parallel sweeps of
+    the same grid bit-identical under ``==``.
+    """
 
     policy: str
     memory_gb: float
@@ -31,14 +44,53 @@ class SweepPoint:
     drop_ratio: float
     hit_ratio: float
     global_hit_ratio: float
+    #: Wall-clock seconds this cell's replay took.
+    wall_time_s: float = field(default=0.0, compare=False)
+    #: Invocations simulated per wall-clock second for this cell.
+    invocations_per_s: float = field(default=0.0, compare=False)
+
+
+@dataclass(frozen=True)
+class FailedCell:
+    """A sweep cell that raised (after retry) instead of producing a
+    :class:`SweepPoint`."""
+
+    policy: str
+    memory_gb: float
+    error: str
+
+
+def point_from_result(
+    policy_name: str, memory_gb: float, result: SimulationResult
+) -> SweepPoint:
+    """Flatten one simulation outcome into a sweep-grid cell."""
+    metrics = result.metrics
+    return SweepPoint(
+        policy=policy_name,
+        memory_gb=memory_gb,
+        cold_start_pct=metrics.cold_start_pct,
+        exec_time_increase_pct=metrics.exec_time_increase_pct,
+        drop_ratio=metrics.drop_ratio,
+        hit_ratio=metrics.hit_ratio,
+        global_hit_ratio=metrics.global_hit_ratio,
+        wall_time_s=metrics.wall_time_s,
+        invocations_per_s=metrics.invocations_per_s,
+    )
 
 
 @dataclass
 class SweepResult:
-    """All points of a sweep over one trace."""
+    """All points of a sweep over one trace.
+
+    ``failed_cells`` is always empty for the sequential
+    :func:`run_sweep` (a raising cell propagates); the parallel runner
+    fills it instead of discarding the surviving grid — callers that
+    need completeness must check it.
+    """
 
     trace_name: str
     points: List[SweepPoint] = field(default_factory=list)
+    failed_cells: List[FailedCell] = field(default_factory=list)
 
     def series(self, policy: str, metric: str) -> List[tuple]:
         """(memory_gb, value) pairs for one policy, sorted by memory."""
@@ -99,17 +151,7 @@ def run_sweep(
                 progress(policy_name, memory_gb)
             policy = create_policy(policy_name)
             sim = KeepAliveSimulator(trace, policy, memory_gb * GB_MB)
-            run = sim.run()
-            metrics = run.metrics
             result.points.append(
-                SweepPoint(
-                    policy=policy_name,
-                    memory_gb=memory_gb,
-                    cold_start_pct=metrics.cold_start_pct,
-                    exec_time_increase_pct=metrics.exec_time_increase_pct,
-                    drop_ratio=metrics.drop_ratio,
-                    hit_ratio=metrics.hit_ratio,
-                    global_hit_ratio=metrics.global_hit_ratio,
-                )
+                point_from_result(policy_name, memory_gb, sim.run())
             )
     return result

@@ -172,3 +172,81 @@ class TestNewCommands:
         code = main(["plan", "--trace", "skewed-size"])
         assert code == 0
         assert "Sizing options" in capsys.readouterr().out
+
+
+class TestSweepEngineCLI:
+    def test_parallel_sweep_matches_sequential_table(
+        self, small_trace_file, capsys
+    ):
+        argv = [
+            "sweep",
+            "--trace", str(small_trace_file),
+            "--memory-gb", "1", "2",
+            "--policies", "GD", "LRU",
+        ]
+        assert main(argv) == 0
+        sequential = capsys.readouterr().out
+        assert main(argv + ["--workers", "2", "--quiet"]) == 0
+        parallel = capsys.readouterr().out
+
+        def table_lines(text):
+            return [
+                line for line in text.splitlines()
+                if "cells in" not in line
+            ]
+
+        assert table_lines(parallel) == table_lines(sequential)
+
+    def test_failed_cells_render_partial_table(
+        self, small_trace_file, capsys
+    ):
+        code = main(
+            [
+                "sweep",
+                "--trace", str(small_trace_file),
+                "--memory-gb", "1",
+                "--policies", "GD", "NOPE",
+                "--workers", "2",
+                "--quiet",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "GD" in captured.out  # surviving column still printed
+        assert "cells FAILED" in captured.err
+        assert "NOPE" in captured.err
+
+    def test_throughput_line_printed(self, small_trace_file, capsys):
+        assert main(
+            [
+                "sweep",
+                "--trace", str(small_trace_file),
+                "--memory-gb", "1",
+                "--policies", "GD",
+            ]
+        ) == 0
+        assert "invocations/s" in capsys.readouterr().out
+
+    def test_simulate_reserve_and_warmup(self, small_trace_file, capsys):
+        assert main(
+            [
+                "simulate",
+                "--trace", str(small_trace_file),
+                "--policy", "DOORKEEPER",
+                "--memory-gb", "1",
+                "--warmup-s", "100",
+            ]
+        ) == 0
+        assert "invocations_per_s" in capsys.readouterr().out
+
+    def test_malformed_reserve_rejected(self, small_trace_file):
+        with pytest.raises(SystemExit, match="NAME=COUNT"):
+            main(
+                [
+                    "simulate",
+                    "--trace", str(small_trace_file),
+                    "--policy", "GD",
+                    "--memory-gb", "1",
+                    "--reserve", "fn-00001",
+                ]
+            )

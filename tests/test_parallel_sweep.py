@@ -3,7 +3,7 @@
 import pytest
 
 from repro.sim.parallel import run_sweep_parallel, simulate_cell
-from repro.sim.sweep import run_sweep
+from repro.sim.sweep import FailedCell, run_sweep
 from tests.conftest import make_trace
 
 
@@ -26,6 +26,18 @@ class TestParallelSweep:
         for key in seq:
             assert seq[key] == par[key]
 
+    def test_matches_sequential_larger_grid(self, trace):
+        """Bit-identity including point *order*, across a grid wider
+        than the worker count so completion order scrambles."""
+        grid = [0.25, 0.5, 1.0, 2.0]
+        policies = ("GD", "LRU", "TTL", "FREQ")
+        sequential = run_sweep(trace, grid, policies=policies)
+        parallel = run_sweep_parallel(
+            trace, grid, policies=policies, max_workers=3
+        )
+        assert parallel.points == sequential.points
+        assert parallel.failed_cells == []
+
     def test_inline_fallback(self, trace):
         result = run_sweep_parallel(
             trace, [1.0], policies=("GD",), max_workers=1
@@ -45,3 +57,71 @@ class TestParallelSweep:
         )
         assert len(result.points) == 6
         assert result.memory_sizes() == [0.5, 1.0, 2.0]
+
+    def test_throughput_fields_populated(self, trace):
+        result = run_sweep_parallel(
+            trace, [1.0], policies=("GD",), max_workers=2
+        )
+        point = result.points[0]
+        assert point.wall_time_s > 0.0
+        assert point.invocations_per_s > 0.0
+
+
+class TestFaultTolerance:
+    """A failing cell must cost exactly that cell, nothing else."""
+
+    @pytest.mark.parametrize("max_workers", [1, 2])
+    def test_bad_policy_lands_in_failed_cells(self, trace, max_workers):
+        result = run_sweep_parallel(
+            trace,
+            [0.5, 1.0],
+            policies=("GD", "NOPE"),
+            max_workers=max_workers,
+        )
+        # The good policy's column is intact...
+        good = [p for p in result.points if p.policy == "GD"]
+        assert [p.memory_gb for p in good] == [0.5, 1.0]
+        # ...and the bad one is reported, not raised.
+        assert result.failed_cells == [
+            FailedCell("NOPE", 0.5, result.failed_cells[0].error),
+            FailedCell("NOPE", 1.0, result.failed_cells[1].error),
+        ]
+        assert "NOPE" in result.failed_cells[0].error
+
+    def test_partial_points_match_sequential(self, trace):
+        """Surviving points of a partly-failed grid are still
+        bit-identical to a sequential run of the surviving cells."""
+        parallel = run_sweep_parallel(
+            trace, [0.5, 1.0], policies=("GD", "NOPE", "LRU"), max_workers=2
+        )
+        sequential = run_sweep(trace, [0.5, 1.0], policies=("GD", "LRU"))
+        assert parallel.points == sequential.points
+
+    def test_progress_counts_failures_too(self, trace):
+        calls = []
+        result = run_sweep_parallel(
+            trace,
+            [0.5],
+            policies=("GD", "NOPE", "LRU"),
+            max_workers=2,
+            progress=lambda done, total, policy, gb: calls.append(
+                (done, total, policy, gb)
+            ),
+        )
+        assert len(calls) == 3
+        assert [c[0] for c in sorted(calls)] == [1, 2, 3]
+        assert all(c[1] == 3 for c in calls)
+        assert {c[2] for c in calls} == {"GD", "NOPE", "LRU"}
+        assert len(result.points) == 2
+        assert len(result.failed_cells) == 1
+
+    def test_negative_retries_rejected(self, trace):
+        with pytest.raises(ValueError, match="retries"):
+            run_sweep_parallel(trace, [1.0], policies=("GD",), retries=-1)
+
+    def test_zero_retries_still_reports_failures(self, trace):
+        result = run_sweep_parallel(
+            trace, [1.0], policies=("NOPE",), max_workers=2, retries=0
+        )
+        assert result.points == []
+        assert len(result.failed_cells) == 1

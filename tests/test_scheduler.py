@@ -236,3 +236,105 @@ class TestWarmupExclusion:
             trace, create_policy("GD"), 1024.0, warmup_s=0.0
         ).run().metrics
         assert default.summary() == explicit.summary()
+
+
+class TestThroughputObservability:
+    def test_wall_time_recorded(self):
+        metrics = simulate(make_trace("ABCABC" * 5), "GD", 1024.0).metrics
+        assert metrics.wall_time_s > 0.0
+        assert metrics.invocations_per_s > 0.0
+
+    def test_invocations_per_s_consistent(self):
+        metrics = simulate(make_trace("ABAB" * 10), "LRU", 1024.0).metrics
+        expected = metrics.total_requests / metrics.wall_time_s
+        assert metrics.invocations_per_s == pytest.approx(expected)
+
+    def test_throughput_summary_keys(self):
+        metrics = simulate(make_trace("AA"), "GD", 1024.0).metrics
+        assert set(metrics.throughput_summary()) == {
+            "wall_time_s",
+            "invocations_per_s",
+        }
+
+    def test_summary_excludes_wall_time(self):
+        """summary() equality between runs is how the conformance and
+        equivalence suites compare simulations; wall time must not
+        poison it."""
+        metrics = simulate(make_trace("AA"), "GD", 1024.0).metrics
+        assert "wall_time_s" not in metrics.summary()
+        assert "invocations_per_s" not in metrics.summary()
+
+
+class TestTimelineClosingSample:
+    def test_final_sample_at_trace_end(self):
+        trace = make_trace("AB" + "A" * 10, gap_s=30.0)
+        result = simulate(
+            trace, "GD", 10_000.0,
+            track_memory_timeline=True, timeline_interval_s=60.0,
+        )
+        timeline = result.metrics.memory_timeline
+        assert timeline[-1][0] == pytest.approx(trace.invocations[-1].time_s)
+
+    def test_mean_memory_weights_tail_dwell(self):
+        # Two functions, then a long quiet tail: without the closing
+        # sample the mean would ignore the dwell at 512 MB entirely.
+        a = make_function("A", memory_mb=256.0)
+        b = make_function("B", memory_mb=256.0)
+        trace = Trace(
+            [a, b],
+            [
+                Invocation(0.0, "A"),
+                Invocation(10.0, "B"),
+                Invocation(1000.0, "A"),
+            ],
+        )
+        result = simulate(
+            trace, "GD", 10_000.0,
+            track_memory_timeline=True, timeline_interval_s=5.0,
+        )
+        metrics = result.metrics
+        # From t=10 on, both containers are resident (512 MB); the
+        # closing sample at t=1000 makes that dwell dominate.
+        assert metrics.memory_timeline[-1][0] == pytest.approx(1000.0)
+        assert metrics.mean_memory_mb > 500.0
+
+    def test_no_duplicate_sample_when_interval_aligns(self):
+        trace = make_trace("AAAA", gap_s=60.0)
+        result = simulate(
+            trace, "GD", 10_000.0,
+            track_memory_timeline=True, timeline_interval_s=60.0,
+        )
+        times = [t for t, __ in result.metrics.memory_timeline]
+        assert times == sorted(set(times))
+
+
+class TestSimulateForwarding:
+    """simulate() must forward every simulator knob (a bug once
+    swallowed them into policy kwargs)."""
+
+    def test_forwards_warmup(self):
+        trace = make_trace("ABAB", gap_s=10.0)
+        result = simulate(trace, "GD", 1024.0, warmup_s=15.0)
+        assert result.metrics.total_requests == 2
+
+    def test_forwards_reserved_concurrency(self):
+        trace = make_trace("AAA", gap_s=10.0)
+        result = simulate(
+            trace, "GD", 1024.0, reserved_concurrency={"A": 1}
+        )
+        assert result.metrics.cold_starts == 0
+
+    def test_forwards_prewarm_effectiveness_validation(self):
+        with pytest.raises(ValueError, match="effectiveness"):
+            simulate(make_trace("A"), "GD", 1024.0, prewarm_effectiveness=2.0)
+
+    def test_policy_kwargs_still_reach_policy(self):
+        trace = make_trace("AB" + "B" * 5, gap_s=60.0)
+        result = simulate(trace, "TTL", 10_000.0, ttl_s=30.0)
+        assert result.metrics.expirations > 0
+
+    def test_policy_kwargs_rejected_for_instances(self):
+        with pytest.raises(ValueError, match="policy_kwargs"):
+            simulate(
+                make_trace("A"), create_policy("GD"), 1024.0, ttl_s=30.0
+            )
