@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples reproduce clean
+.PHONY: install test bench bench-ci lint typecheck examples reproduce clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -12,6 +12,18 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Machine-readable bench gate (what CI uploads as BENCH_ci.json).
+bench-ci:
+	$(PYTHON) benchmarks/ci_export.py --out BENCH_ci.json
+
+# Both need their tool installed (pip install -e ".[lint]" / ".[typecheck]").
+lint:
+	ruff check src tests benchmarks
+	$(PYTHON) -m compileall -q src
+
+typecheck:
+	mypy src/repro
 
 examples:
 	@for script in examples/*.py; do \

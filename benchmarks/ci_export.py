@@ -1,0 +1,117 @@
+"""Machine-readable benchmark export for CI (``BENCH_ci.json``).
+
+Runs the two numbers the CI bench-smoke job gates on and writes them
+as JSON so regressions are diffable across runs:
+
+* **invocations_per_s** — raw simulator throughput (GD on the
+  multitenant configuration, best of N replays), guarded by the same
+  10k/s floor as the pytest benchmark;
+* **tracing_disabled_overhead_pct** — wall-clock cost of the
+  repro.obs emission-site guards with tracing off, measured against a
+  frozen pre-instrumentation copy of the hot path. Budget: 2%.
+
+Exit status is nonzero if either gate fails, so the CI job can upload
+the artifact *and* fail the build from one invocation::
+
+    python benchmarks/ci_export.py --out BENCH_ci.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+
+# Runnable as a script from the repo root: the benchmarks directory is
+# not a package, so make its modules importable directly.
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+from bench_simulator_throughput import (  # noqa: E402
+    MEMORY_MB,
+    OVERHEAD_BUDGET_PCT,
+    TRACE,
+    measure_disabled_overhead_pct,
+)
+from repro.core.policies import create_policy  # noqa: E402
+from repro.sim.scheduler import KeepAliveSimulator  # noqa: E402
+
+THROUGHPUT_FLOOR = 10_000.0
+
+
+def measure_throughput(repeats: int = 5) -> float:
+    """Best-of-N invocations/second for GD on the multitenant trace."""
+    best = float("inf")
+    for __ in range(repeats):
+        sim = KeepAliveSimulator(TRACE, create_policy("GD"), MEMORY_MB)
+        started = time.perf_counter()
+        sim.run()
+        best = min(best, time.perf_counter() - started)
+    return len(TRACE) / best
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_ci.json")
+    parser.add_argument(
+        "--overhead-attempts",
+        type=int,
+        default=3,
+        help="re-measure the overhead this many times before failing",
+    )
+    args = parser.parse_args(argv)
+
+    throughput = measure_throughput()
+    overhead_pct = None
+    for __ in range(max(1, args.overhead_attempts)):
+        overhead_pct = measure_disabled_overhead_pct()
+        if overhead_pct <= OVERHEAD_BUDGET_PCT:
+            break
+
+    failures = []
+    if throughput <= THROUGHPUT_FLOOR:
+        failures.append(
+            f"throughput {throughput:,.0f} inv/s is below the "
+            f"{THROUGHPUT_FLOOR:,.0f} floor"
+        )
+    if overhead_pct > OVERHEAD_BUDGET_PCT:
+        failures.append(
+            f"disabled-tracing overhead {overhead_pct:.2f}% exceeds the "
+            f"{OVERHEAD_BUDGET_PCT:.1f}% budget"
+        )
+
+    payload = {
+        "benchmark": "simulator-throughput",
+        "trace": TRACE.name,
+        "invocations": len(TRACE),
+        "memory_mb": MEMORY_MB,
+        "invocations_per_s": round(throughput, 1),
+        "throughput_floor_per_s": THROUGHPUT_FLOOR,
+        "tracing_disabled_overhead_pct": round(overhead_pct, 3),
+        "overhead_budget_pct": OVERHEAD_BUDGET_PCT,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "ok": not failures,
+        "failures": failures,
+    }
+    pathlib.Path(args.out).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"wrote {args.out}")
+    print(
+        f"  invocations/s: {throughput:,.0f} "
+        f"(floor {THROUGHPUT_FLOOR:,.0f})"
+    )
+    print(
+        f"  disabled-tracing overhead: {overhead_pct:+.2f}% "
+        f"(budget {OVERHEAD_BUDGET_PCT:.1f}%)"
+    )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

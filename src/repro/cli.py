@@ -8,6 +8,8 @@ Gives downstream users the common workflows without writing Python::
     repro-faascache provision --trace day.json --target-hit-ratio 0.9
     repro-faascache autoscale --trace day.json --miss-ratio 0.05
     repro-faascache loadtest --workload cyclic
+    repro-faascache trace --trace day.json --out events.jsonl
+    repro-faascache trace-report events.jsonl
 
 ``--trace`` accepts a JSON trace file (see :mod:`repro.traces.io`) or
 one of the built-in workload names (``cyclic``, ``skewed-size``,
@@ -85,17 +87,51 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_tracer(
+    trace_out: Optional[str],
+    metrics_out: Optional[str],
+    strict: bool = False,
+):
+    """Build a tracer over the sinks the CLI flags ask for.
+
+    Returns ``(tracer, close)``; both are no-ops (``None`` and a
+    do-nothing callable) when no output was requested, so callers can
+    thread the result through unconditionally.
+    """
+    from repro.obs.sinks import JsonlSink, MultiSink, PrometheusTextfileSink
+    from repro.obs.tracer import Tracer
+
+    sinks = []
+    if trace_out:
+        sinks.append(JsonlSink(trace_out, eager=True))
+    if metrics_out:
+        sinks.append(PrometheusTextfileSink(metrics_out))
+    if not sinks:
+        return None, lambda: None
+    sink = sinks[0] if len(sinks) == 1 else MultiSink(*sinks)
+    return Tracer(sink, strict=strict), sink.close
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.sim.scheduler import simulate
 
     trace = _load_trace(args.trace)
-    result = simulate(
-        trace,
-        args.policy,
-        args.memory_gb * 1024.0,
-        warmup_s=args.warmup_s,
-        reserved_concurrency=_parse_reserved(args.reserve),
-    )
+    tracer, close_tracer = _make_tracer(args.trace_out, args.metrics_out)
+    try:
+        result = simulate(
+            trace,
+            args.policy,
+            args.memory_gb * 1024.0,
+            warmup_s=args.warmup_s,
+            reserved_concurrency=_parse_reserved(args.reserve),
+            tracer=tracer,
+        )
+    finally:
+        close_tracer()
+    if args.trace_out:
+        print(f"wrote event trace {args.trace_out}", file=sys.stderr)
+    if args.metrics_out:
+        print(f"wrote metrics textfile {args.metrics_out}", file=sys.stderr)
     rows = [[key, value] for key, value in result.metrics.summary().items()]
     for key, value in result.metrics.throughput_summary().items():
         rows.append([key, round(value, 3)])
@@ -147,6 +183,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             policies=policies,
             max_workers=args.workers or None,
             progress=report if not args.quiet else None,
+            trace_dir=args.trace_dir,
         )
         for cell in sweep.failed_cells:
             print(
@@ -155,7 +192,28 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
     else:
-        sweep = run_sweep(trace, args.memory_gb, policies=policies)
+        sweep = run_sweep(
+            trace, args.memory_gb, policies=policies, trace_dir=args.trace_dir
+        )
+    if args.trace_dir:
+        print(
+            f"wrote per-cell event traces under {args.trace_dir}",
+            file=sys.stderr,
+        )
+    if args.metrics_out:
+        from repro.obs.sinks import write_counters_textfile
+
+        write_counters_textfile(
+            args.metrics_out,
+            [
+                (
+                    {"policy": p.policy, "memory_gb": f"{p.memory_gb:g}"},
+                    p.counters,
+                )
+                for p in sweep.points
+            ],
+        )
+        print(f"wrote metrics textfile {args.metrics_out}", file=sys.stderr)
     metric = args.metric
     sizes = sweep.memory_sizes()
     # Align each policy's column to the full memory grid: failed cells
@@ -368,6 +426,90 @@ def _cmd_balancers(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Replay one simulation with event tracing on, writing JSONL."""
+    import json
+
+    from repro.sim.scheduler import simulate
+
+    trace = _load_trace(args.trace)
+    tracer, close_tracer = _make_tracer(
+        args.out, args.metrics_out, strict=args.strict
+    )
+    try:
+        result = simulate(
+            trace, args.policy, args.memory_gb * 1024.0, tracer=tracer
+        )
+    finally:
+        close_tracer()
+    metrics = result.metrics
+    print(
+        f"wrote {args.out}: {metrics.total_requests} invocations traced "
+        f"({args.policy.upper()} @ {args.memory_gb:g} GB on {trace.name!r})"
+    )
+    if args.metrics_out:
+        print(f"wrote metrics textfile {args.metrics_out}", file=sys.stderr)
+    if args.summary_json:
+        summary = {
+            "trace": args.trace,
+            "policy": args.policy.upper(),
+            "memory_gb": args.memory_gb,
+            "counters": metrics.counters(),
+            "summary": metrics.summary(),
+        }
+        import pathlib
+
+        pathlib.Path(args.summary_json).write_text(
+            json.dumps(summary, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote summary {args.summary_json}", file=sys.stderr)
+    return 0
+
+
+def _cmd_trace_report(args: argparse.Namespace) -> int:
+    """Summarize (and optionally cross-check) a JSONL event trace."""
+    import json
+
+    from repro.obs.report import load_report
+
+    report = load_report(args.trace_file)
+    if args.function:
+        try:
+            timeline = report.timeline(args.function)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 1
+        print(f"timeline for {args.function!r} ({len(timeline)} events):")
+        for time_s, event_type in timeline.events:
+            print(f"  {time_s:>12.3f}  {event_type}")
+        counts = ", ".join(
+            f"{k}={v}" for k, v in sorted(timeline.counts().items())
+        )
+        print(f"  totals: {counts}")
+    else:
+        print(report.render(top_n=args.top))
+    if args.check:
+        with open(args.check) as handle:
+            expected = json.load(handle)
+        # Accept both a bare counter dict and the `trace` subcommand's
+        # summary JSON (counters nested under "counters").
+        counters = expected.get("counters", expected)
+        mismatches = report.check_counters(counters)
+        if mismatches:
+            print(
+                f"TRACE/METRICS MISMATCH ({len(mismatches)}):",
+                file=sys.stderr,
+            )
+            for line in mismatches:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(
+            f"trace agrees with {args.check} on all "
+            f"{len(counters)} counters"
+        )
+    return 0
+
+
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
@@ -409,6 +551,16 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAME=COUNT",
         help="pin NAME=COUNT provisioned-concurrency containers",
     )
+    simulate.add_argument(
+        "--trace-out",
+        metavar="EVENTS.jsonl",
+        help="also record lifecycle events to this JSONL file",
+    )
+    simulate.add_argument(
+        "--metrics-out",
+        metavar="METRICS.prom",
+        help="also write Prometheus-textfile counters to this path",
+    )
     simulate.set_defaults(func=_cmd_simulate)
 
     sweep = sub.add_parser("sweep", help="sweep policies across memory sizes")
@@ -433,6 +585,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet",
         action="store_true",
         help="suppress per-cell progress lines on stderr",
+    )
+    sweep.add_argument(
+        "--trace-dir",
+        metavar="DIR",
+        help=(
+            "record lifecycle events to one JSONL file per (policy, "
+            "memory) cell under DIR; works with any --workers setting"
+        ),
+    )
+    sweep.add_argument(
+        "--metrics-out",
+        metavar="METRICS.prom",
+        help=(
+            "write per-cell lifecycle counters (labelled by policy and "
+            "memory size) as a Prometheus textfile"
+        ),
     )
     sweep.set_defaults(func=_cmd_sweep)
 
@@ -479,6 +647,65 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument("--memory-gb", type=float, default=1.625)
     loadtest.add_argument("--cores", type=int, default=8)
     loadtest.set_defaults(func=_cmd_loadtest)
+
+    trace_cmd = sub.add_parser(
+        "trace", help="run one simulation with event tracing enabled"
+    )
+    trace_cmd.add_argument("--trace", required=True)
+    trace_cmd.add_argument("--policy", default="GD")
+    trace_cmd.add_argument("--memory-gb", type=float, default=16.0)
+    trace_cmd.add_argument(
+        "--out",
+        required=True,
+        metavar="EVENTS.jsonl",
+        help="JSONL file the lifecycle events are written to",
+    )
+    trace_cmd.add_argument(
+        "--summary-json",
+        metavar="SUMMARY.json",
+        help=(
+            "also write the run's aggregate counters/metrics as JSON "
+            "(the file trace-report --check verifies against)"
+        ),
+    )
+    trace_cmd.add_argument(
+        "--metrics-out",
+        metavar="METRICS.prom",
+        help="also write Prometheus-textfile counters to this path",
+    )
+    trace_cmd.add_argument(
+        "--strict",
+        action="store_true",
+        help="validate every event against the schema while emitting",
+    )
+    trace_cmd.set_defaults(func=_cmd_trace)
+
+    trace_report = sub.add_parser(
+        "trace-report", help="summarize a recorded JSONL event trace"
+    )
+    trace_report.add_argument(
+        "trace_file", metavar="EVENTS.jsonl", help="trace to analyze"
+    )
+    trace_report.add_argument(
+        "--check",
+        metavar="SUMMARY.json",
+        help=(
+            "verify the trace's rebuilt counters against a summary "
+            "JSON (from `trace --summary-json`); exit 1 on mismatch"
+        ),
+    )
+    trace_report.add_argument(
+        "--function",
+        metavar="NAME",
+        help="print one function's event timeline instead of the report",
+    )
+    trace_report.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="functions to list in the eviction-churn table",
+    )
+    trace_report.set_defaults(func=_cmd_trace_report)
 
     return parser
 

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.policies.base import create_policy
+from repro.obs.tracer import Tracer, active_tracer
 from repro.provisioning.cpu_autoscale import ReactiveCpuScaler
 from repro.sim.metrics import SimulationMetrics
 from repro.sim.scheduler import KeepAliveSimulator
@@ -78,6 +79,7 @@ class ElasticClusterSimulation:
         control_period_s: float = 600.0,
         scale_down_hold_s: float = 1200.0,
         seed: int = 0,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if requests_per_server_per_s <= 0:
             raise ValueError("per-server request capacity must be positive")
@@ -91,6 +93,7 @@ class ElasticClusterSimulation:
         self.requests_per_server_per_s = requests_per_server_per_s
         self.control_period_s = control_period_s
         self._seed = seed
+        self._tracer = active_tracer(tracer)
         # One "core" in the scaler = one server; offered load is the
         # arrival rate over the per-server request capacity.
         self._scaler = ReactiveCpuScaler(
@@ -106,14 +109,19 @@ class ElasticClusterSimulation:
             None
         ] * max_servers
         for i in range(min_servers):
-            self._servers[i] = self._new_server()
+            self._servers[i] = self._new_server(i)
         self._active = min_servers
 
-    def _new_server(self) -> KeepAliveSimulator:
+    def _new_server(self, ring_index: int) -> KeepAliveSimulator:
         return KeepAliveSimulator(
             self.trace,
             create_policy(self.policy_name),
             self.server_memory_mb,
+            tracer=(
+                self._tracer.bind(server=ring_index)
+                if self._tracer is not None
+                else None
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -146,7 +154,7 @@ class ElasticClusterSimulation:
             index = next(
                 i for i, s in enumerate(self._servers) if s is None
             )
-            self._servers[index] = self._new_server()
+            self._servers[index] = self._new_server(index)
             self._active += 1
             result.scale_ups += 1
         while self._active > desired and self._active > self.min_servers:
@@ -186,6 +194,14 @@ class ElasticClusterSimulation:
                     arrival_rate=rate / self.requests_per_server_per_s,
                     mean_service_time_s=1.0,
                 )
+                if self._tracer is not None:
+                    self._tracer.emit(
+                        "autoscale_decision",
+                        next_tick,
+                        desired_servers=decision.cores,
+                        active_servers=self._active,
+                        arrival_rate=rate,
+                    )
                 self._apply_scaling(decision.cores, result)
                 result.server_timeline.append((next_tick, self._active))
                 result.server_seconds += self._active * period

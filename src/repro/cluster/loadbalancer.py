@@ -54,6 +54,30 @@ class LoadBalancer(abc.ABC):
         load-aware policies.
         """
 
+    def route_traced(
+        self,
+        function_name: str,
+        used_mb: Sequence[float],
+        now_s: float,
+        tracer,
+    ) -> int:
+        """Route one invocation and emit an ``invocation_routed`` event.
+
+        The observability entry point used by
+        :class:`~repro.cluster.simulation.ClusterSimulator` when
+        tracing is enabled; subclasses with richer routing state
+        (spillover, rebalancing) override this to annotate the event.
+        """
+        server = self.route(function_name, used_mb)
+        tracer.emit(
+            "invocation_routed",
+            now_s,
+            function=function_name,
+            server=server,
+            balancer=self.name,
+        )
+        return server
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}(num_servers={self.num_servers})"
 
@@ -163,6 +187,27 @@ class AffinityWithSpilloverBalancer(HashAffinityBalancer):
             self.spillovers += 1
             return min(range(self.num_servers), key=lambda i: used_mb[i])
         return home
+
+    def route_traced(
+        self,
+        function_name: str,
+        used_mb: Sequence[float],
+        now_s: float,
+        tracer,
+    ) -> int:
+        # Annotate the routing event with whether the load escape
+        # hatch fired — the cluster-level pressure signal.
+        before = self.spillovers
+        server = self.route(function_name, used_mb)
+        tracer.emit(
+            "invocation_routed",
+            now_s,
+            function=function_name,
+            server=server,
+            balancer=self.name,
+            spilled=self.spillovers > before,
+        )
+        return server
 
 
 class LeastLoadedBalancer(LoadBalancer):

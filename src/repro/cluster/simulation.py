@@ -12,10 +12,11 @@ routing at equal total memory.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.cluster.loadbalancer import LoadBalancer, create_balancer
 from repro.core.policies.base import KeepAlivePolicy, create_policy
+from repro.obs.tracer import Tracer, active_tracer
 from repro.sim.metrics import SimulationMetrics
 from repro.sim.scheduler import KeepAliveSimulator
 from repro.traces.model import Trace
@@ -80,6 +81,7 @@ class ClusterSimulator:
         server_memory_mb: float = 8192.0,
         policy: str = "GD",
         balancer_kwargs: Dict | None = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if isinstance(balancer, str):
             balancer = create_balancer(
@@ -92,17 +94,35 @@ class ClusterSimulator:
         self.trace = trace
         self.balancer = balancer
         self.policy_name = policy.upper()
+        # Each server's lifecycle events carry its index; routing
+        # decisions are emitted by the balancer itself.
+        self._tracer = active_tracer(tracer)
         self.servers = [
-            KeepAliveSimulator(trace, create_policy(policy), server_memory_mb)
-            for __ in range(num_servers)
+            KeepAliveSimulator(
+                trace,
+                create_policy(policy),
+                server_memory_mb,
+                tracer=(
+                    self._tracer.bind(server=i)
+                    if self._tracer is not None
+                    else None
+                ),
+            )
+            for i in range(num_servers)
         ]
 
     def run(self) -> ClusterResult:
         functions = self.trace.functions
         routed = [0] * len(self.servers)
+        tracer = self._tracer
         for invocation in self.trace:
             used = [server.pool.used_mb for server in self.servers]
-            index = self.balancer.route(invocation.function_name, used)
+            if tracer is None:
+                index = self.balancer.route(invocation.function_name, used)
+            else:
+                index = self.balancer.route_traced(
+                    invocation.function_name, used, invocation.time_s, tracer
+                )
             if not 0 <= index < len(self.servers):
                 raise ValueError(
                     f"balancer routed to invalid server {index}"

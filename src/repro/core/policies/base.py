@@ -138,6 +138,23 @@ class KeepAlivePolicy(abc.ABC):
         """
         raise NotImplementedError
 
+    def eviction_priority(
+        self, container: Container, now_s: float
+    ) -> Optional[float]:
+        """The priority ``container`` holds at eviction time, for the
+        observability layer's ``evicted`` events.
+
+        Returns ``None`` for policies that select victims without a
+        scalar priority (e.g. list-structured policies overriding
+        :meth:`select_victims`), so traces stay honest instead of
+        inventing a number. Only called on the tracing path — never
+        when tracing is disabled.
+        """
+        try:
+            return float(self.priority(container, now_s))
+        except NotImplementedError:
+            return None
+
     def select_victims(
         self, pool: ContainerPool, needed_mb: float, now_s: float
     ) -> Optional[List[Container]]:

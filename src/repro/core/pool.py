@@ -14,10 +14,23 @@ executes it and maintains the invariants:
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.core.container import Container, ContainerState
 from repro.traces.model import TraceFunction
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.obs.tracer import Tracer
 
 __all__ = ["ContainerPool", "CapacityError"]
 
@@ -34,9 +47,18 @@ class CapacityError(Exception):
 class ContainerPool:
     """All live containers on one server, bounded by a memory capacity."""
 
-    def __init__(self, capacity_mb: float) -> None:
+    def __init__(
+        self, capacity_mb: float, tracer: Optional["Tracer"] = None
+    ) -> None:
         if capacity_mb <= 0:
             raise ValueError(f"capacity must be positive, got {capacity_mb}")
+        # Normalized to ``None`` when tracing is disabled so admission
+        # pays exactly one ``is None`` test (see repro.obs.tracer).
+        self._tracer = (
+            tracer
+            if tracer is not None and getattr(tracer, "enabled", True)
+            else None
+        )
         self._capacity_mb = float(capacity_mb)
         self._used_mb = 0.0
         self._containers: Dict[int, Container] = {}
@@ -114,6 +136,16 @@ class ContainerPool:
             container.container_id
         )
         self._used_mb += container.memory_mb
+        if self._tracer is not None:
+            self._tracer.emit(
+                "container_spawned",
+                container.created_at_s,
+                function=container.function.name,
+                container_id=container.container_id,
+                memory_mb=container.memory_mb,
+                pinned=container.pinned,
+                prewarmed=container.prewarmed,
+            )
         if not container.pinned:
             # Pinned containers are never eviction candidates; everyone
             # else enters the victim index unscored.

@@ -1,0 +1,164 @@
+"""The structured-event vocabulary of the tracing subsystem.
+
+Every event is a flat JSON-serializable dict with two mandatory
+fields — ``event`` (the type name) and ``time_s`` (simulation time) —
+plus the type-specific payload listed in :data:`EVENT_SCHEMAS`.
+Emitters may attach extra context fields (``policy``, ``server``,
+``memory_gb`` — anything bound via :meth:`repro.obs.Tracer.bind`);
+consumers must therefore tolerate unknown keys, exactly like a
+Prometheus label set or an OpenTelemetry attribute bag.
+
+The vocabulary covers the container lifecycle the paper reasons about
+(Sections 4-6) end to end:
+
+``invocation_arrived``
+    An invocation reached the scheduler, before hit/miss is known.
+``warm_hit``
+    A warm idle container was reused (cache hit).
+``cold_start``
+    A new container had to be created (cache miss).
+``container_spawned``
+    The pool admitted a container — cold start, prewarm, or pinned
+    provisioned concurrency (distinguished by the flags).
+``evicted``
+    A container was terminated, with the policy that chose it, the
+    priority it was evicted at, and the memory freed. ``reason`` is
+    ``pressure`` (victim selection), ``expiry`` (time-based TTL/HIST
+    expiration), or ``admission`` (a doorkeeper refusing to retain).
+``dropped``
+    An invocation could not obtain memory and was rejected.
+``pool_pressure``
+    Victim selection was required: the free memory at that instant,
+    what was needed, and what was reclaimable.
+``autoscale_decision``
+    A cluster scaling controller chose a server count.
+``invocation_routed``
+    A cluster load balancer assigned an invocation to a server.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Tuple
+
+__all__ = [
+    "EVENT_SCHEMAS",
+    "EVENT_TYPES",
+    "SchemaError",
+    "validate_event",
+]
+
+#: Field type specs. ``float`` accepts ints too (JSON round-trips do
+#: not preserve the distinction); ``None`` in a tuple marks the field
+#: as nullable.
+_NUMBER = (int, float)
+
+#: Required payload fields per event type (beyond ``event``/``time_s``).
+EVENT_SCHEMAS: Dict[str, Dict[str, tuple]] = {
+    "invocation_arrived": {
+        "function": (str,),
+    },
+    "warm_hit": {
+        "function": (str,),
+        "container_id": (int,),
+        "duration_s": _NUMBER,
+    },
+    "cold_start": {
+        "function": (str,),
+        "container_id": (int,),
+        "duration_s": _NUMBER,
+    },
+    "container_spawned": {
+        "function": (str,),
+        "container_id": (int,),
+        "memory_mb": _NUMBER,
+        "pinned": (bool,),
+        "prewarmed": (bool,),
+    },
+    "evicted": {
+        "function": (str,),
+        "container_id": (int,),
+        "policy": (str,),
+        "reason": (str,),
+        "freed_mb": _NUMBER,
+        "priority": _NUMBER + (type(None),),
+        "idle_s": _NUMBER,
+        "age_s": _NUMBER,
+    },
+    "dropped": {
+        "function": (str,),
+        "needed_mb": _NUMBER,
+    },
+    "pool_pressure": {
+        "needed_mb": _NUMBER,
+        "free_mb": _NUMBER,
+        "evictable_mb": _NUMBER,
+        "used_mb": _NUMBER,
+        "capacity_mb": _NUMBER,
+    },
+    "autoscale_decision": {
+        "desired_servers": (int,),
+        "active_servers": (int,),
+        "arrival_rate": _NUMBER,
+    },
+    "invocation_routed": {
+        "function": (str,),
+        "server": (int,),
+        "balancer": (str,),
+    },
+}
+
+#: Valid eviction reasons for the ``evicted`` event.
+EVICTION_REASONS = ("pressure", "expiry", "admission")
+
+EVENT_TYPES: Tuple[str, ...] = tuple(sorted(EVENT_SCHEMAS))
+
+
+class SchemaError(ValueError):
+    """An event does not conform to its declared schema."""
+
+
+def validate_event(event: Mapping[str, Any]) -> None:
+    """Raise :class:`SchemaError` unless ``event`` conforms.
+
+    Checks the mandatory envelope (``event`` name, numeric
+    ``time_s``), the per-type required fields and their types, and the
+    ``evicted`` reason vocabulary. Extra fields (bound context) are
+    allowed by design.
+
+    >>> validate_event({"event": "dropped", "time_s": 1.0,
+    ...                 "function": "f", "needed_mb": 128})
+    >>> validate_event({"event": "dropped", "time_s": 1.0})
+    Traceback (most recent call last):
+        ...
+    repro.obs.events.SchemaError: dropped event missing field 'function'
+    """
+    event_type = event.get("event")
+    if not isinstance(event_type, str):
+        raise SchemaError(f"event has no type name: {dict(event)!r}")
+    schema = EVENT_SCHEMAS.get(event_type)
+    if schema is None:
+        raise SchemaError(
+            f"unknown event type {event_type!r}; known: {list(EVENT_TYPES)}"
+        )
+    time_s = event.get("time_s")
+    if not isinstance(time_s, _NUMBER) or isinstance(time_s, bool):
+        raise SchemaError(f"{event_type} event needs a numeric time_s")
+    for name, types in schema.items():
+        if name not in event:
+            raise SchemaError(f"{event_type} event missing field {name!r}")
+        value = event[name]
+        # bool is an int subclass; only accept it where bool is listed.
+        if isinstance(value, bool) and bool not in types:
+            raise SchemaError(
+                f"{event_type}.{name} must be {types}, got bool"
+            )
+        if not isinstance(value, types):
+            raise SchemaError(
+                f"{event_type}.{name} must be {types}, "
+                f"got {type(value).__name__}"
+            )
+    if event_type == "evicted" and event["reason"] not in EVICTION_REASONS:
+        raise SchemaError(
+            f"evicted reason must be one of {EVICTION_REASONS}, "
+            f"got {event['reason']!r}"
+        )

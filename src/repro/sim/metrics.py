@@ -204,6 +204,24 @@ class SimulationMetrics:
             weighted += used * (t1 - t0)
         return weighted / span
 
+    def counters(self) -> Dict[str, int]:
+        """The integer lifecycle counters only.
+
+        This is the contract shared with the observability layer:
+        :meth:`repro.obs.report.TraceReport.counters` rebuilds exactly
+        these keys from an event trace, and the two must agree for a
+        fully-traced run (the CI trace-consistency gate). Sweeps also
+        snapshot this dict per cell.
+        """
+        return {
+            "warm_starts": self.warm_starts,
+            "cold_starts": self.cold_starts,
+            "dropped": self.dropped,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+            "prewarms": self.prewarms,
+        }
+
     def summary(self) -> Dict[str, float]:
         """A flat dict of the headline numbers, for tables and tests."""
         return {

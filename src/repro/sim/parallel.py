@@ -35,10 +35,9 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.core.policies import PAPER_POLICIES, create_policy
-from repro.sim.scheduler import KeepAliveSimulator
-from repro.sim.server import GB_MB
-from repro.sim.sweep import FailedCell, SweepResult, point_from_result
+from repro.core.policies import PAPER_POLICIES
+from repro.obs.tracer import Tracer
+from repro.sim.sweep import FailedCell, SweepResult, run_cell
 from repro.traces.model import Trace
 
 __all__ = ["run_sweep_parallel", "simulate_cell"]
@@ -47,35 +46,55 @@ __all__ = ["run_sweep_parallel", "simulate_cell"]
 #: cell submission only pickles its (policy, memory) coordinates.
 _WORKER_TRACE: Optional[Trace] = None
 
+#: Per-worker event-trace directory (or None). Broadcast as a *path*
+#: through the initializer: each worker opens its own per-cell JSONL
+#: sink, so no file handle ever crosses a process boundary.
+_WORKER_TRACE_DIR: Optional[str] = None
+
 #: Callback signature: ``progress(done, total, policy, memory_gb)``,
 #: invoked after every cell settles (point produced or finally failed).
 ProgressCallback = Callable[[int, int, str, float], None]
 
 
-def _init_worker(trace: Trace) -> None:
-    global _WORKER_TRACE
+def _init_worker(trace: Trace, trace_dir: Optional[str] = None) -> None:
+    global _WORKER_TRACE, _WORKER_TRACE_DIR
     _WORKER_TRACE = trace
+    _WORKER_TRACE_DIR = trace_dir
 
 
 def _run_cell(policy_name: str, memory_gb: float):
     """Worker-side cell execution against the broadcast trace."""
     if _WORKER_TRACE is None:
         raise RuntimeError("worker pool was not initialized with a trace")
-    return simulate_cell(_WORKER_TRACE, policy_name, memory_gb)
+    return simulate_cell(
+        _WORKER_TRACE, policy_name, memory_gb, trace_dir=_WORKER_TRACE_DIR
+    )
 
 
-def simulate_cell(trace: Trace, policy_name: str, memory_gb: float):
-    """Run one (policy, memory) cell; module-level so it pickles."""
-    policy = create_policy(policy_name)
-    sim = KeepAliveSimulator(trace, policy, memory_gb * GB_MB)
-    return point_from_result(policy_name, memory_gb, sim.run())
+def simulate_cell(
+    trace: Trace,
+    policy_name: str,
+    memory_gb: float,
+    trace_dir: Optional[str] = None,
+):
+    """Run one (policy, memory) cell; module-level so it pickles.
+
+    ``trace_dir`` (optional) writes the cell's lifecycle events to its
+    own JSONL file — see :func:`repro.sim.sweep.cell_trace_path`.
+    """
+    return run_cell(trace, policy_name, memory_gb, trace_dir=trace_dir)
 
 
-def _run_cell_isolated(trace: Trace, policy_name: str, memory_gb: float):
+def _run_cell_isolated(
+    trace: Trace,
+    policy_name: str,
+    memory_gb: float,
+    trace_dir: Optional[str] = None,
+):
     """Last-resort execution of one cell in its own single-worker
     pool, isolating hard worker crashes to the cell that caused them."""
     with ProcessPoolExecutor(
-        max_workers=1, initializer=_init_worker, initargs=(trace,)
+        max_workers=1, initializer=_init_worker, initargs=(trace, trace_dir)
     ) as solo:
         return solo.submit(_run_cell, policy_name, memory_gb).result()
 
@@ -87,6 +106,8 @@ def run_sweep_parallel(
     max_workers: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
     retries: int = 1,
+    tracer: Optional[Tracer] = None,
+    trace_dir: Optional[str] = None,
 ) -> SweepResult:
     """Like :func:`repro.sim.sweep.run_sweep`, fanned out over processes.
 
@@ -101,9 +122,29 @@ def run_sweep_parallel(
     as :func:`run_sweep` orders them (policy-major, then memory), with
     failed cells skipped, so a clean run compares equal to the
     sequential sweep.
+
+    Tracing: ``trace_dir`` works in every mode — it is broadcast as a
+    path and each worker opens its own per-cell JSONL sink (see
+    :func:`repro.sim.sweep.cell_trace_path`). A ``tracer`` *object* is
+    only accepted on the in-process path (``max_workers <= 1``):
+    tracer sinks hold open file handles and other process-local state,
+    and shipping one through the pool initializer would make every
+    worker interleave writes on a duplicated handle. Passing a tracer
+    with multiprocess workers therefore raises :class:`ValueError`
+    instead of silently corrupting the output.
     """
     if retries < 0:
         raise ValueError(f"retries must be >= 0, got {retries}")
+    if tracer is not None and trace_dir is not None:
+        raise ValueError("pass either tracer or trace_dir, not both")
+    multiprocess = max_workers is None or max_workers > 1
+    if tracer is not None and multiprocess:
+        raise ValueError(
+            "tracer objects hold process-local sinks (open file handles, "
+            "in-memory buffers) and cannot be shared with sweep worker "
+            "processes; pass trace_dir=<directory> for per-cell JSONL "
+            "files, or max_workers=1 to trace in-process"
+        )
     cells: List[Tuple[str, float]] = [
         (policy, memory_gb)
         for policy in policies
@@ -126,7 +167,13 @@ def run_sweep_parallel(
     if max_workers is not None and max_workers <= 1:
         for index, (policy_name, memory_gb) in enumerate(cells):
             try:
-                point = simulate_cell(trace, policy_name, memory_gb)
+                point = run_cell(
+                    trace,
+                    policy_name,
+                    memory_gb,
+                    tracer=tracer,
+                    trace_dir=trace_dir,
+                )
             except Exception as exc:
                 result.failed_cells.append(
                     FailedCell(policy_name, memory_gb, repr(exc))
@@ -142,7 +189,7 @@ def run_sweep_parallel(
     with ProcessPoolExecutor(
         max_workers=max_workers,
         initializer=_init_worker,
-        initargs=(trace,),
+        initargs=(trace, trace_dir),
     ) as pool:
         futures = {
             pool.submit(_run_cell, policy_name, memory_gb): (index, 0)
@@ -191,7 +238,9 @@ def run_sweep_parallel(
         for index in unfinished:
             policy_name, memory_gb = cells[index]
             try:
-                point = _run_cell_isolated(trace, policy_name, memory_gb)
+                point = _run_cell_isolated(
+                    trace, policy_name, memory_gb, trace_dir=trace_dir
+                )
             except Exception as exc:
                 result.failed_cells.append(
                     FailedCell(policy_name, memory_gb, repr(exc))

@@ -30,6 +30,7 @@ from typing import List, Optional, Tuple
 from repro.core.container import Container
 from repro.core.policies.base import KeepAlivePolicy, create_policy
 from repro.core.pool import CapacityError, ContainerPool
+from repro.obs.tracer import Tracer, active_tracer
 from repro.sim.metrics import SimulationMetrics
 from repro.traces.model import Trace, TraceFunction
 
@@ -67,6 +68,7 @@ class KeepAliveSimulator:
         prewarm_effectiveness: float = 1.0,
         reserved_concurrency: Optional[dict] = None,
         warmup_s: float = 0.0,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         """``prewarm_effectiveness`` models Section 9's explicit-
         initialization discussion: a prefetched (HIST) container only
@@ -90,7 +92,15 @@ class KeepAliveSimulator:
         this time are simulated with full fidelity (they populate the
         cache and the policy state) but are not counted in the
         metrics, removing the compulsory-miss transient from short
-        replays — standard discrete-event-simulation practice."""
+        replays — standard discrete-event-simulation practice.
+
+        ``tracer`` (a :class:`repro.obs.Tracer`) turns on structured
+        lifecycle-event emission: arrivals, warm hits, cold starts,
+        spawns, evictions (with policy and priority), drops, and
+        memory-pressure rounds. Disabled (the default) it costs one
+        ``None`` check per emission site — the trace stream sees
+        *every* invocation, including those before ``warmup_s`` that
+        the metrics exclude."""
         if not 0.0 <= prewarm_effectiveness <= 1.0:
             raise ValueError(
                 f"prewarm effectiveness must be in [0, 1], "
@@ -100,7 +110,10 @@ class KeepAliveSimulator:
             raise ValueError(f"warmup must be >= 0, got {warmup_s}")
         self.trace = trace
         self.policy = policy
-        self.pool = ContainerPool(memory_mb)
+        # ``None`` when tracing is disabled: every emission site guards
+        # with a plain ``is None`` test, the cheapest off switch.
+        self._tracer = active_tracer(tracer)
+        self.pool = ContainerPool(memory_mb, tracer=self._tracer)
         self.metrics = SimulationMetrics()
         self.prewarm_effectiveness = prewarm_effectiveness
         self.warmup_s = warmup_s
@@ -126,6 +139,23 @@ class KeepAliveSimulator:
     # Per-arrival phases
     # ------------------------------------------------------------------
 
+    def _trace_evicted(
+        self, container: Container, now_s: float, reason: str
+    ) -> None:
+        """Emit one ``evicted`` event (callers guard on the tracer)."""
+        self._tracer.emit(
+            "evicted",
+            now_s,
+            function=container.function.name,
+            container_id=container.container_id,
+            policy=self.policy.name,
+            reason=reason,
+            freed_mb=container.memory_mb,
+            priority=self.policy.eviction_priority(container, now_s),
+            idle_s=container.idle_time_s(now_s),
+            age_s=max(0.0, now_s - container.created_at_s),
+        )
+
     def _release_finished(self, now_s: float) -> None:
         while self._running and self._running[0][0] <= now_s:
             finish_s, __, container = heapq.heappop(self._running)
@@ -138,6 +168,8 @@ class KeepAliveSimulator:
             # Admission gate: policies with a doorkeeper may refuse to
             # keep an unproven function's container warm at all.
             if not self.policy.should_retain(container, finish_s, self.pool):
+                if self._tracer is not None:
+                    self._trace_evicted(container, finish_s, "admission")
                 self.pool.evict(container)
                 self.policy.on_evict(
                     container, finish_s, self.pool, pressure=False
@@ -146,6 +178,8 @@ class KeepAliveSimulator:
 
     def _expire_containers(self, now_s: float) -> None:
         for container, __ in self.policy.expired_containers(self.pool, now_s):
+            if self._tracer is not None:
+                self._trace_evicted(container, now_s, "expiry")
             self.pool.evict(container)
             self.policy.on_evict(container, now_s, self.pool, pressure=False)
             self.metrics.expirations += 1
@@ -167,10 +201,23 @@ class KeepAliveSimulator:
 
     def _evict_for(self, needed_mb: float, now_s: float) -> bool:
         """Free memory for ``needed_mb``; False means the request drops."""
+        tracer = self._tracer
+        if tracer is not None and needed_mb > self.pool.free_mb + 1e-9:
+            tracer.emit(
+                "pool_pressure",
+                now_s,
+                needed_mb=needed_mb,
+                free_mb=self.pool.free_mb,
+                evictable_mb=self.pool.evictable_mb(),
+                used_mb=self.pool.used_mb,
+                capacity_mb=self.pool.capacity_mb,
+            )
         victims = self.policy.select_victims(self.pool, needed_mb, now_s)
         if victims is None:
             return False
         for container in victims:
+            if tracer is not None:
+                self._trace_evicted(container, now_s, "pressure")
             self.pool.evict(container)
             self.policy.on_evict(container, now_s, self.pool, pressure=True)
             self.metrics.evictions += 1
@@ -193,6 +240,9 @@ class KeepAliveSimulator:
         self._expire_containers(now_s)
         self._materialize_prewarms(now_s)
         self.policy.on_invocation(function, now_s)
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.emit("invocation_arrived", now_s, function=function.name)
 
         container = self.pool.idle_warm_container(function.name)
         if container is not None:
@@ -210,6 +260,14 @@ class KeepAliveSimulator:
                 (container.busy_until_s, container.container_id, container),
             )
             self.policy.on_warm_start(container, now_s, self.pool)
+            if tracer is not None:
+                tracer.emit(
+                    "warm_hit",
+                    now_s,
+                    function=function.name,
+                    container_id=container.container_id,
+                    duration_s=duration,
+                )
             if now_s >= self.warmup_s:
                 self.metrics.record_warm(
                     function.name, function.warm_time_s, actual_time_s=duration
@@ -218,6 +276,13 @@ class KeepAliveSimulator:
             return "warm"
 
         if not self._evict_for(function.memory_mb, now_s):
+            if tracer is not None:
+                tracer.emit(
+                    "dropped",
+                    now_s,
+                    function=function.name,
+                    needed_mb=function.memory_mb,
+                )
             if now_s >= self.warmup_s:
                 self.metrics.record_dropped(function.name)
             self._sample_memory(now_s)
@@ -231,6 +296,14 @@ class KeepAliveSimulator:
             (container.busy_until_s, container.container_id, container),
         )
         self.policy.on_cold_start(container, now_s, self.pool)
+        if tracer is not None:
+            tracer.emit(
+                "cold_start",
+                now_s,
+                function=function.name,
+                container_id=container.container_id,
+                duration_s=function.cold_time_s,
+            )
         if now_s >= self.warmup_s:
             self.metrics.record_cold(
                 function.name, function.warm_time_s, function.cold_time_s
@@ -279,6 +352,7 @@ def simulate(
     prewarm_effectiveness: float = 1.0,
     reserved_concurrency: Optional[dict] = None,
     warmup_s: float = 0.0,
+    tracer: Optional[Tracer] = None,
     **policy_kwargs,
 ) -> SimulationResult:
     """Convenience one-shot simulation.
@@ -286,8 +360,8 @@ def simulate(
     ``policy`` may be a short policy name (``"GD"``, ``"TTL"``, ...) or
     an already-constructed policy instance. The simulator's own knobs
     (``timeline_interval_s``, ``prewarm_effectiveness``,
-    ``reserved_concurrency``, ``warmup_s``) are forwarded to
-    :class:`KeepAliveSimulator` explicitly; any remaining keyword
+    ``reserved_concurrency``, ``warmup_s``, ``tracer``) are forwarded
+    to :class:`KeepAliveSimulator` explicitly; any remaining keyword
     arguments configure the *policy* and are therefore only valid with
     a policy name.
 
@@ -309,5 +383,6 @@ def simulate(
         prewarm_effectiveness=prewarm_effectiveness,
         reserved_concurrency=reserved_concurrency,
         warmup_s=warmup_s,
+        tracer=tracer,
     )
     return simulator.run()

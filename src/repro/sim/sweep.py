@@ -9,10 +9,13 @@ and plotting code consume.
 
 from __future__ import annotations
 
+import pathlib
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.core.policies import PAPER_POLICIES, create_policy
+from repro.obs.sinks import JsonlSink
+from repro.obs.tracer import Tracer
 from repro.sim.scheduler import KeepAliveSimulator, SimulationResult
 from repro.sim.server import GB_MB
 from repro.traces.model import Trace
@@ -22,6 +25,8 @@ __all__ = [
     "FailedCell",
     "SweepResult",
     "run_sweep",
+    "run_cell",
+    "cell_trace_path",
     "memory_sizes_gb",
     "point_from_result",
 ]
@@ -48,6 +53,11 @@ class SweepPoint:
     wall_time_s: float = field(default=0.0, compare=False)
     #: Invocations simulated per wall-clock second for this cell.
     invocations_per_s: float = field(default=0.0, compare=False)
+    #: Snapshot of the cell's integer lifecycle counters
+    #: (:meth:`SimulationMetrics.counters`). Deterministic, but kept
+    #: out of ``==``/``hash`` so points stay hashable and older
+    #: hand-built points (without counters) still compare equal.
+    counters: Mapping[str, int] = field(default_factory=dict, compare=False)
 
 
 @dataclass(frozen=True)
@@ -75,6 +85,7 @@ def point_from_result(
         global_hit_ratio=metrics.global_hit_ratio,
         wall_time_s=metrics.wall_time_s,
         invocations_per_s=metrics.invocations_per_s,
+        counters=metrics.counters(),
     )
 
 
@@ -119,6 +130,14 @@ class SweepResult:
             raise ValueError(f"no sweep points at {memory_gb} GB")
         return min(candidates, key=lambda p: getattr(p, metric)).policy
 
+    def total_counters(self) -> Dict[str, int]:
+        """Grid-wide sums of the per-cell lifecycle counters."""
+        totals: Dict[str, int] = {}
+        for point in self.points:
+            for key, value in point.counters.items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
 
 def memory_sizes_gb(start_gb: float, stop_gb: float, step_gb: float) -> List[float]:
     """Inclusive memory-size grid, e.g. the paper's 500 MB steps."""
@@ -132,26 +151,87 @@ def memory_sizes_gb(start_gb: float, stop_gb: float, step_gb: float) -> List[flo
     return sizes
 
 
+def cell_trace_path(
+    trace_dir: str | pathlib.Path, policy_name: str, memory_gb: float
+) -> pathlib.Path:
+    """The JSONL file one sweep cell's events go to under ``trace_dir``.
+
+    Shared by the sequential and parallel engines so both produce the
+    same layout, and path-addressable so parallel workers can each
+    (re-)open their own sink instead of inheriting a parent file
+    handle.
+    """
+    return pathlib.Path(trace_dir) / f"{policy_name}_{memory_gb:g}GB.jsonl"
+
+
+def run_cell(
+    trace: Trace,
+    policy_name: str,
+    memory_gb: float,
+    tracer: Optional[Tracer] = None,
+    trace_dir: Optional[str] = None,
+) -> SweepPoint:
+    """Run one (policy, memory) cell with optional tracing.
+
+    ``tracer`` (in-process use) is bound with the cell coordinates so
+    a single sink can receive several cells' events distinguishably;
+    ``trace_dir`` instead writes the cell's events to its own JSONL
+    file (see :func:`cell_trace_path`) — the only tracing mode that is
+    safe across processes.
+    """
+    cell_tracer = None
+    owned_sink = None
+    if trace_dir is not None:
+        if tracer is not None:
+            raise ValueError("pass either tracer or trace_dir, not both")
+        owned_sink = JsonlSink(
+            cell_trace_path(trace_dir, policy_name, memory_gb), eager=True
+        )
+        cell_tracer = Tracer(owned_sink)
+    elif tracer is not None:
+        cell_tracer = tracer.bind(policy=policy_name, memory_gb=memory_gb)
+    try:
+        policy = create_policy(policy_name)
+        sim = KeepAliveSimulator(
+            trace, policy, memory_gb * GB_MB, tracer=cell_tracer
+        )
+        return point_from_result(policy_name, memory_gb, sim.run())
+    finally:
+        if owned_sink is not None:
+            owned_sink.close()
+
+
 def run_sweep(
     trace: Trace,
     memory_gbs: Sequence[float],
     policies: Iterable[str] = PAPER_POLICIES,
     progress: Optional[Callable[[str, float], None]] = None,
+    tracer: Optional[Tracer] = None,
+    trace_dir: Optional[str] = None,
 ) -> SweepResult:
     """Simulate every (policy, memory) cell over ``trace``.
 
     Each cell gets a fresh policy instance, so runs are independent and
     order-insensitive. ``progress`` (if given) is called with the
     policy name and memory size before each cell, for long sweeps.
+
+    Tracing: ``tracer`` streams every cell's events to one sink, each
+    event stamped with its ``policy``/``memory_gb`` context;
+    ``trace_dir`` writes one JSONL file per cell instead (the layout
+    the parallel engine also produces).
     """
     result = SweepResult(trace_name=trace.name)
     for policy_name in policies:
         for memory_gb in memory_gbs:
             if progress is not None:
                 progress(policy_name, memory_gb)
-            policy = create_policy(policy_name)
-            sim = KeepAliveSimulator(trace, policy, memory_gb * GB_MB)
             result.points.append(
-                point_from_result(policy_name, memory_gb, sim.run())
+                run_cell(
+                    trace,
+                    policy_name,
+                    memory_gb,
+                    tracer=tracer,
+                    trace_dir=trace_dir,
+                )
             )
     return result

@@ -250,3 +250,127 @@ class TestSweepEngineCLI:
                     "--reserve", "fn-00001",
                 ]
             )
+
+
+class TestObservabilityCLI:
+    def test_trace_writes_events_and_summary(self, tmp_path, capsys):
+        events = tmp_path / "events.jsonl"
+        summary = tmp_path / "summary.json"
+        code = main(
+            [
+                "trace",
+                "--trace", "skewed-frequency",
+                "--policy", "GD",
+                "--memory-gb", "0.5",
+                "--strict",
+                "--out", str(events),
+                "--summary-json", str(summary),
+            ]
+        )
+        assert code == 0
+        assert "invocations traced" in capsys.readouterr().out
+        import json
+
+        payload = json.loads(summary.read_text())
+        assert payload["policy"] == "GD"
+        assert set(payload["counters"]) == {
+            "warm_starts", "cold_starts", "dropped",
+            "evictions", "expirations", "prewarms",
+        }
+        from repro.obs.sinks import read_jsonl_events
+
+        assert sum(1 for __ in read_jsonl_events(events)) > 0
+
+    def _traced_pair(self, tmp_path):
+        events = tmp_path / "events.jsonl"
+        summary = tmp_path / "summary.json"
+        assert main(
+            [
+                "trace", "--trace", "skewed-frequency",
+                "--policy", "GD", "--memory-gb", "0.5",
+                "--out", str(events), "--summary-json", str(summary),
+            ]
+        ) == 0
+        return events, summary
+
+    def test_trace_report_renders(self, tmp_path, capsys):
+        events, __ = self._traced_pair(tmp_path)
+        assert main(["trace-report", str(events)]) == 0
+        out = capsys.readouterr().out
+        assert "lifecycle counters" in out
+        assert "memory pressure" in out
+
+    def test_trace_report_check_passes(self, tmp_path, capsys):
+        events, summary = self._traced_pair(tmp_path)
+        assert main(["trace-report", str(events), "--check",
+                     str(summary)]) == 0
+        assert "agrees" in capsys.readouterr().out
+
+    def test_trace_report_check_detects_mismatch(self, tmp_path, capsys):
+        import json
+
+        events, summary = self._traced_pair(tmp_path)
+        payload = json.loads(summary.read_text())
+        payload["counters"]["cold_starts"] += 1
+        summary.write_text(json.dumps(payload))
+        assert main(["trace-report", str(events), "--check",
+                     str(summary)]) == 1
+        assert "MISMATCH" in capsys.readouterr().err
+
+    def test_trace_report_function_timeline(self, tmp_path, capsys):
+        events, __ = self._traced_pair(tmp_path)
+        from repro.obs.sinks import read_jsonl_events
+
+        name = next(iter(read_jsonl_events(events)))["function"]
+        assert main(
+            ["trace-report", str(events), "--function", name]
+        ) == 0
+        out = capsys.readouterr().out
+        assert f"timeline for {name!r}" in out
+        assert "invocation_arrived" in out
+
+    def test_trace_report_unknown_function(self, tmp_path, capsys):
+        events, __ = self._traced_pair(tmp_path)
+        assert main(
+            ["trace-report", str(events), "--function", "nope"]
+        ) == 1
+        assert "never appears" in capsys.readouterr().err
+
+    def test_simulate_trace_out_and_metrics_out(self, tmp_path, capsys):
+        events = tmp_path / "sim.jsonl"
+        prom = tmp_path / "sim.prom"
+        code = main(
+            [
+                "simulate", "--trace", "cyclic",
+                "--policy", "GD", "--memory-gb", "1",
+                "--trace-out", str(events),
+                "--metrics-out", str(prom),
+            ]
+        )
+        assert code == 0
+        assert "warm_starts" in capsys.readouterr().out
+        assert events.exists()
+        text = prom.read_text()
+        assert "faascache_invocations_total" in text
+
+    def test_sweep_trace_dir_and_metrics_out(self, tmp_path, capsys):
+        trace_dir = tmp_path / "cells"
+        prom = tmp_path / "sweep.prom"
+        code = main(
+            [
+                "sweep", "--trace", "cyclic",
+                "--memory-gb", "1", "2",
+                "--policies", "GD", "TTL",
+                "--trace-dir", str(trace_dir),
+                "--metrics-out", str(prom),
+            ]
+        )
+        assert code == 0
+        names = sorted(p.name for p in trace_dir.iterdir())
+        assert names == [
+            "GD_1GB.jsonl", "GD_2GB.jsonl",
+            "TTL_1GB.jsonl", "TTL_2GB.jsonl",
+        ]
+        text = prom.read_text()
+        assert 'policy="GD"' in text and 'policy="TTL"' in text
+        assert 'memory_gb="2"' in text

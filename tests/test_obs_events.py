@@ -1,0 +1,275 @@
+"""Event-schema conformance: every emitter, every event type.
+
+The contract under test: each instrumented component emits only events
+in :data:`repro.obs.events.EVENT_SCHEMAS`, with the required payload
+fields at the required types, and the stream survives a JSONL
+round-trip unchanged. Strict tracers raise on the first violation, so
+replaying seeded workloads under ``strict=True`` is a whole-stack
+conformance sweep.
+"""
+
+import pytest
+
+from repro.core.policies import create_policy
+from repro.obs.events import (
+    EVENT_SCHEMAS,
+    EVENT_TYPES,
+    EVICTION_REASONS,
+    SchemaError,
+    validate_event,
+)
+from repro.obs.sinks import JsonlSink, RingBufferSink, read_jsonl_events
+from repro.obs.tracer import Tracer
+from repro.sim.scheduler import KeepAliveSimulator
+from repro.traces.model import Invocation, Trace, TraceFunction
+from repro.traces.synth import skewed_frequency_trace
+from tests.conftest import make_trace
+
+
+def run_traced(policy_name, memory_mb=1024.0, trace=None, **sim_kwargs):
+    """Replay a seeded workload under a strict tracer; return events."""
+    if trace is None:
+        trace = skewed_frequency_trace(seed=1, duration_s=600.0)
+    sink = RingBufferSink(capacity=1_000_000)
+    tracer = Tracer(sink, strict=True)
+    sim = KeepAliveSimulator(
+        trace, create_policy(policy_name), memory_mb, tracer=tracer,
+        **sim_kwargs,
+    )
+    sim.run()
+    return sim, sink.snapshot()
+
+
+class TestValidateEvent:
+    def _evicted(self, **overrides):
+        event = {
+            "event": "evicted",
+            "time_s": 1.0,
+            "function": "f",
+            "container_id": 3,
+            "policy": "GD",
+            "reason": "pressure",
+            "freed_mb": 128.0,
+            "priority": 7.5,
+            "idle_s": 2.0,
+            "age_s": 5.0,
+        }
+        event.update(overrides)
+        return event
+
+    def test_valid_event_passes(self):
+        validate_event(self._evicted())
+
+    def test_unknown_event_type_rejected(self):
+        with pytest.raises(SchemaError, match="unknown event type"):
+            validate_event({"event": "warp_drive", "time_s": 0.0})
+
+    def test_missing_envelope_rejected(self):
+        with pytest.raises(SchemaError):
+            validate_event({"event": "dropped"})  # no time_s
+        with pytest.raises(SchemaError):
+            validate_event({"time_s": 0.0})  # no event
+
+    def test_missing_required_field_rejected(self):
+        event = self._evicted()
+        del event["freed_mb"]
+        with pytest.raises(SchemaError, match="freed_mb"):
+            validate_event(event)
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(SchemaError, match="container_id"):
+            validate_event(self._evicted(container_id="three"))
+
+    def test_nullable_priority(self):
+        validate_event(self._evicted(priority=None))
+
+    def test_bad_eviction_reason_rejected(self):
+        with pytest.raises(SchemaError, match="reason"):
+            validate_event(self._evicted(reason="boredom"))
+
+    def test_all_reasons_valid(self):
+        for reason in EVICTION_REASONS:
+            validate_event(self._evicted(reason=reason))
+
+    def test_extra_context_fields_allowed(self):
+        validate_event(
+            self._evicted(server=3, memory_gb=0.5, experiment="x")
+        )
+
+
+class TestJsonlRoundTrip:
+    def test_every_event_type_round_trips(self, tmp_path):
+        """One representative event per type: write JSONL, read back,
+        revalidate, compare payloads."""
+        samples = {
+            "invocation_arrived": {"function": "f"},
+            "warm_hit": {"function": "f", "container_id": 1,
+                         "duration_s": 0.5},
+            "cold_start": {"function": "f", "container_id": 2,
+                           "duration_s": 2.5},
+            "container_spawned": {"function": "f", "container_id": 2,
+                                  "memory_mb": 128.0, "pinned": False,
+                                  "prewarmed": True},
+            "evicted": {"function": "f", "container_id": 2, "policy": "GD",
+                        "reason": "expiry", "freed_mb": 128.0,
+                        "priority": None, "idle_s": 10.0, "age_s": 60.0},
+            "dropped": {"function": "f", "needed_mb": 128.0},
+            "pool_pressure": {"needed_mb": 128.0, "free_mb": 0.0,
+                              "evictable_mb": 256.0, "used_mb": 1024.0,
+                              "capacity_mb": 1024.0},
+            "autoscale_decision": {"desired_servers": 4,
+                                   "active_servers": 2,
+                                   "arrival_rate": 12.5},
+            "invocation_routed": {"function": "f", "server": 1,
+                                  "balancer": "hash-affinity"},
+        }
+        assert set(samples) == set(EVENT_TYPES)
+        path = tmp_path / "events.jsonl"
+        with JsonlSink(path) as sink:
+            tracer = Tracer(sink, strict=True)
+            for event_type, payload in samples.items():
+                tracer.emit(event_type, 1.5, **payload)
+        events = list(read_jsonl_events(path))
+        assert len(events) == len(samples)
+        for event in events:
+            validate_event(event)
+            payload = dict(event)
+            event_type = payload.pop("event")
+            assert payload.pop("time_s") == 1.5
+            assert payload == samples[event_type]
+
+    def test_simulator_stream_round_trips(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        trace = skewed_frequency_trace(seed=1, duration_s=300.0)
+        with JsonlSink(path) as sink:
+            KeepAliveSimulator(
+                trace, create_policy("GD"), 1024.0,
+                tracer=Tracer(sink, strict=True),
+            ).run()
+        count = 0
+        for event in read_jsonl_events(path):
+            validate_event(event)
+            count += 1
+        assert count == sink.events_written
+        assert count > len(trace)  # arrivals plus lifecycle events
+
+
+class TestEmitterConformance:
+    """Seeded replays under strict tracing: any schema violation at
+    any emission site raises immediately."""
+
+    def test_gd_emits_pressure_lifecycle(self):
+        sim, events = run_traced("GD")
+        seen = {e["event"] for e in events}
+        assert {"invocation_arrived", "warm_hit", "cold_start",
+                "container_spawned", "evicted", "dropped",
+                "pool_pressure"} <= seen
+        reasons = {e["reason"] for e in events if e["event"] == "evicted"}
+        assert reasons == {"pressure"}
+
+    def test_ttl_emits_expiry(self):
+        # 400 s gaps against the 600 s default TTL: each revisit of A
+        # finds its container expired.
+        __, events = run_traced(
+            "TTL", memory_mb=8192.0,
+            trace=make_trace("ABAB", gap_s=400.0),
+        )
+        reasons = {e["reason"] for e in events if e["event"] == "evicted"}
+        assert "expiry" in reasons
+
+    def test_doorkeeper_emits_admission(self):
+        # Single-shot functions never pass the admission threshold, so
+        # the doorkeeper refuses to keep their containers warm.
+        __, events = run_traced(
+            "DOORKEEPER", memory_mb=8192.0,
+            trace=make_trace("ABCADAEA", gap_s=5.0),
+        )
+        reasons = {e["reason"] for e in events if e["event"] == "evicted"}
+        assert "admission" in reasons
+
+    def test_hist_prewarm_spawns_flagged(self):
+        # A arrives every 300 s (predictable, head > release
+        # threshold), so HIST releases its container and prefetches a
+        # new one before the predicted arrival; B drives the clock.
+        functions = [
+            TraceFunction("A", 128.0, 1.0, 3.0),
+            TraceFunction("B", 128.0, 1.0, 3.0),
+        ]
+        invocations = sorted(
+            [Invocation(i * 300.0, "A") for i in range(12)]
+            + [Invocation(i * 10.0 + 1.0, "B") for i in range(360)],
+            key=lambda inv: inv.time_s,
+        )
+        __, events = run_traced(
+            "HIST", memory_mb=8192.0,
+            trace=Trace(functions, invocations, name="regular"),
+        )
+        spawns = [e for e in events if e["event"] == "container_spawned"]
+        assert any(e["prewarmed"] for e in spawns)
+        reasons = {e["reason"] for e in events if e["event"] == "evicted"}
+        assert "expiry" in reasons
+
+    def test_pinned_spawn_flagged(self):
+        trace = skewed_frequency_trace(seed=1, duration_s=120.0)
+        name = next(iter(trace.functions))
+        __, events = run_traced(
+            "GD", trace=trace, reserved_concurrency={name: 1}
+        )
+        pinned = [
+            e for e in events
+            if e["event"] == "container_spawned" and e["pinned"]
+        ]
+        assert len(pinned) == 1
+        assert pinned[0]["function"] == name
+
+    def test_evicted_priority_is_policy_score(self):
+        __, events = run_traced("GD")
+        evicted = [e for e in events if e["event"] == "evicted"]
+        assert evicted
+        # GD scores every container, so no eviction is unscored.
+        assert all(e["priority"] is not None for e in evicted)
+        assert all(e["freed_mb"] > 0 for e in evicted)
+
+    def test_cluster_routing_and_autoscale_conform(self):
+        from repro.cluster.elastic import ElasticClusterSimulation
+        from repro.cluster.simulation import ClusterSimulator
+
+        trace = skewed_frequency_trace(seed=2, duration_s=600.0)
+        sink = RingBufferSink(capacity=1_000_000)
+        ClusterSimulator(
+            trace, "affinity-spillover", num_servers=3,
+            server_memory_mb=512.0, policy="GD",
+            tracer=Tracer(sink, strict=True),
+        ).run()
+        routed = [
+            e for e in sink if e["event"] == "invocation_routed"
+        ]
+        assert len(routed) == len(trace)
+        assert {e["balancer"] for e in routed} == {"affinity-spillover"}
+        assert all("spilled" in e for e in routed)
+
+        sink = RingBufferSink(capacity=1_000_000)
+        ElasticClusterSimulation(
+            trace, server_memory_mb=1024.0, max_servers=4,
+            control_period_s=120.0,
+            tracer=Tracer(sink, strict=True),
+        ).run()
+        decisions = [
+            e for e in sink if e["event"] == "autoscale_decision"
+        ]
+        assert decisions
+        servers = {
+            e.get("server")
+            for e in sink
+            if e["event"] == "invocation_arrived"
+        }
+        assert len(servers) >= 1  # bound context survives into events
+
+    def test_strict_tracer_rejects_bad_emit(self):
+        tracer = Tracer(RingBufferSink(), strict=True)
+        with pytest.raises(SchemaError):
+            tracer.emit("evicted", 0.0, function="f")  # missing fields
+
+    def test_schema_covers_exactly_the_emitted_vocabulary(self):
+        assert set(EVENT_SCHEMAS) == set(EVENT_TYPES)
+        assert len(EVENT_TYPES) == 9

@@ -1,0 +1,156 @@
+"""Trace/aggregate consistency and offline report reconstruction.
+
+The core gate: for any fully-traced seeded run, the lifecycle counters
+rebuilt from the event stream must equal the simulator's live
+:meth:`SimulationMetrics.counters` — the trace is complete, nothing is
+double-counted, nothing is missed.
+"""
+
+import pytest
+
+from repro.core.policies import create_policy
+from repro.obs.report import TraceReport, load_report, report_from_events
+from repro.obs.sinks import RingBufferSink
+from repro.obs.tracer import Tracer
+from repro.sim.scheduler import KeepAliveSimulator
+from repro.traces.synth import (
+    cyclic_trace,
+    multitenant_trace,
+    skewed_frequency_trace,
+)
+from tests.conftest import make_trace
+
+
+def traced_run(policy_name, trace, memory_mb):
+    sink = RingBufferSink(capacity=2_000_000)
+    sim = KeepAliveSimulator(
+        trace, create_policy(policy_name), memory_mb,
+        tracer=Tracer(sink, strict=True),
+    )
+    sim.run()
+    return sim.metrics, report_from_events(sink)
+
+
+class TestCountersConsistency:
+    """Rebuilt counters == live counters, across policies that
+    exercise every eviction reason."""
+
+    @pytest.mark.parametrize("policy", ["GD", "TTL", "LRU", "HIST",
+                                        "DOORKEEPER", "FREQ"])
+    def test_skewed_frequency(self, policy):
+        trace = skewed_frequency_trace(seed=1, duration_s=600.0)
+        metrics, report = traced_run(policy, trace, 512.0)
+        assert report.counters() == metrics.counters()
+        assert report.check_counters(metrics.counters()) == []
+
+    @pytest.mark.parametrize("policy", ["GD", "TTL", "DOORKEEPER"])
+    def test_multitenant(self, policy):
+        trace = multitenant_trace(duration_s=600.0, num_tenants=8)
+        metrics, report = traced_run(policy, trace, 1024.0)
+        assert report.counters() == metrics.counters()
+
+    def test_expiry_heavy(self):
+        # Long gaps force TTL expirations (reason="expiry"), which must
+        # land in the `expirations` counter, not `evictions`.
+        metrics, report = traced_run(
+            "TTL", make_trace("ABAB" * 3, gap_s=400.0), 8192.0
+        )
+        assert metrics.expirations > 0
+        assert report.counters() == metrics.counters()
+        assert report.evictions_by_reason.get("expiry", 0) > 0
+
+    def test_admission_heavy(self):
+        # Doorkeeper refusals (reason="admission") also count as
+        # expirations in the simulator's aggregate.
+        metrics, report = traced_run(
+            "DOORKEEPER", make_trace("ABCADAEA", gap_s=5.0), 8192.0
+        )
+        assert report.evictions_by_reason.get("admission", 0) > 0
+        assert report.counters() == metrics.counters()
+
+    def test_mismatch_is_reported(self):
+        metrics, report = traced_run(
+            "GD", skewed_frequency_trace(seed=1, duration_s=300.0), 512.0
+        )
+        expected = dict(metrics.counters())
+        expected["warm_starts"] += 1
+        expected["nonsense"] = 5
+        mismatches = report.check_counters(expected)
+        assert len(mismatches) == 2
+        assert any("warm_starts" in m for m in mismatches)
+        assert any("nonsense" in m for m in mismatches)
+
+    def test_counter_keys_match_simulation_metrics(self):
+        from repro.sim.metrics import SimulationMetrics
+
+        assert set(TraceReport().counters()) == set(
+            SimulationMetrics().counters()
+        )
+
+
+class TestTimelines:
+    def test_per_function_event_order(self):
+        __, report = traced_run("GD", make_trace("AAB", gap_s=10.0), 8192.0)
+        timeline = report.timeline("A")
+        kinds = [kind for __, kind in timeline.events]
+        assert kinds[:3] == [
+            "invocation_arrived", "container_spawned", "cold_start"
+        ]
+        assert "warm_hit" in kinds
+        assert timeline.counts()["invocation_arrived"] == 2
+
+    def test_unknown_function_raises(self):
+        __, report = traced_run("GD", make_trace("A", gap_s=1.0), 8192.0)
+        with pytest.raises(KeyError, match="never appears"):
+            report.timeline("nope")
+
+
+class TestChurn:
+    def test_refaults_tracked(self):
+        # Tight memory on a cyclic workload: evicted functions return
+        # and re-fault, the thrash signature.
+        metrics, report = traced_run("GD", cyclic_trace(), 768.0)
+        assert metrics.evictions > 0
+        top = report.most_evicted(5)
+        assert top
+        assert top[0].evictions >= top[-1].evictions
+        assert any(e.refaults > 0 for e in top)
+        refaulted = next(e for e in top if e.refaults > 0)
+        assert refaulted.refault_gap_s > 0.0
+
+    def test_pressure_summary(self):
+        __, report = traced_run("GD", cyclic_trace(), 768.0)
+        assert report.pressure_events > 0
+        assert 0.0 < report.peak_utilization <= 1.0
+        assert report.peak_used_mb <= 768.0
+
+
+class TestRendering:
+    def test_render_sections(self):
+        __, report = traced_run("GD", cyclic_trace(), 768.0)
+        text = report.render(top_n=3)
+        assert "lifecycle counters" in text
+        assert "evictions by reason" in text
+        assert "eviction churn" in text
+        assert "memory pressure" in text
+
+    def test_render_empty_report(self):
+        text = TraceReport().render()
+        assert "0 events" in text
+
+
+class TestLoadReport:
+    def test_from_jsonl_file(self, tmp_path):
+        from repro.obs.sinks import JsonlSink
+
+        path = tmp_path / "run.jsonl"
+        trace = skewed_frequency_trace(seed=1, duration_s=300.0)
+        with JsonlSink(path) as sink:
+            sim = KeepAliveSimulator(
+                trace, create_policy("GD"), 512.0,
+                tracer=Tracer(sink, strict=True),
+            )
+            sim.run()
+        report = load_report(path)
+        assert report.counters() == sim.metrics.counters()
+        assert report.total_events == sink.events_written

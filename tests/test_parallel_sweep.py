@@ -3,7 +3,7 @@
 import pytest
 
 from repro.sim.parallel import run_sweep_parallel, simulate_cell
-from repro.sim.sweep import FailedCell, run_sweep
+from repro.sim.sweep import FailedCell, cell_trace_path, run_sweep
 from tests.conftest import make_trace
 
 
@@ -125,3 +125,103 @@ class TestFaultTolerance:
         )
         assert result.points == []
         assert len(result.failed_cells) == 1
+
+
+class TestSweepTracing:
+    """Per-cell event traces and counter snapshots, both engines."""
+
+    def test_counters_populated_and_engine_equal(self, trace):
+        grid = [0.5, 1.0]
+        policies = ("GD", "TTL")
+        sequential = run_sweep(trace, grid, policies=policies)
+        parallel = run_sweep_parallel(
+            trace, grid, policies=policies, max_workers=2
+        )
+        for point in sequential.points:
+            assert point.counters  # snapshot always filled
+            assert point.counters["warm_starts"] >= 0
+        seq = {(p.policy, p.memory_gb): p.counters
+               for p in sequential.points}
+        par = {(p.policy, p.memory_gb): p.counters
+               for p in parallel.points}
+        assert seq == par
+        totals = sequential.total_counters()
+        assert totals["warm_starts"] == sum(
+            p.counters["warm_starts"] for p in sequential.points
+        )
+
+    @pytest.mark.parametrize("max_workers", [1, 2])
+    def test_trace_dir_writes_per_cell_files(
+        self, trace, tmp_path, max_workers
+    ):
+        grid = [0.5, 1.0]
+        policies = ("GD", "LRU")
+        result = run_sweep_parallel(
+            trace, grid, policies=policies,
+            max_workers=max_workers, trace_dir=str(tmp_path),
+        )
+        assert result.failed_cells == []
+        from repro.obs.report import load_report
+
+        for point in result.points:
+            path = cell_trace_path(tmp_path, point.policy, point.memory_gb)
+            assert path.exists()
+            # Counters rebuilt from the cell's event file equal the
+            # cell's snapshot: per-worker sinks lost nothing.
+            assert load_report(path).counters() == dict(point.counters)
+
+    def test_sequential_trace_dir_matches_parallel_layout(
+        self, trace, tmp_path
+    ):
+        seq_dir = tmp_path / "seq"
+        par_dir = tmp_path / "par"
+        run_sweep(trace, [0.5], policies=("GD",), trace_dir=str(seq_dir))
+        run_sweep_parallel(
+            trace, [0.5], policies=("GD",),
+            max_workers=2, trace_dir=str(par_dir),
+        )
+        assert [p.name for p in sorted(seq_dir.iterdir())] == [
+            p.name for p in sorted(par_dir.iterdir())
+        ]
+
+    def test_tracer_object_rejected_with_multiprocess_workers(self, trace):
+        from repro.obs.sinks import RingBufferSink
+        from repro.obs.tracer import Tracer
+
+        tracer = Tracer(RingBufferSink())
+        with pytest.raises(ValueError, match="process-local"):
+            run_sweep_parallel(
+                trace, [0.5], policies=("GD",), tracer=tracer
+            )
+        with pytest.raises(ValueError, match="process-local"):
+            run_sweep_parallel(
+                trace, [0.5], policies=("GD",),
+                max_workers=4, tracer=tracer,
+            )
+
+    def test_tracer_object_allowed_inline(self, trace):
+        from repro.obs.sinks import RingBufferSink
+        from repro.obs.tracer import Tracer
+
+        sink = RingBufferSink()
+        result = run_sweep_parallel(
+            trace, [0.5], policies=("GD",),
+            max_workers=1, tracer=Tracer(sink),
+        )
+        assert len(result.points) == 1
+        assert sink.total_emitted > 0
+        # Cell coordinates are bound onto every event.
+        event = next(iter(sink))
+        assert event["policy"] == "GD"
+        assert event["memory_gb"] == 0.5
+
+    def test_tracer_and_trace_dir_mutually_exclusive(self, trace, tmp_path):
+        from repro.obs.sinks import RingBufferSink
+        from repro.obs.tracer import Tracer
+
+        with pytest.raises(ValueError, match="not both"):
+            run_sweep_parallel(
+                trace, [0.5], policies=("GD",), max_workers=1,
+                tracer=Tracer(RingBufferSink()),
+                trace_dir=str(tmp_path),
+            )
