@@ -137,16 +137,20 @@ def test_victim_index_speedup():
 
 
 # ----------------------------------------------------------------------
-# Disabled-tracing overhead: the observability null fast path
+# Disabled-instrumentation overhead: the null fast paths
 # ----------------------------------------------------------------------
 #
 # The repro.obs instrumentation must be free when off: with no tracer
-# the hot path pays only ``is None`` tests. The baseline below is a
-# frozen copy of the pre-observability hot-path methods (every tracer
-# line deleted); running both variants interleaved and comparing
-# best-of-N wall clocks measures exactly what the emission-site guards
-# cost. A metrics-identity assertion keeps the frozen copy honest — if
-# the real hot path changes behaviour, the copy must be re-frozen.
+# the hot path pays only ``is None`` tests. The same budget covers the
+# repro.faults layer — with no fault spec the hot path pays one
+# ``self._faults is not None`` and one ``self._down`` bool test per
+# invocation. The baseline below is a frozen copy of the
+# pre-observability, pre-fault hot-path methods (every tracer line and
+# fault guard deleted); running both variants interleaved and comparing
+# best-of-N wall clocks measures exactly what the emission-site and
+# fault guards cost together. A metrics-identity assertion keeps the
+# frozen copy honest — if the real hot path changes behaviour, the
+# copy must be re-frozen.
 
 OVERHEAD_BUDGET_PCT = 2.0
 
@@ -317,9 +321,11 @@ def test_untraced_baseline_identical():
 
 
 def test_tracing_disabled_overhead():
-    """Disabled tracing must cost < 2% throughput on the multitenant
-    configuration. Re-measures on failure: the gate is tight enough
-    that a single noisy best-of-N can spuriously trip it."""
+    """Disabled tracing *and* disabled fault injection together must
+    cost < 2% throughput on the multitenant configuration (the frozen
+    baseline predates both layers). Re-measures on failure: the gate
+    is tight enough that a single noisy best-of-N can spuriously trip
+    it."""
     pct = None
     for __ in range(3):
         pct = measure_disabled_overhead_pct()

@@ -14,6 +14,11 @@ Gives downstream users the common workflows without writing Python::
 ``--trace`` accepts a JSON trace file (see :mod:`repro.traces.io`) or
 one of the built-in workload names (``cyclic``, ``skewed-size``,
 ``skewed-frequency``, ``multitenant``).
+
+``simulate``, ``sweep``, and ``trace`` additionally accept
+``--fault-spec SPEC.json`` for seeded, deterministic fault injection —
+see ``docs/robustness.md`` for the spec format and the determinism
+guarantees.
 """
 
 from __future__ import annotations
@@ -45,6 +50,18 @@ def _load_trace(spec: str) -> Trace:
     from repro.traces.io import load_trace_json
 
     return load_trace_json(spec)
+
+
+def _load_fault_spec(path: Optional[str]):
+    """Load a ``--fault-spec`` JSON file, or ``None`` when not given."""
+    if not path:
+        return None
+    from repro.faults import load_fault_spec
+
+    try:
+        return load_fault_spec(path)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"--fault-spec {path}: {exc}")
 
 
 # ----------------------------------------------------------------------
@@ -116,6 +133,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.sim.scheduler import simulate
 
     trace = _load_trace(args.trace)
+    fault_spec = _load_fault_spec(args.fault_spec)
     tracer, close_tracer = _make_tracer(args.trace_out, args.metrics_out)
     try:
         result = simulate(
@@ -125,6 +143,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             warmup_s=args.warmup_s,
             reserved_concurrency=_parse_reserved(args.reserve),
             tracer=tracer,
+            fault_spec=fault_spec,
         )
     finally:
         close_tracer()
@@ -169,6 +188,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.sim.sweep import run_sweep
 
     trace = _load_trace(args.trace)
+    fault_spec = _load_fault_spec(args.fault_spec)
     policies = args.policies or list(PAPER_POLICIES)
     if args.workers is not None and args.workers != 1:
         def report(done: int, total: int, policy: str, memory_gb: float) -> None:
@@ -184,6 +204,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             max_workers=args.workers or None,
             progress=report if not args.quiet else None,
             trace_dir=args.trace_dir,
+            fault_spec=fault_spec,
         )
         for cell in sweep.failed_cells:
             print(
@@ -193,7 +214,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             )
     else:
         sweep = run_sweep(
-            trace, args.memory_gb, policies=policies, trace_dir=args.trace_dir
+            trace, args.memory_gb, policies=policies,
+            trace_dir=args.trace_dir, fault_spec=fault_spec,
         )
     if args.trace_dir:
         print(
@@ -433,12 +455,14 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.sim.scheduler import simulate
 
     trace = _load_trace(args.trace)
+    fault_spec = _load_fault_spec(args.fault_spec)
     tracer, close_tracer = _make_tracer(
         args.out, args.metrics_out, strict=args.strict
     )
     try:
         result = simulate(
-            trace, args.policy, args.memory_gb * 1024.0, tracer=tracer
+            trace, args.policy, args.memory_gb * 1024.0, tracer=tracer,
+            fault_spec=fault_spec,
         )
     finally:
         close_tracer()
@@ -561,6 +585,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="METRICS.prom",
         help="also write Prometheus-textfile counters to this path",
     )
+    simulate.add_argument(
+        "--fault-spec",
+        metavar="SPEC.json",
+        help=(
+            "inject deterministic faults per this JSON spec "
+            "(see docs/robustness.md)"
+        ),
+    )
     simulate.set_defaults(func=_cmd_simulate)
 
     sweep = sub.add_parser("sweep", help="sweep policies across memory sizes")
@@ -600,6 +632,14 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "write per-cell lifecycle counters (labelled by policy and "
             "memory size) as a Prometheus textfile"
+        ),
+    )
+    sweep.add_argument(
+        "--fault-spec",
+        metavar="SPEC.json",
+        help=(
+            "inject deterministic faults into every cell, each under "
+            "its own coordinate-derived seed (see docs/robustness.md)"
         ),
     )
     sweep.set_defaults(func=_cmd_sweep)
@@ -677,6 +717,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--strict",
         action="store_true",
         help="validate every event against the schema while emitting",
+    )
+    trace_cmd.add_argument(
+        "--fault-spec",
+        metavar="SPEC.json",
+        help=(
+            "inject deterministic faults per this JSON spec "
+            "(see docs/robustness.md)"
+        ),
     )
     trace_cmd.set_defaults(func=_cmd_trace)
 

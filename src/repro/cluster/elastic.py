@@ -20,10 +20,13 @@ from __future__ import annotations
 
 import hashlib
 import math
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Set, Tuple
 
+from repro.cluster.simulation import _server_level_spec
 from repro.core.policies.base import create_policy
+from repro.faults import FaultModel, FaultSpec
 from repro.obs.tracer import Tracer, active_tracer
 from repro.provisioning.cpu_autoscale import ReactiveCpuScaler
 from repro.sim.metrics import SimulationMetrics
@@ -46,6 +49,16 @@ class ElasticClusterResult:
     server_seconds: float = 0.0
     scale_ups: int = 0
     scale_downs: int = 0
+    # -- fault injection / recovery ----------------------------------
+    faults_injected: int = 0
+    retries: int = 0
+    #: Per-server sheds (budget/queue/pressure) folded from members.
+    sheds: int = 0
+    #: Whole-server failures applied across the ring.
+    server_downs: int = 0
+    #: Invocations shed at the cluster level: every active ring
+    #: position was failed when they arrived.
+    shed_unavailable: int = 0
 
     @property
     def served(self) -> int:
@@ -80,6 +93,7 @@ class ElasticClusterSimulation:
         scale_down_hold_s: float = 1200.0,
         seed: int = 0,
         tracer: Optional[Tracer] = None,
+        fault_spec: Optional[FaultSpec] = None,
     ) -> None:
         if requests_per_server_per_s <= 0:
             raise ValueError("per-server request capacity must be positive")
@@ -103,6 +117,24 @@ class ElasticClusterSimulation:
             scale_down_hold_s=scale_down_hold_s,
             initial_cores=min_servers,
         )
+        # Whole-server outages are driven at this level over the fixed
+        # ring positions; member simulators only see invocation-level
+        # faults (see repro.cluster.simulation._server_level_spec).
+        self._fault_spec = (
+            fault_spec if fault_spec is not None and fault_spec.enabled
+            else None
+        )
+        self._server_spec = _server_level_spec(self._fault_spec)
+        self._outages: Deque[Tuple[float, int, str]] = deque()
+        if self._fault_spec is not None:
+            self._outages = deque(
+                FaultModel(self._fault_spec).server_schedule(
+                    max_servers, trace.duration_s
+                )
+            )
+        # Ring positions currently failed; routing and scale-up skip
+        # them until the scheduled recovery.
+        self._failed: Set[int] = set()
         # Slot i holds the simulator of ring position i, or None when
         # the position is inactive.
         self._servers: List[Optional[KeepAliveSimulator]] = [
@@ -122,6 +154,8 @@ class ElasticClusterSimulation:
                 if self._tracer is not None
                 else None
             ),
+            fault_spec=self._server_spec,
+            server_index=ring_index,
         )
 
     # ------------------------------------------------------------------
@@ -137,13 +171,17 @@ class ElasticClusterSimulation:
         ).digest()
         return int.from_bytes(digest, "little") % self.max_servers
 
-    def _route(self, function_name: str) -> KeepAliveSimulator:
+    def _route(self, function_name: str) -> Optional[KeepAliveSimulator]:
+        """The next active, healthy server on the ring, or ``None``
+        when every active position is currently failed (the caller
+        sheds the invocation as ``unavailable``)."""
         start = self._ring_start(function_name)
         for offset in range(self.max_servers):
-            server = self._servers[(start + offset) % self.max_servers]
-            if server is not None:
+            index = (start + offset) % self.max_servers
+            server = self._servers[index]
+            if server is not None and index not in self._failed:
                 return server
-        raise RuntimeError("no active servers")  # pragma: no cover
+        return None
 
     # ------------------------------------------------------------------
     # Scaling actuation
@@ -151,9 +189,15 @@ class ElasticClusterSimulation:
 
     def _apply_scaling(self, desired: int, result: ElasticClusterResult) -> None:
         while self._active < desired:
-            index = next(
-                i for i, s in enumerate(self._servers) if s is None
-            )
+            # New capacity never lands on a failed ring position.
+            candidates = [
+                i
+                for i, s in enumerate(self._servers)
+                if s is None and i not in self._failed
+            ]
+            if not candidates:
+                break
+            index = candidates[0]
             self._servers[index] = self._new_server(index)
             self._active += 1
             result.scale_ups += 1
@@ -167,7 +211,23 @@ class ElasticClusterSimulation:
             self._servers[index] = None
             self._active -= 1
             result.scale_downs += 1
+            retired.drain_retries()
             self._fold_metrics(retired.metrics, result)
+
+    def _apply_outages(self, now_s: float, result: ElasticClusterResult) -> None:
+        """Fail/recover ring positions per the outage schedule."""
+        outages = self._outages
+        while outages and outages[0][0] <= now_s:
+            at_s, index, kind = outages.popleft()
+            server = self._servers[index]
+            if kind == "down":
+                self._failed.add(index)
+                if server is not None:
+                    server.fail_server(at_s)
+            else:
+                self._failed.discard(index)
+                if server is not None:
+                    server.recover_server(at_s)
 
     @staticmethod
     def _fold_metrics(
@@ -176,6 +236,10 @@ class ElasticClusterSimulation:
         result.warm_starts += metrics.warm_starts
         result.cold_starts += metrics.cold_starts
         result.dropped += metrics.dropped
+        result.faults_injected += metrics.faults_injected
+        result.retries += metrics.retries
+        result.sheds += metrics.sheds
+        result.server_downs += metrics.server_downs
 
     # ------------------------------------------------------------------
 
@@ -208,12 +272,27 @@ class ElasticClusterSimulation:
                 arrivals_in_period = 0
                 next_tick += period
             arrivals_in_period += 1
+            if self._outages:
+                self._apply_outages(invocation.time_s, result)
             server = self._route(invocation.function_name)
+            if server is None:
+                # Every active ring position is down right now.
+                result.shed_unavailable += 1
+                if self._tracer is not None:
+                    self._tracer.emit(
+                        "invocation_shed",
+                        invocation.time_s,
+                        function=invocation.function_name,
+                        reason="unavailable",
+                        attempts=1,
+                    )
+                continue
             server.process_invocation(
                 functions[invocation.function_name], invocation.time_s
             )
         # Fold the still-active servers' metrics.
         for server in self._servers:
             if server is not None:
+                server.drain_retries()
                 self._fold_metrics(server.metrics, result)
         return result

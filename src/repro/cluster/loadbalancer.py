@@ -16,6 +16,15 @@ This module implements that spectrum so the claim can be measured:
   only those, concentrating each function's temporal locality.
 * :class:`LeastLoadedBalancer` — pick the server with the least
   memory in use (greedy packing, locality-blind).
+
+All balancers are **health-aware**: the cluster marks failed servers
+down via :meth:`LoadBalancer.mark_down` and every policy then routes
+around them (affinity sets are rerouted along the hash ring) until
+:meth:`LoadBalancer.mark_up` restores them. With no server down, each
+policy's routing — including any internal RNG draw sequence — is
+byte-identical to its pre-health-awareness behaviour. When every
+server is down, ``route`` raises :class:`NoHealthyServers` and the
+cluster simulator sheds the invocation as ``unavailable``.
 """
 
 from __future__ import annotations
@@ -23,10 +32,11 @@ from __future__ import annotations
 import abc
 import hashlib
 import random
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Set
 
 __all__ = [
     "LoadBalancer",
+    "NoHealthyServers",
     "RandomBalancer",
     "RoundRobinBalancer",
     "HashAffinityBalancer",
@@ -34,6 +44,10 @@ __all__ = [
     "LeastLoadedBalancer",
     "create_balancer",
 ]
+
+
+class NoHealthyServers(RuntimeError):
+    """Every server is marked down; no routing decision is possible."""
 
 
 class LoadBalancer(abc.ABC):
@@ -45,13 +59,46 @@ class LoadBalancer(abc.ABC):
         if num_servers <= 0:
             raise ValueError(f"need at least one server, got {num_servers}")
         self.num_servers = num_servers
+        #: Servers currently failed (health-aware routing skips them).
+        self._down: Set[int] = set()
+
+    # -- health tracking ------------------------------------------------
+
+    def mark_down(self, server: int) -> None:
+        """Exclude ``server`` from routing until :meth:`mark_up`."""
+        if not 0 <= server < self.num_servers:
+            raise ValueError(f"server {server} out of range")
+        self._down.add(server)
+
+    def mark_up(self, server: int) -> None:
+        """Restore a recovered server to the routing set. Idempotent."""
+        self._down.discard(server)
+
+    @property
+    def down_servers(self) -> Set[int]:
+        """A copy of the currently-down server set."""
+        return set(self._down)
+
+    def _healthy(self) -> List[int]:
+        """Ascending indices of healthy servers; raises if none."""
+        if not self._down:
+            return list(range(self.num_servers))
+        healthy = [
+            i for i in range(self.num_servers) if i not in self._down
+        ]
+        if not healthy:
+            raise NoHealthyServers(
+                f"all {self.num_servers} servers are down"
+            )
+        return healthy
 
     @abc.abstractmethod
     def route(self, function_name: str, used_mb: Sequence[float]) -> int:
-        """Pick a server for one invocation.
+        """Pick a healthy server for one invocation.
 
         ``used_mb`` is the current memory usage of every server, for
-        load-aware policies.
+        load-aware policies. Raises :class:`NoHealthyServers` when all
+        servers are marked down.
         """
 
     def route_traced(
@@ -92,7 +139,12 @@ class RandomBalancer(LoadBalancer):
         self._rng = random.Random(seed)
 
     def route(self, function_name: str, used_mb: Sequence[float]) -> int:
-        return self._rng.randrange(self.num_servers)
+        # Fast path preserves the exact draw sequence of the
+        # pre-health-awareness balancer when no server is down.
+        if not self._down:
+            return self._rng.randrange(self.num_servers)
+        healthy = self._healthy()
+        return healthy[self._rng.randrange(len(healthy))]
 
 
 class RoundRobinBalancer(LoadBalancer):
@@ -105,8 +157,12 @@ class RoundRobinBalancer(LoadBalancer):
         self._next = 0
 
     def route(self, function_name: str, used_mb: Sequence[float]) -> int:
+        if self._down and len(self._down) >= self.num_servers:
+            raise NoHealthyServers(f"all {self.num_servers} servers are down")
         server = self._next
-        self._next = (self._next + 1) % self.num_servers
+        while server in self._down:
+            server = (server + 1) % self.num_servers
+        self._next = (server + 1) % self.num_servers
         return server
 
 
@@ -144,7 +200,23 @@ class HashAffinityBalancer(LoadBalancer):
         servers = self._servers_for(function_name)
         turn = self._rotation.get(function_name, 0)
         self._rotation[function_name] = (turn + 1) % len(servers)
-        return servers[turn % len(servers)]
+        chosen = servers[turn % len(servers)]
+        if chosen not in self._down:
+            return chosen
+        # Rerouted affinity: try the rest of the affinity set in
+        # rotation order, then walk the hash ring past it — the
+        # function's traffic lands on the deterministic "next" servers
+        # until its home set recovers.
+        for offset in range(1, len(servers)):
+            candidate = servers[(turn + offset) % len(servers)]
+            if candidate not in self._down:
+                return candidate
+        ring_next = (servers[0] + self.replicas) % self.num_servers
+        for offset in range(self.num_servers - self.replicas):
+            candidate = (ring_next + offset) % self.num_servers
+            if candidate not in self._down:
+                return candidate
+        raise NoHealthyServers(f"all {self.num_servers} servers are down")
 
 
 class AffinityWithSpilloverBalancer(HashAffinityBalancer):
@@ -182,10 +254,14 @@ class AffinityWithSpilloverBalancer(HashAffinityBalancer):
                 f"expected {self.num_servers} load entries, got {len(used_mb)}"
             )
         home = super().route(function_name, used_mb)
-        mean_load = sum(used_mb) / len(used_mb)
+        # Load statistics consider healthy servers only: a dead
+        # server's zero usage must not drag the mean down or attract
+        # spillover traffic.
+        healthy = self._healthy()
+        mean_load = sum(used_mb[i] for i in healthy) / len(healthy)
         if mean_load > 0 and used_mb[home] > self.spillover_factor * mean_load:
             self.spillovers += 1
-            return min(range(self.num_servers), key=lambda i: used_mb[i])
+            return min(healthy, key=lambda i: used_mb[i])
         return home
 
     def route_traced(
@@ -211,7 +287,15 @@ class AffinityWithSpilloverBalancer(HashAffinityBalancer):
 
 
 class LeastLoadedBalancer(LoadBalancer):
-    """Send each request to the server using the least memory."""
+    """Send each request to the server using the least memory.
+
+    Tie-breaking is part of the contract: among equally-loaded healthy
+    servers the **lowest index wins**, always. This keeps routing a
+    pure function of the load vector (and the down set), so replayed
+    runs and cross-process sweeps make identical decisions — ties are
+    common (e.g. every server empty at t=0) and any unspecified order
+    here would silently fan out into divergent cluster states.
+    """
 
     name = "least-loaded"
 
@@ -220,7 +304,16 @@ class LeastLoadedBalancer(LoadBalancer):
             raise ValueError(
                 f"expected {self.num_servers} load entries, got {len(used_mb)}"
             )
-        return min(range(self.num_servers), key=lambda i: used_mb[i])
+        best = -1
+        for i in range(self.num_servers):
+            if i in self._down:
+                continue
+            # Strict < : the first (lowest-index) minimum is kept.
+            if best < 0 or used_mb[i] < used_mb[best]:
+                best = i
+        if best < 0:
+            raise NoHealthyServers(f"all {self.num_servers} servers are down")
+        return best
 
 
 _BALANCERS = {

@@ -11,17 +11,40 @@ routing at equal total memory.
 
 from __future__ import annotations
 
+import dataclasses
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
-from repro.cluster.loadbalancer import LoadBalancer, create_balancer
+from repro.cluster.loadbalancer import (
+    LoadBalancer,
+    NoHealthyServers,
+    create_balancer,
+)
 from repro.core.policies.base import KeepAlivePolicy, create_policy
+from repro.faults import FaultModel, FaultSpec
 from repro.obs.tracer import Tracer, active_tracer
 from repro.sim.metrics import SimulationMetrics
 from repro.sim.scheduler import KeepAliveSimulator
 from repro.traces.model import Trace
 
 __all__ = ["ClusterResult", "ClusterSimulator"]
+
+
+def _server_level_spec(spec: Optional[FaultSpec]) -> Optional[FaultSpec]:
+    """The per-server spec a cluster hands to its member simulators.
+
+    Whole-server outages are owned by the *cluster* (it must fail the
+    balancer's view and the server in lockstep), so the server-level
+    copy keeps only the invocation-level rates and retry knobs. Returns
+    ``None`` when nothing remains enabled.
+    """
+    if spec is None or not spec.enabled:
+        return None
+    stripped = dataclasses.replace(
+        spec, server_mtbf_s=0.0, server_downtimes=()
+    )
+    return stripped if stripped.enabled else None
 
 
 @dataclass
@@ -33,6 +56,10 @@ class ClusterResult:
     per_server: List[SimulationMetrics] = field(default_factory=list)
     #: invocations routed to each server
     routed: List[int] = field(default_factory=list)
+    #: Invocations shed *at the cluster level* because no healthy
+    #: server existed when they arrived. These belong to no server, so
+    #: they appear here rather than in any per-server metrics.
+    shed_unavailable: int = 0
 
     @property
     def warm_starts(self) -> int:
@@ -49,6 +76,24 @@ class ClusterResult:
     @property
     def served(self) -> int:
         return self.warm_starts + self.cold_starts
+
+    @property
+    def faults_injected(self) -> int:
+        return sum(m.faults_injected for m in self.per_server)
+
+    @property
+    def retries(self) -> int:
+        return sum(m.retries for m in self.per_server)
+
+    @property
+    def sheds(self) -> int:
+        """All shed invocations: per-server sheds plus cluster-level
+        ``shed_unavailable`` ones."""
+        return sum(m.sheds for m in self.per_server) + self.shed_unavailable
+
+    @property
+    def server_downs(self) -> int:
+        return sum(m.server_downs for m in self.per_server)
 
     @property
     def cold_start_pct(self) -> float:
@@ -82,6 +127,7 @@ class ClusterSimulator:
         policy: str = "GD",
         balancer_kwargs: Dict | None = None,
         tracer: Optional[Tracer] = None,
+        fault_spec: Optional[FaultSpec] = None,
     ) -> None:
         if isinstance(balancer, str):
             balancer = create_balancer(
@@ -97,6 +143,21 @@ class ClusterSimulator:
         # Each server's lifecycle events carry its index; routing
         # decisions are emitted by the balancer itself.
         self._tracer = active_tracer(tracer)
+        # Whole-server outages are driven here — the balancer's health
+        # view and the server's state must change together — while
+        # invocation-level faults run inside each server simulator.
+        self._fault_spec = (
+            fault_spec if fault_spec is not None and fault_spec.enabled
+            else None
+        )
+        self._server_schedule: Deque[Tuple[float, int, str]] = deque()
+        server_spec = _server_level_spec(self._fault_spec)
+        if self._fault_spec is not None:
+            self._server_schedule = deque(
+                FaultModel(self._fault_spec).server_schedule(
+                    num_servers, trace.duration_s
+                )
+            )
         self.servers = [
             KeepAliveSimulator(
                 trace,
@@ -107,22 +168,69 @@ class ClusterSimulator:
                     if self._tracer is not None
                     else None
                 ),
+                fault_spec=server_spec,
+                server_index=i,
             )
             for i in range(num_servers)
         ]
+
+    def _apply_outages(self, now_s: float) -> None:
+        """Apply every scheduled down/up transition up to ``now_s`` to
+        both the affected server and the balancer's health view."""
+        schedule = self._server_schedule
+        while schedule and schedule[0][0] <= now_s:
+            at_s, index, kind = schedule.popleft()
+            if kind == "down":
+                self.servers[index].fail_server(at_s)
+                self.balancer.mark_down(index)
+            else:
+                self.servers[index].recover_server(at_s)
+                self.balancer.mark_up(index)
+
+    def _shed_unavailable(
+        self, result: ClusterResult, function_name: str, now_s: float
+    ) -> None:
+        result.shed_unavailable += 1
+        if self._tracer is not None:
+            self._tracer.emit(
+                "invocation_shed",
+                now_s,
+                function=function_name,
+                reason="unavailable",
+                attempts=1,
+            )
 
     def run(self) -> ClusterResult:
         functions = self.trace.functions
         routed = [0] * len(self.servers)
         tracer = self._tracer
+        result = ClusterResult(
+            balancer_name=self.balancer.name,
+            policy_name=self.policy_name,
+            per_server=[server.metrics for server in self.servers],
+            routed=routed,
+        )
         for invocation in self.trace:
+            if self._server_schedule:
+                self._apply_outages(invocation.time_s)
             used = [server.pool.used_mb for server in self.servers]
-            if tracer is None:
-                index = self.balancer.route(invocation.function_name, used)
-            else:
-                index = self.balancer.route_traced(
-                    invocation.function_name, used, invocation.time_s, tracer
+            try:
+                if tracer is None:
+                    index = self.balancer.route(
+                        invocation.function_name, used
+                    )
+                else:
+                    index = self.balancer.route_traced(
+                        invocation.function_name,
+                        used,
+                        invocation.time_s,
+                        tracer,
+                    )
+            except NoHealthyServers:
+                self._shed_unavailable(
+                    result, invocation.function_name, invocation.time_s
                 )
+                continue
             if not 0 <= index < len(self.servers):
                 raise ValueError(
                     f"balancer routed to invalid server {index}"
@@ -131,9 +239,6 @@ class ClusterSimulator:
             self.servers[index].process_invocation(
                 functions[invocation.function_name], invocation.time_s
             )
-        return ClusterResult(
-            balancer_name=self.balancer.name,
-            policy_name=self.policy_name,
-            per_server=[server.metrics for server in self.servers],
-            routed=routed,
-        )
+        for server in self.servers:
+            server.drain_retries()
+        return result

@@ -51,6 +51,7 @@ class Container:
         "invocation_count",
         "prewarmed",
         "pinned",
+        "doomed",
         "pool",
     )
 
@@ -72,6 +73,10 @@ class Container:
         # True for provisioned-concurrency containers (AWS-style
         # reserved capacity): never evictable, never expiring.
         self.pinned: bool = False
+        # True once fault injection has condemned the container (its
+        # invocation crashed): it is terminated when the invocation
+        # finishes instead of returning to the warm pool.
+        self.doomed: bool = False
         # Back-reference to the owning ContainerPool (set by the pool
         # on add/evict) so busy/idle transitions keep the pool's O(1)
         # evictable-memory accounting current.

@@ -26,6 +26,9 @@ by the throughput benchmark).
 from repro.obs.events import (
     EVENT_SCHEMAS,
     EVENT_TYPES,
+    EVICTION_REASONS,
+    FAULT_KINDS,
+    SHED_REASONS,
     SchemaError,
     validate_event,
 )
@@ -45,6 +48,9 @@ from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer, active_tracer
 __all__ = [
     "EVENT_SCHEMAS",
     "EVENT_TYPES",
+    "EVICTION_REASONS",
+    "FAULT_KINDS",
+    "SHED_REASONS",
     "SchemaError",
     "validate_event",
     "Tracer",

@@ -34,6 +34,22 @@ The vocabulary covers the container lifecycle the paper reasons about
     A cluster scaling controller chose a server count.
 ``invocation_routed``
     A cluster load balancer assigned an invocation to a server.
+
+Five further types cover the fault-injection/recovery layer
+(:mod:`repro.faults`):
+
+``fault_injected``
+    The fault model fired on one attempt; ``kind`` is one of
+    :data:`FAULT_KINDS` (``spawn_failure``, ``crash``, ``timeout``).
+``invocation_retried``
+    A failed attempt was scheduled to run again after a backoff
+    delay (``attempt`` is the 1-based retry number).
+``invocation_shed``
+    A failed attempt was given up on; ``reason`` is one of
+    :data:`SHED_REASONS` — the retry budget ran out, the bounded
+    retry queue was full, memory pressure, or no server available.
+``server_down`` / ``server_recovered``
+    A whole server failed (losing its warm containers) or came back.
 """
 
 from __future__ import annotations
@@ -43,6 +59,9 @@ from typing import Any, Dict, Mapping, Tuple
 __all__ = [
     "EVENT_SCHEMAS",
     "EVENT_TYPES",
+    "EVICTION_REASONS",
+    "FAULT_KINDS",
+    "SHED_REASONS",
     "SchemaError",
     "validate_event",
 ]
@@ -105,10 +124,41 @@ EVENT_SCHEMAS: Dict[str, Dict[str, tuple]] = {
         "server": (int,),
         "balancer": (str,),
     },
+    "fault_injected": {
+        "function": (str,),
+        "kind": (str,),
+    },
+    "invocation_retried": {
+        "function": (str,),
+        "attempt": (int,),
+        "delay_s": _NUMBER,
+    },
+    "invocation_shed": {
+        "function": (str,),
+        "reason": (str,),
+        "attempts": (int,),
+    },
+    "server_down": {
+        "server": (int,),
+    },
+    "server_recovered": {
+        "server": (int,),
+        "downtime_s": _NUMBER,
+    },
 }
 
-#: Valid eviction reasons for the ``evicted`` event.
-EVICTION_REASONS = ("pressure", "expiry", "admission")
+#: Valid eviction reasons for the ``evicted`` event. ``failure``
+#: (container lost to a crash or a dead server) is deliberately
+#: excluded from both the ``evictions`` and ``expirations`` lifecycle
+#: counters — the fault is already counted by ``fault_injected`` /
+#: ``server_down``.
+EVICTION_REASONS = ("pressure", "expiry", "admission", "failure")
+
+#: Valid ``kind`` values for ``fault_injected``.
+FAULT_KINDS = ("spawn_failure", "crash", "timeout")
+
+#: Valid ``reason`` values for ``invocation_shed``.
+SHED_REASONS = ("retry_budget", "queue_full", "memory_pressure", "unavailable")
 
 EVENT_TYPES: Tuple[str, ...] = tuple(sorted(EVENT_SCHEMAS))
 
@@ -160,5 +210,14 @@ def validate_event(event: Mapping[str, Any]) -> None:
     if event_type == "evicted" and event["reason"] not in EVICTION_REASONS:
         raise SchemaError(
             f"evicted reason must be one of {EVICTION_REASONS}, "
+            f"got {event['reason']!r}"
+        )
+    if event_type == "fault_injected" and event["kind"] not in FAULT_KINDS:
+        raise SchemaError(
+            f"fault kind must be one of {FAULT_KINDS}, got {event['kind']!r}"
+        )
+    if event_type == "invocation_shed" and event["reason"] not in SHED_REASONS:
+        raise SchemaError(
+            f"shed reason must be one of {SHED_REASONS}, "
             f"got {event['reason']!r}"
         )

@@ -42,6 +42,9 @@ _TIMELINE_EVENTS = (
     "container_spawned",
     "evicted",
     "dropped",
+    "fault_injected",
+    "invocation_retried",
+    "invocation_shed",
 )
 
 
@@ -98,6 +101,10 @@ class TraceReport:
         # Spawn breakdown.
         self.prewarmed_spawns = 0
         self.pinned_spawns = 0
+        # Fault injection / recovery (docs/robustness.md).
+        self.faults_by_kind: Dict[str, int] = {}
+        self.sheds_by_reason: Dict[str, int] = {}
+        self.server_downtime_s = 0.0
         # Open eviction -> next cold-start gap tracking.
         self._evicted_at: Dict[str, float] = {}
 
@@ -154,6 +161,16 @@ class TraceReport:
                 self.prewarmed_spawns += 1
             if event.get("pinned"):
                 self.pinned_spawns += 1
+        elif event_type == "fault_injected":
+            kind = event.get("kind", "unknown")
+            self.faults_by_kind[kind] = self.faults_by_kind.get(kind, 0) + 1
+        elif event_type == "invocation_shed":
+            reason = event.get("reason", "unknown")
+            self.sheds_by_reason[reason] = (
+                self.sheds_by_reason.get(reason, 0) + 1
+            )
+        elif event_type == "server_recovered":
+            self.server_downtime_s += float(event.get("downtime_s", 0.0))
         elif event_type == "pool_pressure":
             self.pressure_events += 1
             used = float(event.get("used_mb", 0.0))
@@ -180,6 +197,9 @@ class TraceReport:
         gate). Note the simulator's ``expirations`` counter covers both
         time-based expiry and doorkeeper admission refusals — the
         trace keeps them distinguishable via the ``reason`` field.
+        ``failure`` evictions (crashed containers, dead servers) are
+        excluded from both sides by the same rule: the fault itself is
+        counted by ``faults_injected`` / ``server_downs``.
         """
         by_reason = self.evictions_by_reason
         return {
@@ -191,6 +211,10 @@ class TraceReport:
                 by_reason.get("expiry", 0) + by_reason.get("admission", 0)
             ),
             "prewarms": self.prewarmed_spawns,
+            "faults_injected": self.event_counts.get("fault_injected", 0),
+            "retries": self.event_counts.get("invocation_retried", 0),
+            "sheds": self.event_counts.get("invocation_shed", 0),
+            "server_downs": self.event_counts.get("server_down", 0),
         }
 
     def timeline(self, function: str) -> FunctionTimeline:
@@ -258,6 +282,19 @@ class TraceReport:
             lines.append("evictions by reason:")
             for reason, count in sorted(self.evictions_by_reason.items()):
                 lines.append(f"  {reason:<14} {count}")
+        if self.faults_by_kind or self.sheds_by_reason:
+            lines.append("")
+            lines.append("fault injection:")
+            for kind, count in sorted(self.faults_by_kind.items()):
+                lines.append(f"  {kind:<14} {count}")
+            for reason, count in sorted(self.sheds_by_reason.items()):
+                lines.append(f"  shed/{reason:<9} {count}")
+        downs = self.event_counts.get("server_down", 0)
+        if downs:
+            lines.append(
+                f"server outages: {downs} "
+                f"({self.server_downtime_s:.0f} s observed downtime)"
+            )
         if self.churn:
             lines.append("")
             lines.append(f"top {top_n} functions by eviction churn:")

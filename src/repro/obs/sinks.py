@@ -239,6 +239,9 @@ class PrometheusTextfileSink(Sink):
     * ``eviction_freed_mb`` histogram.
     * ``invocation_duration_s{outcome=...}`` histograms.
     * ``pool_pressure_total`` and ``autoscale_decisions_total``.
+    * ``faults_injected_total{kind=...}``, ``invocation_retries_total``,
+      ``invocations_shed_total{reason=...}``, ``server_downs_total`` and
+      ``server_downtime_seconds_total`` (fault injection / recovery).
 
     The textfile is written atomically (tmp file + rename) on
     :meth:`flush` / :meth:`close`, the contract the node-exporter
@@ -298,6 +301,24 @@ class PrometheusTextfileSink(Sink):
         elif event_type == "invocation_routed":
             self._inc(
                 "invocations_routed_total",
+                server=event.get("server", -1),
+            )
+        elif event_type == "fault_injected":
+            self._inc(
+                "faults_injected_total", kind=event.get("kind", "unknown")
+            )
+        elif event_type == "invocation_retried":
+            self._inc("invocation_retries_total")
+        elif event_type == "invocation_shed":
+            self._inc(
+                "invocations_shed_total", reason=event.get("reason", "unknown")
+            )
+        elif event_type == "server_down":
+            self._inc("server_downs_total", server=event.get("server", -1))
+        elif event_type == "server_recovered":
+            self._inc(
+                "server_downtime_seconds_total",
+                float(event.get("downtime_s", 0.0)),
                 server=event.get("server", -1),
             )
 

@@ -55,11 +55,30 @@ class SimulationMetrics:
     expirations: int = 0
     prewarms: int = 0
 
+    # -- robustness counters (all zero on failure-free runs) ---------
+    #: Attempts the fault model failed (spawn failures + crashes +
+    #: timeouts); per-kind breakdown in :attr:`faults_by_kind`.
+    faults_injected: int = 0
+    #: Failed attempts re-scheduled with backoff by the retry policy.
+    retries: int = 0
+    #: Attempts given up on (budget/queue/pressure/unavailability);
+    #: per-reason breakdown in :attr:`sheds_by_reason`.
+    sheds: int = 0
+    #: Whole-server failures applied to this server.
+    server_downs: int = 0
+    #: Simulated seconds this server spent down.
+    downtime_s: float = 0.0
+
     #: Sum of warm running times over served invocations: the ideal
     #: execution time had every start been warm.
     ideal_exec_time_s: float = 0.0
     #: Sum of actual running times (warm or cold) over served invocations.
     actual_exec_time_s: float = 0.0
+
+    #: ``fault_injected`` events by kind (spawn_failure/crash/timeout).
+    faults_by_kind: Dict[str, int] = field(default_factory=dict)
+    #: ``invocation_shed`` events by reason.
+    sheds_by_reason: Dict[str, int] = field(default_factory=dict)
 
     per_function: Dict[str, FunctionOutcome] = field(default_factory=dict)
     #: Sampled (time, used_mb) pairs, when timeline tracking is enabled.
@@ -111,6 +130,19 @@ class SimulationMetrics:
     def record_dropped(self, function_name: str) -> None:
         self.dropped += 1
         self._outcome(function_name).dropped += 1
+
+    def record_fault(self, kind: str) -> None:
+        """Record one injected fault (spawn failure, crash, timeout)."""
+        self.faults_injected += 1
+        self.faults_by_kind[kind] = self.faults_by_kind.get(kind, 0) + 1
+
+    def record_retry(self) -> None:
+        self.retries += 1
+
+    def record_shed(self, reason: str) -> None:
+        """Record one attempt given up on after failure."""
+        self.sheds += 1
+        self.sheds_by_reason[reason] = self.sheds_by_reason.get(reason, 0) + 1
 
     # ------------------------------------------------------------------
     # Derived metrics
@@ -220,7 +252,23 @@ class SimulationMetrics:
             "evictions": self.evictions,
             "expirations": self.expirations,
             "prewarms": self.prewarms,
+            "faults_injected": self.faults_injected,
+            "retries": self.retries,
+            "sheds": self.sheds,
+            "server_downs": self.server_downs,
         }
+
+    @property
+    def shed_ratio(self) -> float:
+        """Sheds over all terminal outcomes (served + dropped + shed).
+
+        The graceful-degradation headline: under faults, what fraction
+        of demand was ultimately turned away rather than queued
+        without bound. Retried attempts are not terminal and do not
+        appear in the denominator.
+        """
+        terminal = self.served + self.dropped + self.sheds
+        return self.sheds / terminal if terminal else 0.0
 
     def summary(self) -> Dict[str, float]:
         """A flat dict of the headline numbers, for tables and tests."""
@@ -231,9 +279,14 @@ class SimulationMetrics:
             "evictions": self.evictions,
             "expirations": self.expirations,
             "prewarms": self.prewarms,
+            "faults_injected": self.faults_injected,
+            "retries": self.retries,
+            "sheds": self.sheds,
+            "server_downs": self.server_downs,
             "cold_start_pct": self.cold_start_pct,
             "exec_time_increase_pct": self.exec_time_increase_pct,
             "hit_ratio": self.hit_ratio,
             "global_hit_ratio": self.global_hit_ratio,
             "drop_ratio": self.drop_ratio,
+            "shed_ratio": self.shed_ratio,
         }

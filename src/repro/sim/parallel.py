@@ -21,12 +21,17 @@ Engine design (vs. the naive per-cell pickle of earlier revisions):
   optional ``progress(done, total, policy, memory_gb)`` callback, so
   long grids report liveness instead of blocking until the slowest
   cell.
-* **Fault tolerance.** A cell that raises is retried once; a cell that
-  fails again is recorded in ``SweepResult.failed_cells`` instead of
-  throwing away the rest of the grid. If a worker process dies hard
-  (``BrokenProcessPool``), the unfinished cells are each re-run in a
-  fresh single-worker pool so one poisoned cell cannot take down its
-  neighbours.
+* **Fault tolerance.** A cell that raises is retried (with, when fault
+  injection is on, the *identical* coordinate-derived fault seed — a
+  retry replays the same faults, it does not reroll them); a cell that
+  exhausts its retries is recorded in ``SweepResult.failed_cells``
+  instead of throwing away the rest of the grid. If a worker process
+  dies hard (``BrokenProcessPool``), the pool is **rebuilt** and every
+  unfinished cell resubmitted — per-cell retry budgets survive the
+  rebuild, and a pool crash itself never consumes one. Only after
+  several consecutive pool generations die is each leftover cell run
+  in its own single-worker quarantine pool, so one poisoned cell
+  cannot take down its neighbours.
 """
 
 from __future__ import annotations
@@ -36,6 +41,7 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.policies import PAPER_POLICIES
+from repro.faults import FaultSpec
 from repro.obs.tracer import Tracer
 from repro.sim.sweep import FailedCell, SweepResult, run_cell
 from repro.traces.model import Trace
@@ -51,15 +57,31 @@ _WORKER_TRACE: Optional[Trace] = None
 #: sink, so no file handle ever crosses a process boundary.
 _WORKER_TRACE_DIR: Optional[str] = None
 
+#: Per-worker sweep-level fault spec (or None). The worker derives
+#: each cell's seed from it locally (``repro.faults.cell_fault_spec``),
+#: so fault decisions are a pure function of the cell coordinates —
+#: identical in every process and on every retry.
+_WORKER_FAULT_SPEC: Optional[FaultSpec] = None
+
+#: How many times a crashed pool is rebuilt before falling back to
+#: per-cell quarantine. Rebuilding keeps the surviving cells parallel;
+#: the cap stops a systematically-crashing environment from looping.
+_MAX_POOL_GENERATIONS = 3
+
 #: Callback signature: ``progress(done, total, policy, memory_gb)``,
 #: invoked after every cell settles (point produced or finally failed).
 ProgressCallback = Callable[[int, int, str, float], None]
 
 
-def _init_worker(trace: Trace, trace_dir: Optional[str] = None) -> None:
-    global _WORKER_TRACE, _WORKER_TRACE_DIR
+def _init_worker(
+    trace: Trace,
+    trace_dir: Optional[str] = None,
+    fault_spec: Optional[FaultSpec] = None,
+) -> None:
+    global _WORKER_TRACE, _WORKER_TRACE_DIR, _WORKER_FAULT_SPEC
     _WORKER_TRACE = trace
     _WORKER_TRACE_DIR = trace_dir
+    _WORKER_FAULT_SPEC = fault_spec
 
 
 def _run_cell(policy_name: str, memory_gb: float):
@@ -67,7 +89,11 @@ def _run_cell(policy_name: str, memory_gb: float):
     if _WORKER_TRACE is None:
         raise RuntimeError("worker pool was not initialized with a trace")
     return simulate_cell(
-        _WORKER_TRACE, policy_name, memory_gb, trace_dir=_WORKER_TRACE_DIR
+        _WORKER_TRACE,
+        policy_name,
+        memory_gb,
+        trace_dir=_WORKER_TRACE_DIR,
+        fault_spec=_WORKER_FAULT_SPEC,
     )
 
 
@@ -76,13 +102,19 @@ def simulate_cell(
     policy_name: str,
     memory_gb: float,
     trace_dir: Optional[str] = None,
+    fault_spec: Optional[FaultSpec] = None,
 ):
     """Run one (policy, memory) cell; module-level so it pickles.
 
     ``trace_dir`` (optional) writes the cell's lifecycle events to its
     own JSONL file — see :func:`repro.sim.sweep.cell_trace_path`.
+    ``fault_spec`` is the sweep-level spec; the cell seed is derived
+    inside :func:`repro.sim.sweep.run_cell`.
     """
-    return run_cell(trace, policy_name, memory_gb, trace_dir=trace_dir)
+    return run_cell(
+        trace, policy_name, memory_gb, trace_dir=trace_dir,
+        fault_spec=fault_spec,
+    )
 
 
 def _run_cell_isolated(
@@ -90,11 +122,14 @@ def _run_cell_isolated(
     policy_name: str,
     memory_gb: float,
     trace_dir: Optional[str] = None,
+    fault_spec: Optional[FaultSpec] = None,
 ):
     """Last-resort execution of one cell in its own single-worker
     pool, isolating hard worker crashes to the cell that caused them."""
     with ProcessPoolExecutor(
-        max_workers=1, initializer=_init_worker, initargs=(trace, trace_dir)
+        max_workers=1,
+        initializer=_init_worker,
+        initargs=(trace, trace_dir, fault_spec),
     ) as solo:
         return solo.submit(_run_cell, policy_name, memory_gb).result()
 
@@ -108,6 +143,7 @@ def run_sweep_parallel(
     retries: int = 1,
     tracer: Optional[Tracer] = None,
     trace_dir: Optional[str] = None,
+    fault_spec: Optional[FaultSpec] = None,
 ) -> SweepResult:
     """Like :func:`repro.sim.sweep.run_sweep`, fanned out over processes.
 
@@ -132,6 +168,11 @@ def run_sweep_parallel(
     worker interleave writes on a duplicated handle. Passing a tracer
     with multiprocess workers therefore raises :class:`ValueError`
     instead of silently corrupting the output.
+
+    ``fault_spec`` (a plain frozen dataclass, safely picklable) is
+    broadcast once through the pool initializer like the trace; each
+    worker derives per-cell seeds locally, so parallel and sequential
+    fault sweeps produce bit-identical grids.
     """
     if retries < 0:
         raise ValueError(f"retries must be >= 0, got {retries}")
@@ -173,6 +214,7 @@ def run_sweep_parallel(
                     memory_gb,
                     tracer=tracer,
                     trace_dir=trace_dir,
+                    fault_spec=fault_spec,
                 )
             except Exception as exc:
                 result.failed_cells.append(
@@ -185,68 +227,90 @@ def run_sweep_parallel(
         ]
         return result
 
-    broken = False
-    with ProcessPoolExecutor(
-        max_workers=max_workers,
-        initializer=_init_worker,
-        initargs=(trace, trace_dir),
-    ) as pool:
-        futures = {
-            pool.submit(_run_cell, policy_name, memory_gb): (index, 0)
-            for index, (policy_name, memory_gb) in enumerate(cells)
-        }
-        pending = set(futures)
-        while pending and not broken:
-            finished, pending = wait(pending, return_when=FIRST_COMPLETED)
-            for future in finished:
-                index, attempts = futures.pop(future)
+    # Cells without a terminal outcome yet, with the retry attempts
+    # each has already consumed. Surviving this map across pool
+    # rebuilds is what makes retry budgets rebuild-proof: a pool crash
+    # resubmits a cell with its old attempt count, while a genuine
+    # cell failure increments it whichever pool generation it lands in.
+    remaining: Dict[int, int] = {index: 0 for index in range(total)}
+    generations = 0
+    while remaining and generations < _MAX_POOL_GENERATIONS:
+        generations += 1
+        broken = False
+        with ProcessPoolExecutor(
+            max_workers=max_workers,
+            initializer=_init_worker,
+            initargs=(trace, trace_dir, fault_spec),
+        ) as pool:
+            futures: Dict[object, Tuple[int, int]] = {}
+            for index in sorted(remaining):
                 policy_name, memory_gb = cells[index]
-                try:
-                    point = future.result()
-                except BrokenProcessPool:
-                    # The pool is unusable; every sibling future fails
-                    # the same way. Salvage the rest outside.
-                    broken = True
-                    futures[future] = (index, attempts)
-                    pending.add(future)
-                    break
-                except Exception as exc:
-                    if attempts < retries:
-                        try:
-                            retry = pool.submit(
-                                _run_cell, policy_name, memory_gb
-                            )
-                        except RuntimeError:
-                            broken = True
-                            futures[future] = (index, attempts)
-                            pending.add(future)
-                            break
-                        futures[retry] = (index, attempts + 1)
-                        pending.add(retry)
+                futures[pool.submit(_run_cell, policy_name, memory_gb)] = (
+                    index,
+                    remaining[index],
+                )
+            pending = set(futures)
+            while pending and not broken:
+                finished, pending = wait(
+                    pending, return_when=FIRST_COMPLETED
+                )
+                for future in finished:
+                    index, attempts = futures.pop(future)
+                    policy_name, memory_gb = cells[index]
+                    try:
+                        point = future.result()
+                    except BrokenProcessPool:
+                        # The pool is unusable; every sibling future
+                        # fails the same way. Leave the unfinished
+                        # cells in ``remaining`` (attempt counts
+                        # untouched — a pool crash is not the cell's
+                        # fault) and rebuild.
+                        broken = True
+                        break
+                    except Exception as exc:
+                        if attempts < retries:
+                            remaining[index] = attempts + 1
+                            try:
+                                retry = pool.submit(
+                                    _run_cell, policy_name, memory_gb
+                                )
+                            except RuntimeError:
+                                # Pool already shutting down/broken;
+                                # the rebuild will pick the cell up.
+                                broken = True
+                                break
+                            futures[retry] = (index, attempts + 1)
+                            pending.add(retry)
+                            continue
+                        result.failed_cells.append(
+                            FailedCell(policy_name, memory_gb, repr(exc))
+                        )
+                        del remaining[index]
+                        settle(index, None)
                         continue
-                    result.failed_cells.append(
-                        FailedCell(policy_name, memory_gb, repr(exc))
-                    )
-                    settle(index, None)
-                    continue
-                settle(index, point)
+                    del remaining[index]
+                    settle(index, point)
 
-    if broken:
-        # One poisoned cell killed a worker; re-run every unfinished
-        # cell in quarantine so the others still complete.
-        unfinished = sorted({futures[f][0] for f in pending})
-        for index in unfinished:
-            policy_name, memory_gb = cells[index]
-            try:
-                point = _run_cell_isolated(
-                    trace, policy_name, memory_gb, trace_dir=trace_dir
-                )
-            except Exception as exc:
-                result.failed_cells.append(
-                    FailedCell(policy_name, memory_gb, repr(exc))
-                )
-                point = None
-            settle(index, point)
+    # Cells still unfinished after the generation cap: something keeps
+    # hard-killing workers. Quarantine each in its own solo pool so
+    # the poison stays contained and every cell still gets a verdict.
+    for index in sorted(remaining):
+        policy_name, memory_gb = cells[index]
+        try:
+            point = _run_cell_isolated(
+                trace,
+                policy_name,
+                memory_gb,
+                trace_dir=trace_dir,
+                fault_spec=fault_spec,
+            )
+        except Exception as exc:
+            result.failed_cells.append(
+                FailedCell(policy_name, memory_gb, repr(exc))
+            )
+            point = None
+        settle(index, point)
+    remaining.clear()
 
     result.points = [
         points_by_cell[i] for i in range(total) if i in points_by_cell

@@ -24,12 +24,14 @@ from __future__ import annotations
 
 import heapq
 import time
+from collections import deque
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Deque, List, Optional, Tuple
 
 from repro.core.container import Container
 from repro.core.policies.base import KeepAlivePolicy, create_policy
 from repro.core.pool import CapacityError, ContainerPool
+from repro.faults import FaultModel, FaultSpec, RetryPolicy
 from repro.obs.tracer import Tracer, active_tracer
 from repro.sim.metrics import SimulationMetrics
 from repro.traces.model import Trace, TraceFunction
@@ -69,6 +71,8 @@ class KeepAliveSimulator:
         reserved_concurrency: Optional[dict] = None,
         warmup_s: float = 0.0,
         tracer: Optional[Tracer] = None,
+        fault_spec: Optional[FaultSpec] = None,
+        server_index: int = 0,
     ) -> None:
         """``prewarm_effectiveness`` models Section 9's explicit-
         initialization discussion: a prefetched (HIST) container only
@@ -100,7 +104,15 @@ class KeepAliveSimulator:
         memory-pressure rounds. Disabled (the default) it costs one
         ``None`` check per emission site — the trace stream sees
         *every* invocation, including those before ``warmup_s`` that
-        the metrics exclude."""
+        the metrics exclude.
+
+        ``fault_spec`` (a :class:`repro.faults.FaultSpec`) turns on
+        deterministic fault injection and retry/shed recovery; see
+        ``docs/robustness.md``. A ``None`` or all-zero spec leaves the
+        failure-free path byte-identical to a simulator built without
+        the parameter. ``server_index`` identifies this server both in
+        ``server_down``/``server_recovered`` events and as the
+        coordinate for rate-based whole-server outages."""
         if not 0.0 <= prewarm_effectiveness <= 1.0:
             raise ValueError(
                 f"prewarm effectiveness must be in [0, 1], "
@@ -123,6 +135,41 @@ class KeepAliveSimulator:
         # Min-heap of (finish_time, container_id, container) for
         # running invocations.
         self._running: List[Tuple[float, int, Container]] = []
+        # ---- fault injection & recovery (docs/robustness.md) -------
+        # Whether this server is currently failed. Maintained even
+        # without a fault spec so cluster layers can drive
+        # fail_server()/recover_server() externally.
+        self._down = False
+        self._down_since = 0.0
+        self._server_index = int(server_index)
+        if fault_spec is not None and fault_spec.enabled:
+            self._fault_spec: Optional[FaultSpec] = fault_spec
+            self._faults: Optional[FaultModel] = FaultModel(fault_spec)
+            self._retry: Optional[RetryPolicy] = RetryPolicy.from_spec(
+                fault_spec
+            )
+            # Min-heap of (due_s, seq, function_name, attempt) pending
+            # retries. ``seq`` is a per-simulator counter (never a
+            # process-global one) so heap order — and therefore every
+            # downstream decision — is identical across processes.
+            self._retry_heap: List[Tuple[float, int, str, int]] = []
+            self._retry_seq = 0
+            # Scheduled whole-server outages for *this* server, as a
+            # FIFO of (time_s, kind) transitions with kind "down"/"up".
+            transitions: List[Tuple[float, str]] = []
+            for down_s, up_s in self._faults.downtime_spans(
+                self._server_index, trace.duration_s
+            ):
+                transitions.append((down_s, "down"))
+                transitions.append((up_s, "up"))
+            self._transitions: Deque[Tuple[float, str]] = deque(transitions)
+        else:
+            self._fault_spec = None
+            self._faults = None
+            self._retry = None
+            self._retry_heap = []
+            self._retry_seq = 0
+            self._transitions = deque()
         # Provisioned concurrency: pinned containers exist from t=0.
         for name, count in (reserved_concurrency or {}).items():
             function = trace.functions.get(name)
@@ -160,6 +207,19 @@ class KeepAliveSimulator:
         while self._running and self._running[0][0] <= now_s:
             finish_s, __, container = heapq.heappop(self._running)
             container.finish_invocation(finish_s)
+            # A doomed container (its invocation crashed, or its server
+            # died under it) is torn down instead of returning to the
+            # warm pool. Reason "failure" is excluded from the
+            # evictions/expirations counters: the fault was already
+            # counted when it was injected.
+            if container.doomed:
+                if self._tracer is not None:
+                    self._trace_evicted(container, finish_s, "failure")
+                self.pool.evict(container)
+                self.policy.on_evict(
+                    container, finish_s, self.pool, pressure=False
+                )
+                continue
             # Provisioned concurrency is retained by definition: the
             # admission gate below must never see a pinned container
             # (``pool.evict`` rightly refuses to terminate one).
@@ -235,14 +295,38 @@ class KeepAliveSimulator:
     # ------------------------------------------------------------------
 
     def process_invocation(self, function: TraceFunction, now_s: float) -> str:
-        """Handle one arrival; returns 'warm', 'cold', or 'dropped'."""
+        """Handle one arrival; returns 'warm', 'cold', 'dropped',
+        'retried', or 'shed' (the last two only with a fault spec)."""
+        if self._faults is not None:
+            self._advance_faults(now_s)
+        return self._attempt(function, now_s, attempt=0)
+
+    def _attempt(self, function: TraceFunction, now_s: float, attempt: int) -> str:
+        """One attempt (first try or retry) at serving an invocation."""
         self._release_finished(now_s)
         self._expire_containers(now_s)
         self._materialize_prewarms(now_s)
         self.policy.on_invocation(function, now_s)
         tracer = self._tracer
-        if tracer is not None:
+        if tracer is not None and attempt == 0:
             tracer.emit("invocation_arrived", now_s, function=function.name)
+
+        if self._down:
+            # Routed to (or retried on) a failed server. With a fault
+            # spec the retry policy gets a say; without one (cluster
+            # layers driving fail_server externally) shed outright.
+            if self._faults is not None:
+                return self._handle_failure(
+                    function, now_s, attempt, "unavailable"
+                )
+            return self._shed(function, now_s, attempt, "unavailable")
+
+        faults = self._faults
+        fault_kind = (
+            faults.invocation_fault(function.name, now_s, attempt)
+            if faults is not None
+            else None
+        )
 
         container = self.pool.idle_warm_container(function.name)
         if container is not None:
@@ -253,6 +337,11 @@ class KeepAliveSimulator:
                 # still runs now (Section 9).
                 duration += (
                     (1.0 - self.prewarm_effectiveness) * function.init_time_s
+                )
+            if fault_kind is not None:
+                return self._faulted_start(
+                    container, function, now_s, attempt, fault_kind,
+                    duration, cold=False,
                 )
             container.start_invocation(now_s, duration)
             heapq.heappush(
@@ -275,7 +364,30 @@ class KeepAliveSimulator:
             self._sample_memory(now_s)
             return "warm"
 
+        # A spawn failure strikes before any eviction work happens: the
+        # sandbox never comes up, so no warm container is sacrificed.
+        if faults is not None and faults.spawn_fails(
+            function.name, now_s, attempt
+        ):
+            if tracer is not None:
+                tracer.emit(
+                    "fault_injected",
+                    now_s,
+                    function=function.name,
+                    kind="spawn_failure",
+                )
+            if now_s >= self.warmup_s:
+                self.metrics.record_fault("spawn_failure")
+            return self._handle_failure(function, now_s, attempt, "retry_budget")
+
         if not self._evict_for(function.memory_mb, now_s):
+            if faults is not None:
+                # Graceful degradation: under a fault spec, memory
+                # pressure feeds the same bounded retry/shed machinery
+                # instead of the plain drop counter.
+                return self._handle_failure(
+                    function, now_s, attempt, "memory_pressure"
+                )
             if tracer is not None:
                 tracer.emit(
                     "dropped",
@@ -290,6 +402,11 @@ class KeepAliveSimulator:
 
         container = Container(function, created_at_s=now_s)
         self.pool.add(container)
+        if fault_kind is not None:
+            return self._faulted_start(
+                container, function, now_s, attempt, fault_kind,
+                function.cold_time_s, cold=True,
+            )
         container.start_invocation(now_s, function.cold_time_s)
         heapq.heappush(
             self._running,
@@ -311,6 +428,185 @@ class KeepAliveSimulator:
         self._sample_memory(now_s)
         return "cold"
 
+    # ------------------------------------------------------------------
+    # Fault injection & recovery
+    # ------------------------------------------------------------------
+
+    def _faulted_start(
+        self,
+        container: Container,
+        function: TraceFunction,
+        now_s: float,
+        attempt: int,
+        kind: str,
+        duration_s: float,
+        cold: bool,
+    ) -> str:
+        """An attempt that got a container but crashed or timed out.
+
+        The container still occupies memory for the invocation's
+        duration (the work ran, then failed); a crash additionally
+        dooms it so it is torn down at completion instead of going
+        warm. The attempt is *not* counted as warm/cold served — its
+        terminal outcome is the eventual retry or shed.
+        """
+        container.start_invocation(now_s, duration_s)
+        heapq.heappush(
+            self._running,
+            (container.busy_until_s, container.container_id, container),
+        )
+        # The policy still observes the usage: the container genuinely
+        # ran, and policies must keep scoring it while it exists.
+        if cold:
+            self.policy.on_cold_start(container, now_s, self.pool)
+        else:
+            self.policy.on_warm_start(container, now_s, self.pool)
+        if kind == "crash" and not container.pinned:
+            container.doomed = True
+        if self._tracer is not None:
+            self._tracer.emit(
+                "fault_injected", now_s, function=function.name, kind=kind
+            )
+        if now_s >= self.warmup_s:
+            self.metrics.record_fault(kind)
+        return self._handle_failure(function, now_s, attempt, "retry_budget")
+
+    def _shed(
+        self, function: TraceFunction, now_s: float, attempt: int, reason: str
+    ) -> str:
+        if self._tracer is not None:
+            self._tracer.emit(
+                "invocation_shed",
+                now_s,
+                function=function.name,
+                reason=reason,
+                attempts=attempt + 1,
+            )
+        if now_s >= self.warmup_s:
+            self.metrics.record_shed(reason)
+        self._sample_memory(now_s)
+        return "shed"
+
+    def _handle_failure(
+        self,
+        function: TraceFunction,
+        now_s: float,
+        attempt: int,
+        shed_reason: str,
+    ) -> str:
+        """Route a failed attempt to the retry queue or shed it.
+
+        ``shed_reason`` is used if the retry policy declines (budget or
+        cap exhausted); a full retry queue overrides it with
+        ``queue_full`` — the admission-controlled load shedding that
+        replaces unbounded queueing.
+        """
+        assert self._fault_spec is not None and self._retry is not None
+        if len(self._retry_heap) >= self._fault_spec.max_pending_retries:
+            return self._shed(function, now_s, attempt, "queue_full")
+        delay = self._retry.next_delay(function.name, attempt + 1, now_s)
+        if delay is None:
+            return self._shed(function, now_s, attempt, shed_reason)
+        heapq.heappush(
+            self._retry_heap,
+            (now_s + delay, self._retry_seq, function.name, attempt + 1),
+        )
+        self._retry_seq += 1
+        if self._tracer is not None:
+            self._tracer.emit(
+                "invocation_retried",
+                now_s,
+                function=function.name,
+                attempt=attempt + 1,
+                delay_s=delay,
+            )
+        if now_s >= self.warmup_s:
+            self.metrics.record_retry()
+        self._sample_memory(now_s)
+        return "retried"
+
+    def _advance_faults(self, now_s: float) -> None:
+        """Apply every scheduled outage transition and due retry up to
+        ``now_s``, in chronological order (interleaved, so a retry due
+        while the server is down sees it down)."""
+        heap = self._retry_heap
+        transitions = self._transitions
+        functions = self.trace.functions
+        while True:
+            retry_due = heap[0][0] if heap else float("inf")
+            trans_due = transitions[0][0] if transitions else float("inf")
+            if min(retry_due, trans_due) > now_s:
+                return
+            if trans_due <= retry_due:
+                at_s, kind = transitions.popleft()
+                if kind == "down":
+                    self.fail_server(at_s)
+                else:
+                    self.recover_server(at_s)
+            else:
+                due_s, __, function_name, attempt = heapq.heappop(heap)
+                self._attempt(functions[function_name], due_s, attempt)
+
+    def fail_server(self, now_s: float) -> None:
+        """Take this server down: its warm pool is lost and running
+        invocations are doomed (their containers die at completion).
+        Pinned containers survive — the platform re-establishes
+        provisioned concurrency out of band. Idempotent while down.
+        """
+        if self._down:
+            return
+        self._down = True
+        self._down_since = now_s
+        if now_s >= self.warmup_s:
+            self.metrics.server_downs += 1
+        if self._tracer is not None:
+            self._tracer.emit("server_down", now_s, server=self._server_index)
+        self._release_finished(now_s)
+        for container in self.pool.idle_containers():
+            if self._tracer is not None:
+                self._trace_evicted(container, now_s, "failure")
+            self.pool.evict(container)
+            self.policy.on_evict(container, now_s, self.pool, pressure=False)
+        for container in self.pool.running_containers():
+            if not container.pinned:
+                container.doomed = True
+        self._sample_memory(now_s)
+
+    def recover_server(self, now_s: float) -> None:
+        """Bring the server back (empty-cache restart). Idempotent."""
+        if not self._down:
+            return
+        self._down = False
+        downtime_s = max(0.0, now_s - self._down_since)
+        if now_s >= self.warmup_s:
+            self.metrics.downtime_s += downtime_s
+        if self._tracer is not None:
+            self._tracer.emit(
+                "server_recovered",
+                now_s,
+                server=self._server_index,
+                downtime_s=downtime_s,
+            )
+
+    @property
+    def is_down(self) -> bool:
+        """Whether the server is currently failed."""
+        return self._down
+
+    def drain_retries(self) -> None:
+        """Run every still-pending retry (and any outage transition
+        that precedes it) past the end of the trace, so no failed
+        attempt is left without a terminal outcome. Called by
+        :meth:`run`; cluster drivers call it once arrivals stop."""
+        if self._faults is None:
+            return
+        heap = self._retry_heap
+        while heap:
+            # Advancing to the next due time processes that retry (and
+            # any outage transition before it); retries it schedules in
+            # turn stay in the heap for the next iteration.
+            self._advance_faults(heap[0][0])
+
     def run(self) -> SimulationResult:
         """Replay the whole trace and return the collected metrics.
 
@@ -331,6 +627,8 @@ class KeepAliveSimulator:
                 functions[invocation.function_name], invocation.time_s
             )
             end_s = invocation.time_s
+        # Give every pending retry a terminal outcome before reporting.
+        self.drain_retries()
         if self._track_timeline and end_s > self._last_sample_s:
             self.metrics.memory_timeline.append((end_s, self.pool.used_mb))
             self._last_sample_s = end_s
@@ -353,6 +651,7 @@ def simulate(
     reserved_concurrency: Optional[dict] = None,
     warmup_s: float = 0.0,
     tracer: Optional[Tracer] = None,
+    fault_spec: Optional[FaultSpec] = None,
     **policy_kwargs,
 ) -> SimulationResult:
     """Convenience one-shot simulation.
@@ -360,10 +659,10 @@ def simulate(
     ``policy`` may be a short policy name (``"GD"``, ``"TTL"``, ...) or
     an already-constructed policy instance. The simulator's own knobs
     (``timeline_interval_s``, ``prewarm_effectiveness``,
-    ``reserved_concurrency``, ``warmup_s``, ``tracer``) are forwarded
-    to :class:`KeepAliveSimulator` explicitly; any remaining keyword
-    arguments configure the *policy* and are therefore only valid with
-    a policy name.
+    ``reserved_concurrency``, ``warmup_s``, ``tracer``,
+    ``fault_spec``) are forwarded to :class:`KeepAliveSimulator`
+    explicitly; any remaining keyword arguments configure the *policy*
+    and are therefore only valid with a policy name.
 
     >>> from repro.traces.synth import skewed_frequency_trace
     >>> result = simulate(skewed_frequency_trace(seed=1), "GD", 4096)
@@ -384,5 +683,6 @@ def simulate(
         reserved_concurrency=reserved_concurrency,
         warmup_s=warmup_s,
         tracer=tracer,
+        fault_spec=fault_spec,
     )
     return simulator.run()

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.core.policies import PAPER_POLICIES, create_policy
+from repro.faults import FaultSpec, cell_fault_spec
 from repro.obs.sinks import JsonlSink
 from repro.obs.tracer import Tracer
 from repro.sim.scheduler import KeepAliveSimulator, SimulationResult
@@ -170,6 +171,7 @@ def run_cell(
     memory_gb: float,
     tracer: Optional[Tracer] = None,
     trace_dir: Optional[str] = None,
+    fault_spec: Optional[FaultSpec] = None,
 ) -> SweepPoint:
     """Run one (policy, memory) cell with optional tracing.
 
@@ -178,6 +180,13 @@ def run_cell(
     ``trace_dir`` instead writes the cell's events to its own JSONL
     file (see :func:`cell_trace_path`) — the only tracing mode that is
     safe across processes.
+
+    ``fault_spec`` is the *sweep-level* spec: the cell derives its own
+    seed from it via :func:`repro.faults.cell_fault_spec`, a pure
+    function of the cell coordinates. Cells therefore see independent
+    fault draws, while any re-execution of the same cell — sequential,
+    parallel, or a retry after a worker crash — replays the identical
+    fault sequence.
     """
     cell_tracer = None
     owned_sink = None
@@ -190,10 +199,19 @@ def run_cell(
         cell_tracer = Tracer(owned_sink)
     elif tracer is not None:
         cell_tracer = tracer.bind(policy=policy_name, memory_gb=memory_gb)
+    cell_spec = (
+        cell_fault_spec(fault_spec, policy_name, memory_gb)
+        if fault_spec is not None and fault_spec.enabled
+        else None
+    )
     try:
         policy = create_policy(policy_name)
         sim = KeepAliveSimulator(
-            trace, policy, memory_gb * GB_MB, tracer=cell_tracer
+            trace,
+            policy,
+            memory_gb * GB_MB,
+            tracer=cell_tracer,
+            fault_spec=cell_spec,
         )
         return point_from_result(policy_name, memory_gb, sim.run())
     finally:
@@ -208,6 +226,7 @@ def run_sweep(
     progress: Optional[Callable[[str, float], None]] = None,
     tracer: Optional[Tracer] = None,
     trace_dir: Optional[str] = None,
+    fault_spec: Optional[FaultSpec] = None,
 ) -> SweepResult:
     """Simulate every (policy, memory) cell over ``trace``.
 
@@ -219,6 +238,9 @@ def run_sweep(
     event stamped with its ``policy``/``memory_gb`` context;
     ``trace_dir`` writes one JSONL file per cell instead (the layout
     the parallel engine also produces).
+
+    ``fault_spec`` injects deterministic faults into every cell, each
+    under its own coordinate-derived seed (see :func:`run_cell`).
     """
     result = SweepResult(trace_name=trace.name)
     for policy_name in policies:
@@ -232,6 +254,7 @@ def run_sweep(
                     memory_gb,
                     tracer=tracer,
                     trace_dir=trace_dir,
+                    fault_spec=fault_spec,
                 )
             )
     return result

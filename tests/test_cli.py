@@ -276,6 +276,7 @@ class TestObservabilityCLI:
         assert set(payload["counters"]) == {
             "warm_starts", "cold_starts", "dropped",
             "evictions", "expirations", "prewarms",
+            "faults_injected", "retries", "sheds", "server_downs",
         }
         from repro.obs.sinks import read_jsonl_events
 

@@ -181,3 +181,244 @@ class TestAffinityWithSpillover:
             balancer_kwargs={"spillover_factor": 1.2},
         ).run()
         assert spill.load_imbalance() <= pure.load_imbalance() + 1e-9
+
+
+class TestBalancerHealth:
+    """Health-aware routing: down servers are skipped by every policy,
+    restored by mark_up, and an empty healthy set raises."""
+
+    @pytest.mark.parametrize(
+        "name", ["random", "round-robin", "hash-affinity",
+                 "affinity-spillover", "least-loaded"]
+    )
+    def test_down_server_never_routed(self, name):
+        lb = create_balancer(name, 4)
+        lb.mark_down(2)
+        routes = {lb.route(f"fn-{i}", [10.0] * 4) for i in range(40)}
+        assert 2 not in routes
+        assert lb.down_servers == {2}
+
+    @pytest.mark.parametrize(
+        "name", ["random", "round-robin", "hash-affinity",
+                 "affinity-spillover", "least-loaded"]
+    )
+    def test_all_down_raises(self, name):
+        from repro.cluster.loadbalancer import NoHealthyServers
+
+        lb = create_balancer(name, 3)
+        for i in range(3):
+            lb.mark_down(i)
+        with pytest.raises(NoHealthyServers):
+            lb.route("f", [0.0] * 3)
+
+    def test_mark_down_validates_range(self):
+        lb = create_balancer("round-robin", 3)
+        with pytest.raises(ValueError):
+            lb.mark_down(3)
+
+    def test_mark_up_restores(self):
+        lb = RoundRobinBalancer(2)
+        lb.mark_down(0)
+        assert [lb.route("f", [0, 0]) for __ in range(3)] == [1, 1, 1]
+        lb.mark_up(0)
+        lb.mark_up(0)  # idempotent
+        assert 0 in {lb.route("f", [0, 0]) for __ in range(4)}
+
+    def test_random_draw_sequence_unchanged_when_healthy(self):
+        # The fast path must preserve the exact pre-health-awareness
+        # RNG stream: a balancer that went down and came back makes
+        # the same decisions as one that never did.
+        lb = RandomBalancer(4, seed=7)
+        lb.mark_down(1)
+        lb.mark_up(1)
+        baseline = RandomBalancer(4, seed=7)
+        routes = [lb.route("f", [0] * 4) for __ in range(50)]
+        assert routes == [baseline.route("f", [0] * 4) for __ in range(50)]
+
+    def test_hash_affinity_reroute_deterministic_and_restoring(self):
+        lb = HashAffinityBalancer(4, replicas=1)
+        home = lb.route("fn-x", [0.0] * 4)
+        lb.mark_down(home)
+        rerouted = {lb.route("fn-x", [0.0] * 4) for __ in range(8)}
+        assert len(rerouted) == 1  # deterministic fallback target
+        assert home not in rerouted
+        # The fallback is the next server on the hash ring.
+        assert rerouted == {(home + 1) % 4}
+        lb.mark_up(home)
+        assert lb.route("fn-x", [0.0] * 4) == home
+
+    def test_least_loaded_tie_break_is_lowest_index(self):
+        # The documented contract: among equally-loaded healthy
+        # servers, the lowest index always wins.
+        lb = LeastLoadedBalancer(4)
+        assert lb.route("f", [5.0, 5.0, 5.0, 5.0]) == 0
+        lb.mark_down(0)
+        assert lb.route("f", [5.0, 5.0, 5.0, 5.0]) == 1
+        assert lb.route("g", [9.0, 3.0, 3.0, 9.0]) == 1
+
+
+class TestSpilloverRouteTraced:
+    """route_traced edge cases for the spillover balancer."""
+
+    def _tracer_and_events(self):
+        from repro.obs.sinks import RingBufferSink
+        from repro.obs.tracer import Tracer
+
+        sink = RingBufferSink()
+        return Tracer(sink, strict=True), sink
+
+    def _home(self, num_servers, replicas=1):
+        return HashAffinityBalancer(num_servers, replicas=replicas).route(
+            "fn-x", [0.0] * num_servers
+        )
+
+    def test_all_replicas_over_threshold_spills_once(self):
+        from repro.cluster.loadbalancer import AffinityWithSpilloverBalancer
+
+        lb = AffinityWithSpilloverBalancer(
+            4, replicas=2, spillover_factor=1.5
+        )
+        tracer, sink = self._tracer_and_events()
+        home = self._home(4, replicas=2)
+        load = [100.0] * 4
+        load[home] = 1000.0
+        load[(home + 1) % 4] = 1000.0  # both replicas hot
+        server = lb.route_traced("fn-x", load, 1.0, tracer)
+        assert load[server] == 100.0  # diverted off the hot home set
+        (event,) = sink.snapshot()
+        assert event["event"] == "invocation_routed"
+        assert event["server"] == server
+        assert event["spilled"] is True
+        assert lb.spillovers == 1
+
+    def test_single_server_ring_never_spills(self):
+        from repro.cluster.loadbalancer import AffinityWithSpilloverBalancer
+
+        lb = AffinityWithSpilloverBalancer(1, spillover_factor=1.5)
+        tracer, sink = self._tracer_and_events()
+        for t in range(5):
+            assert lb.route_traced("fn-x", [500.0], float(t), tracer) == 0
+        assert lb.spillovers == 0
+        assert all(not e["spilled"] for e in sink.snapshot())
+
+    def test_all_affinity_servers_down_reroutes(self):
+        from repro.cluster.loadbalancer import AffinityWithSpilloverBalancer
+
+        lb = AffinityWithSpilloverBalancer(
+            4, replicas=2, spillover_factor=1.5
+        )
+        tracer, sink = self._tracer_and_events()
+        home = self._home(4, replicas=2)
+        lb.mark_down(home)
+        lb.mark_down((home + 1) % 4)
+        server = lb.route_traced("fn-x", [10.0] * 4, 1.0, tracer)
+        assert server not in {home, (home + 1) % 4}
+        (event,) = sink.snapshot()
+        assert event["server"] == server
+        assert event["spilled"] is False  # reroute, not a load spill
+
+    def test_all_servers_down_raises_before_emitting(self):
+        from repro.cluster.loadbalancer import (
+            AffinityWithSpilloverBalancer,
+            NoHealthyServers,
+        )
+
+        lb = AffinityWithSpilloverBalancer(2, spillover_factor=1.5)
+        tracer, sink = self._tracer_and_events()
+        lb.mark_down(0)
+        lb.mark_down(1)
+        with pytest.raises(NoHealthyServers):
+            lb.route_traced("fn-x", [0.0, 0.0], 1.0, tracer)
+        assert sink.snapshot() == []
+
+
+class TestClusterFaults:
+    """Whole-server outages driven through the cluster simulator."""
+
+    def _trace(self):
+        return make_trace("ABCDABCDBCAD" * 30, gap_s=2.0)
+
+    def test_zero_fault_spec_matches_baseline(self):
+        from repro.faults import FaultSpec
+
+        trace = self._trace()
+        base = ClusterSimulator(
+            trace, "hash-affinity", num_servers=2, server_memory_mb=1024.0
+        ).run()
+        nulled = ClusterSimulator(
+            trace, "hash-affinity", num_servers=2, server_memory_mb=1024.0,
+            fault_spec=FaultSpec(seed=3),
+        ).run()
+        assert base.warm_starts == nulled.warm_starts
+        assert base.cold_starts == nulled.cold_starts
+        assert base.routed == nulled.routed
+        assert nulled.sheds == 0 and nulled.server_downs == 0
+
+    @pytest.mark.parametrize(
+        "balancer", ["random", "round-robin", "hash-affinity",
+                     "affinity-spillover", "least-loaded"]
+    )
+    def test_outage_sheds_then_recovers(self, balancer):
+        from repro.faults import FaultSpec
+
+        trace = self._trace()
+        spec = FaultSpec(
+            seed=1, server_downtimes=((0, 100.0, 200.0), (1, 100.0, 200.0))
+        )
+        result = ClusterSimulator(
+            trace, balancer, num_servers=2, server_memory_mb=1024.0,
+            fault_spec=spec,
+        ).run()
+        # Both servers down over [100, 200): those arrivals are shed
+        # at the cluster level; everything else is served.
+        assert result.shed_unavailable > 0
+        assert result.server_downs == 2
+        assert result.served + result.dropped + result.sheds == len(trace)
+
+    def test_single_server_outage_reroutes_not_sheds(self):
+        from repro.faults import FaultSpec
+
+        trace = self._trace()
+        spec = FaultSpec(seed=1, server_downtimes=((0, 100.0, 200.0),))
+        result = ClusterSimulator(
+            trace, "hash-affinity", num_servers=2, server_memory_mb=1024.0,
+            fault_spec=spec,
+        ).run()
+        # The healthy server absorbs the failed one's traffic.
+        assert result.shed_unavailable == 0
+        assert result.server_downs == 1
+        assert result.served + result.dropped == len(trace)
+
+    def test_deterministic_across_runs(self):
+        from repro.faults import FaultSpec
+
+        trace = self._trace()
+        spec = FaultSpec(
+            seed=5, crash_rate=0.05, server_downtimes=((0, 100.0, 160.0),)
+        )
+
+        def run():
+            r = ClusterSimulator(
+                trace, "affinity-spillover", num_servers=2,
+                server_memory_mb=1024.0, fault_spec=spec,
+            ).run()
+            return (r.warm_starts, r.cold_starts, r.faults_injected,
+                    r.retries, r.sheds, r.shed_unavailable, r.routed)
+
+        assert run() == run()
+
+    def test_member_simulators_do_not_double_apply_outages(self):
+        from repro.faults import FaultSpec
+
+        trace = self._trace()
+        spec = FaultSpec(seed=1, server_downtimes=((0, 100.0, 200.0),))
+        sim = ClusterSimulator(
+            trace, "round-robin", num_servers=2, server_memory_mb=1024.0,
+            fault_spec=spec,
+        )
+        # The server-level spec hands outage ownership to the cluster:
+        # members must not also schedule the downtime themselves.
+        for server in sim.servers:
+            assert not server._transitions
+        result = sim.run()
+        assert result.server_downs == 1

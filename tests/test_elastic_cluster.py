@@ -136,3 +136,56 @@ class TestElasticScaling:
             trace, requests_per_server_per_s=10.0, control_period_s=300.0
         ).run()
         assert 0.0 <= result.cold_start_pct <= 100.0
+
+
+class TestElasticFaults:
+    """Fault injection folded through the elastic controller."""
+
+    def _spec(self, **kw):
+        from repro.faults import FaultSpec
+
+        base = dict(seed=7, crash_rate=0.02,
+                    server_downtimes=((0, 300.0, 600.0),))
+        base.update(kw)
+        return FaultSpec(**base)
+
+    def test_faulted_run_populates_counters(self):
+        trace = steady_trace(duration_s=1800.0)
+        result = ElasticClusterSimulation(
+            trace, requests_per_server_per_s=10.0, control_period_s=300.0,
+            max_servers=4, fault_spec=self._spec(),
+        ).run()
+        assert result.faults_injected > 0
+        assert result.server_downs >= 1
+        assert result.served + result.dropped + result.sheds == len(trace)
+
+    def test_deterministic(self):
+        trace = steady_trace(duration_s=1800.0)
+
+        def run():
+            r = ElasticClusterSimulation(
+                trace, requests_per_server_per_s=10.0,
+                control_period_s=300.0, max_servers=4,
+                fault_spec=self._spec(),
+            ).run()
+            return (r.served, r.dropped, r.sheds, r.faults_injected,
+                    r.retries, r.server_downs, r.shed_unavailable,
+                    r.scale_ups, r.scale_downs)
+
+        assert run() == run()
+
+    def test_zero_fault_spec_is_baseline(self):
+        from repro.faults import FaultSpec
+
+        trace = steady_trace(duration_s=1800.0)
+        kwargs = dict(requests_per_server_per_s=10.0,
+                      control_period_s=300.0, max_servers=4)
+        base = ElasticClusterSimulation(trace, **kwargs).run()
+        nulled = ElasticClusterSimulation(
+            trace, fault_spec=FaultSpec(seed=9), **kwargs
+        ).run()
+        assert (base.served, base.dropped, base.scale_ups,
+                base.scale_downs) == (
+            nulled.served, nulled.dropped, nulled.scale_ups,
+            nulled.scale_downs)
+        assert nulled.faults_injected == 0 and nulled.sheds == 0

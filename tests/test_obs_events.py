@@ -122,6 +122,13 @@ class TestJsonlRoundTrip:
                                    "arrival_rate": 12.5},
             "invocation_routed": {"function": "f", "server": 1,
                                   "balancer": "hash-affinity"},
+            "fault_injected": {"function": "f", "kind": "crash"},
+            "invocation_retried": {"function": "f", "attempt": 1,
+                                   "delay_s": 2.0},
+            "invocation_shed": {"function": "f", "reason": "retry_budget",
+                                "attempts": 4},
+            "server_down": {"server": 0},
+            "server_recovered": {"server": 0, "downtime_s": 400.0},
         }
         assert set(samples) == set(EVENT_TYPES)
         path = tmp_path / "events.jsonl"
@@ -272,4 +279,4 @@ class TestEmitterConformance:
 
     def test_schema_covers_exactly_the_emitted_vocabulary(self):
         assert set(EVENT_SCHEMAS) == set(EVENT_TYPES)
-        assert len(EVENT_TYPES) == 9
+        assert len(EVENT_TYPES) == 14

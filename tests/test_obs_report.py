@@ -21,11 +21,12 @@ from repro.traces.synth import (
 from tests.conftest import make_trace
 
 
-def traced_run(policy_name, trace, memory_mb):
+def traced_run(policy_name, trace, memory_mb, **sim_kwargs):
     sink = RingBufferSink(capacity=2_000_000)
     sim = KeepAliveSimulator(
         trace, create_policy(policy_name), memory_mb,
         tracer=Tracer(sink, strict=True),
+        **sim_kwargs,
     )
     sim.run()
     return sim.metrics, report_from_events(sink)
@@ -86,6 +87,38 @@ class TestCountersConsistency:
         assert set(TraceReport().counters()) == set(
             SimulationMetrics().counters()
         )
+
+    def test_faulted_run_counters_agree(self):
+        # The consistency gate must survive the chaos layer: a run
+        # with injected faults, retries, sheds, and a server outage
+        # still reconstructs the simulator's counters exactly from
+        # the event stream (warmup_s=0, so nothing is gated away).
+        from repro.faults import FaultSpec
+
+        spec = FaultSpec(
+            seed=11,
+            spawn_failure_rate=0.05,
+            crash_rate=0.03,
+            timeout_rate=0.02,
+            server_downtimes=((0, 200.0, 260.0),),
+            max_retries=2,
+            per_function_retry_budget=10,
+        )
+        trace = skewed_frequency_trace(seed=1, duration_s=600.0)
+        metrics, report = traced_run("GD", trace, 512.0, fault_spec=spec)
+        # The run must actually exercise every new counter.
+        assert metrics.faults_injected > 0
+        assert metrics.retries > 0
+        assert metrics.sheds > 0
+        assert metrics.server_downs == 1
+        assert report.counters() == metrics.counters()
+        assert report.check_counters(metrics.counters()) == []
+        # By-kind / by-reason breakdowns agree with the live metrics.
+        assert report.faults_by_kind == dict(metrics.faults_by_kind)
+        assert report.sheds_by_reason == dict(metrics.sheds_by_reason)
+        # "failure" evictions (crashed containers, dead servers) stay
+        # out of the cache-policy counters on both sides.
+        assert report.evictions_by_reason.get("failure", 0) > 0
 
 
 class TestTimelines:
