@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-ci lint typecheck examples reproduce clean
+.PHONY: install test bench bench-ci lint typecheck check sanitize examples reproduce clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -24,6 +24,15 @@ lint:
 
 typecheck:
 	mypy src/repro
+
+# The determinism & invariant linter (rules FC001-FC008; see
+# docs/static-analysis.md). Stdlib-only: needs no extra installs.
+check:
+	PYTHONPATH=src $(PYTHON) -m repro.checks src tests --stats
+
+# Tier-1 tests with the runtime invariant sanitizer hooks enabled.
+sanitize:
+	REPRO_SANITIZE=1 PYTHONPATH=src $(PYTHON) -m pytest tests/ -x -q
 
 examples:
 	@for script in examples/*.py; do \

@@ -1,0 +1,40 @@
+"""Determinism & invariant checking for the FaasCache reproduction.
+
+Two halves:
+
+* :mod:`repro.checks.linter` — the static AST pass (rules
+  FC001–FC008), run as ``repro-faascache check`` or
+  ``python -m repro.checks``;
+* :mod:`repro.checks.sanitize` — the runtime invariant sanitizer,
+  enabled with ``REPRO_SANITIZE=1`` or the CLI ``--sanitize`` flag.
+
+See ``docs/static-analysis.md`` for the rule catalog and rationale.
+"""
+
+from repro.checks.linter import (
+    RULES,
+    CheckResult,
+    Finding,
+    check_paths,
+    format_finding,
+)
+from repro.checks.sanitize import (
+    ReportSink,
+    SanitizeError,
+    check_counter_equality,
+    sanitize_enabled,
+    set_sanitize,
+)
+
+__all__ = [
+    "RULES",
+    "CheckResult",
+    "Finding",
+    "check_paths",
+    "format_finding",
+    "ReportSink",
+    "SanitizeError",
+    "check_counter_equality",
+    "sanitize_enabled",
+    "set_sanitize",
+]

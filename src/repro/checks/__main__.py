@@ -1,0 +1,8 @@
+"""``python -m repro.checks`` — run the determinism linter."""
+
+import sys
+
+from repro.checks.linter import main
+
+if __name__ == "__main__":
+    sys.exit(main())

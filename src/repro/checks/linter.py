@@ -1,0 +1,1055 @@
+"""`repro.checks` — the determinism & invariant static-analysis pass.
+
+A standalone, ruff-plugin-style AST linter with rules tuned to the
+invariants this reproduction's credibility rests on: seeded replays
+must be byte-identical serial vs. parallel (FaasCache, ASPLOS 2021 is
+only believable if the simulator is deterministic), the Azure-trace
+methodology (Shahrad et al., ATC 2020) demands replayable experiments,
+and the observability/robustness layers promise that every traced
+event type stays mirrored across ``SimulationMetrics`` /
+``TraceReport`` / ``SweepPoint`` and that nothing crossing the sweep
+process boundary is unpicklable.
+
+Rule catalog (full rationale in ``docs/static-analysis.md``):
+
+========  ============================================================
+``FC001``  wall-clock reads (``time.time``/``time.monotonic``/
+           ``datetime.now`` ...) in the deterministic modules
+           (``repro.sim``/``core``/``cluster``/``faults``);
+           ``repro.core.clock`` is the one sanctioned definer.
+``FC002``  global / unseeded RNG (module-level ``random.*`` calls,
+           legacy ``np.random.*``, argument-less ``random.Random()``)
+           in simulation paths — randomness must flow through a
+           seeded ``Random``/``Generator`` instance.
+``FC003``  iteration over a bare ``set()``/``frozenset()``/set
+           literal without ``sorted(...)`` in a deterministic path,
+           and membership sets rebuilt per loop iteration.
+``FC004``  event-name string literals passed to ``Tracer.emit`` (or
+           any ``.emit("...")`` call) that are not registered in
+           ``repro.obs.events.EVENT_SCHEMAS`` — typo'd event types
+           die at lint time, not in a flaky replay test.
+``FC005``  lifecycle-counter drift: the key set of
+           ``SimulationMetrics.counters()`` must equal
+           ``TraceReport.counters()``, every key must be a real
+           dataclass field, and ``SweepPoint`` must carry them.
+``FC006``  ``lambda``/local-function values in dataclass field
+           defaults or in arguments shipped to
+           ``run_sweep_parallel`` (pickle safety; the parent-side
+           ``progress=`` callback is exempt).
+``FC007``  float ``==``/``!=`` comparisons in sim/policy code
+           (priority math) — compare with a tolerance instead.
+``FC008``  mutable default arguments anywhere in ``src/repro``.
+========  ============================================================
+
+Suppression: append ``# noqa: FC00X`` (or a bare ``# noqa``) to the
+flagged line. Suppressed findings are still counted and reported by
+``--stats`` so they can be triaged (see ROADMAP.md's open items).
+
+Files outside an importable package (tests, scripts) can opt into the
+scoped rules with a ``# repro-checks-module: repro.sim.something``
+pragma in their first lines — this is how the rule fixtures under
+``tests/fixtures/checks/`` exercise path-scoped rules.
+
+No runtime dependencies beyond the standard library: the cross-module
+symbol table (FC004/FC005) is built by *parsing* the project sources,
+never importing them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import pathlib
+import re
+import sys
+from dataclasses import dataclass, field
+from typing import (
+    Collection,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+__all__ = [
+    "RULES",
+    "Finding",
+    "CheckResult",
+    "check_paths",
+    "format_finding",
+    "main",
+]
+
+#: code -> (summary, fix hint). The single source of rule metadata:
+#: the CLI, the docs table, and the tests all read from here.
+RULES: Dict[str, Tuple[str, str]] = {
+    "FC001": (
+        "wall-clock read in a deterministic module",
+        "route wall timing through repro.core.clock.wall_clock_s or "
+        "compute from simulated time",
+    ),
+    "FC002": (
+        "global or unseeded RNG in a simulation path",
+        "draw from a seeded random.Random(seed) / "
+        "numpy.random.default_rng(seed) instance",
+    ),
+    "FC003": (
+        "unordered set iterated (or rebuilt per element) in a "
+        "deterministic path",
+        "iterate sorted(the_set) instead; hoist membership sets out "
+        "of the loop",
+    ),
+    "FC004": (
+        "unknown event type passed to .emit()",
+        "use a name registered in repro.obs.events.EVENT_SCHEMAS",
+    ),
+    "FC005": (
+        "lifecycle-counter contract drift",
+        "mirror the counter key in SimulationMetrics.counters(), "
+        "TraceReport.counters() and keep SweepPoint's counters field",
+    ),
+    "FC006": (
+        "unpicklable callable in a dataclass default or "
+        "run_sweep_parallel argument",
+        "use a module-level function (the parent-side progress= "
+        "callback is exempt)",
+    ),
+    "FC007": (
+        "float equality comparison in sim/policy code",
+        "compare with a tolerance (abs(a - b) <= eps) or math.isclose",
+    ),
+    "FC008": (
+        "mutable default argument",
+        "default to None and create the object inside the function",
+    ),
+}
+
+#: Package prefixes whose modules must stay deterministic.
+_DETERMINISTIC = ("repro.sim", "repro.core", "repro.cluster", "repro.faults")
+_FC001_SCOPE = _DETERMINISTIC
+#: The one module allowed to read the wall clock (it defines the
+#: sanctioned accessor everything else routes through).
+_FC001_EXEMPT = "repro.core.clock"
+_FC002_SCOPE = _DETERMINISTIC + (
+    "repro.traces",
+    "repro.openwhisk",
+    "repro.provisioning",
+)
+_FC003_SCOPE = _DETERMINISTIC + ("repro.traces",)
+_FC007_SCOPE = ("repro.sim", "repro.core")
+
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+        "date.today",
+    }
+)
+_WALL_CLOCK_NAMES = frozenset(
+    {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+    }
+)
+#: random-module attributes that are fine to call (class constructors,
+#: checked separately for missing seeds).
+_RANDOM_OK = frozenset({"Random", "SystemRandom"})
+_NP_RANDOM_OK = frozenset({"default_rng", "Generator", "SeedSequence"})
+
+_NOQA_RE = re.compile(
+    r"#\s*noqa(?::\s*(?P<codes>[A-Z]+\d+(?:[,\s]+[A-Z]+\d+)*))?",
+    re.IGNORECASE,
+)
+_PRAGMA_RE = re.compile(r"#\s*repro-checks-module:\s*([\w.]+)")
+
+#: Directory fragment excluded from directory walks by default: the
+#: deliberately-rule-breaking lint fixtures must not fail the
+#: self-clean CI run (tests address them file-by-file instead).
+_FIXTURE_FRAGMENT = "fixtures/checks"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation (or suppressed violation) at a location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    @property
+    def hint(self) -> str:
+        return RULES.get(self.code, ("", ""))[1]
+
+
+@dataclass
+class CheckResult:
+    """Everything one linter run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def counts_by_code(self, suppressed: bool = False) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for finding in self.suppressed if suppressed else self.findings:
+            out[finding.code] = out.get(finding.code, 0) + 1
+        return out
+
+
+def format_finding(finding: Finding) -> str:
+    text = (
+        f"{finding.path}:{finding.line}:{finding.col + 1}: "
+        f"{finding.code} {finding.message}"
+    )
+    if finding.hint:
+        text += f" [fix: {finding.hint}]"
+    return text
+
+
+# ----------------------------------------------------------------------
+# Source model
+# ----------------------------------------------------------------------
+
+
+def _dotted(node: ast.expr) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _dotted(node.value)
+        if base is None:
+            return None
+        return f"{base}.{node.attr}"
+    return None
+
+
+def module_name_for(path: pathlib.Path, source: str) -> Optional[str]:
+    """The dotted module a file belongs to, or ``None``.
+
+    A ``# repro-checks-module: <dotted>`` pragma in the first lines
+    wins; otherwise the name is derived by walking up through package
+    directories (ones holding ``__init__.py``).
+    """
+    head = "\n".join(source.splitlines()[:12])
+    match = _PRAGMA_RE.search(head)
+    if match:
+        return match.group(1)
+    resolved = path.resolve()
+    parts: List[str] = []
+    current = resolved.parent
+    while (current / "__init__.py").exists():
+        parts.append(current.name)
+        parent = current.parent
+        if parent == current:  # filesystem root
+            break
+        current = parent
+    if not parts:
+        return None
+    parts.reverse()
+    if resolved.stem != "__init__":
+        parts.append(resolved.stem)
+    return ".".join(parts)
+
+
+def _in_scope(module: Optional[str], prefixes: Sequence[str]) -> bool:
+    if module is None:
+        return False
+    return any(
+        module == prefix or module.startswith(prefix + ".")
+        for prefix in prefixes
+    )
+
+
+@dataclass
+class _SourceFile:
+    path: pathlib.Path
+    source: str
+    tree: ast.Module
+    module: Optional[str]
+
+    @property
+    def lines(self) -> List[str]:
+        return self.source.splitlines()
+
+
+# ----------------------------------------------------------------------
+# Cross-module symbol table (FC004 / FC005)
+# ----------------------------------------------------------------------
+
+#: Canonical project files, used when the checked file set does not
+#: itself (re)define the symbol — e.g. when linting one fixture file.
+_REPRO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+_CANONICAL_EVENTS = _REPRO_ROOT / "obs" / "events.py"
+_CANONICAL_METRICS = _REPRO_ROOT / "sim" / "metrics.py"
+_CANONICAL_REPORT = _REPRO_ROOT / "obs" / "report.py"
+_CANONICAL_SWEEP = _REPRO_ROOT / "sim" / "sweep.py"
+
+
+@dataclass
+class _CounterDef:
+    """The ``counters()`` dict-literal keys of one class definition."""
+
+    path: str
+    line: int
+    keys: Set[str]
+    fields: Set[str]
+    from_checked: bool
+
+
+@dataclass
+class ProjectSymbols:
+    """Everything the cross-module rules need to know about the project."""
+
+    event_names: Set[str] = field(default_factory=set)
+    metrics: Optional[_CounterDef] = None
+    report: Optional[_CounterDef] = None
+    sweep_fields: Optional[Set[str]] = None
+    sweep_from_checked: bool = False
+
+
+def _class_fields(node: ast.ClassDef) -> Set[str]:
+    names: Set[str] = set()
+    for stmt in node.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            names.add(stmt.target.id)
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return names
+
+
+def _counters_keys(node: ast.ClassDef) -> Optional[Tuple[int, Set[str]]]:
+    """Keys of the dict literal returned by a ``counters`` method."""
+    for stmt in node.body:
+        if isinstance(stmt, ast.FunctionDef) and stmt.name == "counters":
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Return) and isinstance(
+                    sub.value, ast.Dict
+                ):
+                    keys = {
+                        key.value
+                        for key in sub.value.keys
+                        if isinstance(key, ast.Constant)
+                        and isinstance(key.value, str)
+                    }
+                    return stmt.lineno, keys
+    return None
+
+
+def _harvest_symbols(
+    symbols: ProjectSymbols, source_file: _SourceFile, from_checked: bool
+) -> None:
+    for node in ast.walk(source_file.tree):
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id == "EVENT_SCHEMAS"
+                    and isinstance(node.value, ast.Dict)
+                ):
+                    symbols.event_names.update(
+                        key.value
+                        for key in node.value.keys
+                        if isinstance(key, ast.Constant)
+                        and isinstance(key.value, str)
+                    )
+        elif isinstance(node, ast.ClassDef):
+            if node.name in ("SimulationMetrics", "TraceReport"):
+                found = _counters_keys(node)
+                if found is None:
+                    continue
+                line, keys = found
+                definition = _CounterDef(
+                    path=str(source_file.path),
+                    line=line,
+                    keys=keys,
+                    fields=_class_fields(node),
+                    from_checked=from_checked,
+                )
+                if node.name == "SimulationMetrics":
+                    symbols.metrics = definition
+                else:
+                    symbols.report = definition
+            elif node.name == "SweepPoint":
+                symbols.sweep_fields = _class_fields(node)
+                symbols.sweep_from_checked = from_checked
+
+
+def _load_canonical(path: pathlib.Path) -> Optional[_SourceFile]:
+    try:
+        source = path.read_text()
+        tree = ast.parse(source, filename=str(path))
+    except (OSError, SyntaxError):
+        return None
+    return _SourceFile(path=path, source=source, tree=tree, module=None)
+
+
+def collect_symbols(checked: Sequence[_SourceFile]) -> ProjectSymbols:
+    """Build the symbol table: canonical sources first, then any
+    (re)definitions found in the checked file set override them."""
+    symbols = ProjectSymbols()
+    for canonical in (
+        _CANONICAL_METRICS,
+        _CANONICAL_REPORT,
+        _CANONICAL_SWEEP,
+    ):
+        loaded = _load_canonical(canonical)
+        if loaded is not None:
+            _harvest_symbols(symbols, loaded, from_checked=False)
+    # Event vocabulary: a schema defined *in the checked set* wins
+    # (fixtures may declare a restricted vocabulary); otherwise the
+    # canonical repro/obs/events.py supplies it, so linting a single
+    # file still sees the real registry.
+    checked_symbols = ProjectSymbols()
+    for source_file in checked:
+        _harvest_symbols(checked_symbols, source_file, from_checked=True)
+    if checked_symbols.event_names:
+        symbols.event_names = checked_symbols.event_names
+    else:
+        canonical_events = _load_canonical(_CANONICAL_EVENTS)
+        if canonical_events is not None:
+            _harvest_symbols(symbols, canonical_events, from_checked=False)
+    if checked_symbols.metrics is not None:
+        symbols.metrics = checked_symbols.metrics
+    if checked_symbols.report is not None:
+        symbols.report = checked_symbols.report
+    if checked_symbols.sweep_fields is not None:
+        symbols.sweep_fields = checked_symbols.sweep_fields
+        symbols.sweep_from_checked = True
+    return symbols
+
+
+# ----------------------------------------------------------------------
+# Per-file visitor
+# ----------------------------------------------------------------------
+
+
+class _Visitor(ast.NodeVisitor):
+    """Runs every per-file rule over one parsed module."""
+
+    def __init__(
+        self,
+        source_file: _SourceFile,
+        symbols: ProjectSymbols,
+        select: Optional[Collection[str]],
+    ) -> None:
+        self._file = source_file
+        self._symbols = symbols
+        self._select = frozenset(select) if select is not None else None
+        self._loop_depth = 0
+        self._local_funcs: List[Set[str]] = []
+        self.findings: List[Finding] = []
+
+    # -- plumbing ----------------------------------------------------
+
+    def _report(self, node: ast.AST, code: str, message: str) -> None:
+        if self._select is not None and code not in self._select:
+            return
+        self.findings.append(
+            Finding(
+                path=str(self._file.path),
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                code=code,
+                message=message,
+            )
+        )
+
+    def _scoped(self, prefixes: Sequence[str]) -> bool:
+        return _in_scope(self._file.module, prefixes)
+
+    # -- FC001 / FC002: wall clocks and global RNG -------------------
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if (
+            node.module == "time"
+            and self._scoped(_FC001_SCOPE)
+            and self._file.module != _FC001_EXEMPT
+        ):
+            for alias in node.names:
+                if alias.name in _WALL_CLOCK_NAMES:
+                    self._report(
+                        node,
+                        "FC001",
+                        f"from time import {alias.name}: wall-clock access "
+                        "in a deterministic module",
+                    )
+        if node.module == "random" and self._scoped(_FC002_SCOPE):
+            for alias in node.names:
+                if alias.name not in _RANDOM_OK:
+                    self._report(
+                        node,
+                        "FC002",
+                        f"from random import {alias.name}: module-level RNG "
+                        "in a simulation path",
+                    )
+        self.generic_visit(node)
+
+    def _check_call_clock_rng(self, node: ast.Call, dotted: str) -> None:
+        if (
+            dotted in _WALL_CLOCK_CALLS
+            and self._scoped(_FC001_SCOPE)
+            and self._file.module != _FC001_EXEMPT
+        ):
+            self._report(
+                node,
+                "FC001",
+                f"{dotted}() reads the wall clock in deterministic module "
+                f"{self._file.module}",
+            )
+        if not self._scoped(_FC002_SCOPE):
+            return
+        parts = dotted.split(".")
+        if len(parts) == 2 and parts[0] == "random":
+            if parts[1] not in _RANDOM_OK:
+                self._report(
+                    node,
+                    "FC002",
+                    f"{dotted}() draws from the process-global RNG; "
+                    "simulation randomness must be seeded",
+                )
+            elif parts[1] == "Random" and not node.args and not node.keywords:
+                self._report(
+                    node,
+                    "FC002",
+                    "random.Random() without a seed is entropy-seeded "
+                    "and nondeterministic",
+                )
+        elif (
+            len(parts) == 3
+            and parts[0] in ("np", "numpy")
+            and parts[1] == "random"
+        ):
+            if parts[2] not in _NP_RANDOM_OK:
+                self._report(
+                    node,
+                    "FC002",
+                    f"{dotted}() uses numpy's legacy global RNG; use a "
+                    "seeded Generator",
+                )
+            elif (
+                parts[2] == "default_rng"
+                and not node.args
+                and not node.keywords
+            ):
+                self._report(
+                    node,
+                    "FC002",
+                    f"{dotted}() without a seed is entropy-seeded and "
+                    "nondeterministic",
+                )
+
+    # -- FC003: unordered iteration ----------------------------------
+
+    @staticmethod
+    def _is_bare_set(node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset")
+        )
+
+    def _check_iteration(self, iter_node: ast.expr) -> None:
+        if self._scoped(_FC003_SCOPE) and self._is_bare_set(iter_node):
+            self._report(
+                iter_node,
+                "FC003",
+                "iterating an unordered set in a deterministic path; "
+                "wrap it in sorted(...)",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iteration(node.iter)
+        self._loop_depth += 1
+        self.generic_visit(node)
+        self._loop_depth -= 1
+
+    def visit_While(self, node: ast.While) -> None:
+        self._loop_depth += 1
+        self.generic_visit(node)
+        self._loop_depth -= 1
+
+    def _visit_comprehension(
+        self,
+        node: Union[ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp],
+    ) -> None:
+        for generator in node.generators:
+            self._check_iteration(generator.iter)
+        self._loop_depth += 1
+        self.generic_visit(node)
+        self._loop_depth -= 1
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._visit_comprehension(node)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self._visit_comprehension(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._visit_comprehension(node)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._visit_comprehension(node)
+
+    # -- FC007 (and the FC003 membership sub-rule) -------------------
+
+    @staticmethod
+    def _is_floatish(node: ast.expr) -> bool:
+        if isinstance(node, ast.Constant) and isinstance(node.value, float):
+            return True
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+            return _Visitor._is_floatish(node.operand)
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "float"
+        )
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if self._loop_depth > 0 and self._scoped(_FC003_SCOPE):
+            for op, comparator in zip(node.ops, node.comparators):
+                if isinstance(op, (ast.In, ast.NotIn)) and self._is_bare_set(
+                    comparator
+                ):
+                    self._report(
+                        comparator,
+                        "FC003",
+                        "membership set rebuilt on every loop iteration; "
+                        "hoist it out of the loop",
+                    )
+        if self._scoped(_FC007_SCOPE) and any(
+            isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops
+        ):
+            operands = [node.left] + list(node.comparators)
+            if any(self._is_floatish(operand) for operand in operands):
+                self._report(
+                    node,
+                    "FC007",
+                    "exact float equality in sim/policy code; priority "
+                    "math needs a tolerance",
+                )
+        self.generic_visit(node)
+
+    # -- FC004: event vocabulary -------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted(node.func)
+        if dotted is not None:
+            self._check_call_clock_rng(node, dotted)
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "emit"
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            event_name = node.args[0].value
+            if (
+                self._symbols.event_names
+                and event_name not in self._symbols.event_names
+            ):
+                self._report(
+                    node.args[0],
+                    "FC004",
+                    f"event type {event_name!r} is not registered in "
+                    "repro.obs.events.EVENT_SCHEMAS",
+                )
+        if dotted is not None and dotted.split(".")[-1] == "run_sweep_parallel":
+            self._check_parallel_args(node)
+        self.generic_visit(node)
+
+    # -- FC006: pickle safety ----------------------------------------
+
+    def _check_parallel_args(self, node: ast.Call) -> None:
+        local_names: Set[str] = set()
+        for scope in self._local_funcs:
+            local_names |= scope
+        values = [(None, arg) for arg in node.args] + [
+            (kw.arg, kw.value) for kw in node.keywords
+        ]
+        for keyword, value in values:
+            if keyword == "progress":
+                continue  # invoked parent-side only, never pickled
+            if isinstance(value, ast.Lambda):
+                self._report(
+                    value,
+                    "FC006",
+                    "lambda shipped to run_sweep_parallel cannot cross "
+                    "the process boundary (unpicklable)",
+                )
+            elif isinstance(value, ast.Name) and value.id in local_names:
+                self._report(
+                    value,
+                    "FC006",
+                    f"locally-defined function {value.id!r} shipped to "
+                    "run_sweep_parallel cannot cross the process "
+                    "boundary (unpicklable)",
+                )
+
+    def _check_dataclass(self, node: ast.ClassDef) -> None:
+        decorated = False
+        for decorator in node.decorator_list:
+            target = decorator.func if isinstance(decorator, ast.Call) else decorator
+            name = _dotted(target)
+            if name in ("dataclass", "dataclasses.dataclass"):
+                decorated = True
+        if not decorated:
+            return
+        for stmt in node.body:
+            value = None
+            if isinstance(stmt, ast.AnnAssign):
+                value = stmt.value
+            elif isinstance(stmt, ast.Assign):
+                value = stmt.value
+            if value is None:
+                continue
+            if isinstance(value, ast.Lambda):
+                self._report(
+                    value,
+                    "FC006",
+                    "lambda as a dataclass field default breaks pickling "
+                    "of the dataclass",
+                )
+            elif isinstance(value, ast.Call):
+                for kw in value.keywords:
+                    if kw.arg in ("default", "default_factory") and isinstance(
+                        kw.value, ast.Lambda
+                    ):
+                        self._report(
+                            kw.value,
+                            "FC006",
+                            f"lambda as a dataclass {kw.arg} breaks "
+                            "pickling of the dataclass",
+                        )
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._check_dataclass(node)
+        self.generic_visit(node)
+
+    # -- FC008: mutable defaults -------------------------------------
+
+    @staticmethod
+    def _is_mutable_default(node: ast.expr) -> bool:
+        if isinstance(
+            node,
+            (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+             ast.SetComp),
+        ):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("list", "dict", "set", "bytearray")
+        )
+
+    def _check_defaults(self, args: ast.arguments) -> None:
+        defaults: List[ast.expr] = list(args.defaults)
+        defaults += [d for d in args.kw_defaults if d is not None]
+        for default in defaults:
+            if self._is_mutable_default(default):
+                self._report(
+                    default,
+                    "FC008",
+                    "mutable default argument is shared across calls",
+                )
+
+    def _visit_function(
+        self, node: Union[ast.FunctionDef, ast.AsyncFunctionDef]
+    ) -> None:
+        self._check_defaults(node.args)
+        if self._local_funcs:
+            self._local_funcs[-1].add(node.name)
+        self._local_funcs.append(set())
+        self.generic_visit(node)
+        self._local_funcs.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_defaults(node.args)
+        self.generic_visit(node)
+
+
+# ----------------------------------------------------------------------
+# FC005: project-level counter-contract diff
+# ----------------------------------------------------------------------
+
+
+def _check_counter_contract(
+    symbols: ProjectSymbols, select: Optional[Collection[str]]
+) -> List[Finding]:
+    if select is not None and "FC005" not in select:
+        return []
+    metrics, report = symbols.metrics, symbols.report
+    if metrics is None or report is None:
+        return []
+    # Only judge the contract when the checked set actually (re)defines
+    # part of it; otherwise a lint of unrelated files would attribute
+    # findings to files outside the run.
+    if not (
+        metrics.from_checked or report.from_checked or symbols.sweep_from_checked
+    ):
+        return []
+    findings: List[Finding] = []
+
+    def _report_at(definition: _CounterDef, message: str) -> None:
+        findings.append(
+            Finding(
+                path=definition.path,
+                line=definition.line,
+                col=0,
+                code="FC005",
+                message=message,
+            )
+        )
+
+    missing = sorted(metrics.keys - report.keys)
+    if missing:
+        _report_at(
+            report if report.from_checked else metrics,
+            f"counter(s) {missing} in SimulationMetrics.counters() have "
+            "no mirror in TraceReport.counters()",
+        )
+    extra = sorted(report.keys - metrics.keys)
+    if extra:
+        _report_at(
+            report if report.from_checked else metrics,
+            f"counter(s) {extra} in TraceReport.counters() do not exist "
+            "in SimulationMetrics.counters()",
+        )
+    unbacked = sorted(metrics.keys - metrics.fields)
+    if unbacked:
+        _report_at(
+            metrics,
+            f"counter(s) {unbacked} in SimulationMetrics.counters() have "
+            "no backing dataclass field",
+        )
+    if symbols.sweep_fields is not None:
+        carries_all = metrics.keys <= symbols.sweep_fields
+        if "counters" not in symbols.sweep_fields and not carries_all:
+            _report_at(
+                metrics,
+                "SweepPoint carries neither a counters snapshot field "
+                "nor the individual counter fields",
+            )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+
+
+def iter_python_files(
+    paths: Sequence[Union[str, pathlib.Path]],
+    include_fixtures: bool = False,
+) -> List[pathlib.Path]:
+    """Expand files/directories into a sorted, de-duplicated file list.
+
+    Directory walks skip ``__pycache__``, hidden directories, and (by
+    default) the deliberately-broken lint fixtures; explicitly-named
+    files are always included.
+    """
+    out: List[pathlib.Path] = []
+    seen: Set[pathlib.Path] = set()
+
+    def _add(path: pathlib.Path) -> None:
+        resolved = path.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            out.append(path)
+
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_file():
+            _add(path)
+            continue
+        for candidate in sorted(path.rglob("*.py")):
+            posix = candidate.as_posix()
+            if "__pycache__" in candidate.parts:
+                continue
+            if any(part.startswith(".") for part in candidate.parts):
+                continue
+            if not include_fixtures and _FIXTURE_FRAGMENT in posix:
+                continue
+            _add(candidate)
+    return out
+
+
+def check_paths(
+    paths: Sequence[Union[str, pathlib.Path]],
+    select: Optional[Collection[str]] = None,
+    include_fixtures: bool = False,
+) -> CheckResult:
+    """Lint every Python file under ``paths``; the package's main API.
+
+    ``select`` restricts the run to a subset of rule codes.
+    Returns a :class:`CheckResult`; ``result.ok`` is the gate.
+    """
+    files = iter_python_files(paths, include_fixtures=include_fixtures)
+    sources: List[_SourceFile] = []
+    raw_findings: List[Finding] = []
+    for path in files:
+        try:
+            source = path.read_text()
+        except OSError as exc:
+            raw_findings.append(
+                Finding(str(path), 1, 0, "FC000", f"unreadable: {exc}")
+            )
+            continue
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            raw_findings.append(
+                Finding(
+                    str(path),
+                    exc.lineno or 1,
+                    (exc.offset or 1) - 1,
+                    "FC000",
+                    f"syntax error: {exc.msg}",
+                )
+            )
+            continue
+        sources.append(
+            _SourceFile(
+                path=path,
+                source=source,
+                tree=tree,
+                module=module_name_for(path, source),
+            )
+        )
+
+    symbols = collect_symbols(sources)
+    lines_by_path: Dict[str, List[str]] = {}
+    for source_file in sources:
+        visitor = _Visitor(source_file, symbols, select)
+        visitor.visit(source_file.tree)
+        raw_findings.extend(visitor.findings)
+        lines_by_path[str(source_file.path)] = source_file.lines
+    raw_findings.extend(_check_counter_contract(symbols, select))
+
+    result = CheckResult(files_checked=len(sources))
+    for finding in sorted(
+        raw_findings, key=lambda f: (f.path, f.line, f.col, f.code)
+    ):
+        if _is_suppressed(finding, lines_by_path.get(finding.path)):
+            result.suppressed.append(finding)
+        else:
+            result.findings.append(finding)
+    return result
+
+
+def _is_suppressed(
+    finding: Finding, lines: Optional[List[str]]
+) -> bool:
+    if lines is None or not 1 <= finding.line <= len(lines):
+        return False
+    match = _NOQA_RE.search(lines[finding.line - 1])
+    if match is None:
+        return False
+    codes = match.group("codes")
+    if codes is None:
+        return True
+    wanted = {code.strip().upper() for code in re.split(r"[,\s]+", codes)}
+    return finding.code in wanted
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.checks``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-checks",
+        description=(
+            "determinism & invariant linter for the FaasCache "
+            "reproduction (rules FC001-FC008; see docs/static-analysis.md)"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="FC001,FC002,...",
+        help="only run these rule codes",
+    )
+    parser.add_argument(
+        "--include-fixtures",
+        action="store_true",
+        help="also lint the deliberately-broken fixtures under "
+        "tests/fixtures/checks/",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-rule counts, including suppressed (noqa) findings",
+    )
+    args = parser.parse_args(argv)
+    select = (
+        {code.strip().upper() for code in args.select.split(",")}
+        if args.select
+        else None
+    )
+    result = check_paths(
+        args.paths, select=select, include_fixtures=args.include_fixtures
+    )
+    for finding in result.findings:
+        print(format_finding(finding))
+    if args.stats:
+        for label, suppressed in (("findings", False), ("suppressed", True)):
+            counts = result.counts_by_code(suppressed=suppressed)
+            rendered = (
+                ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+                or "none"
+            )
+            print(f"{label} by rule: {rendered}")
+    print(
+        f"checked {result.files_checked} files: "
+        f"{len(result.findings)} finding(s), "
+        f"{len(result.suppressed)} suppressed"
+    )
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -10,6 +10,7 @@ Gives downstream users the common workflows without writing Python::
     repro-faascache loadtest --workload cyclic
     repro-faascache trace --trace day.json --out events.jsonl
     repro-faascache trace-report events.jsonl
+    repro-faascache check src tests
 
 ``--trace`` accepts a JSON trace file (see :mod:`repro.traces.io`) or
 one of the built-in workload names (``cyclic``, ``skewed-size``,
@@ -18,12 +19,16 @@ one of the built-in workload names (``cyclic``, ``skewed-size``,
 ``simulate``, ``sweep``, and ``trace`` additionally accept
 ``--fault-spec SPEC.json`` for seeded, deterministic fault injection —
 see ``docs/robustness.md`` for the spec format and the determinism
-guarantees.
+guarantees — and ``--sanitize`` to turn on the runtime invariant
+sanitizer (equivalent to ``REPRO_SANITIZE=1``; see
+``docs/static-analysis.md``). ``check`` runs the determinism &
+invariant linter (rules FC001–FC008) over the given paths.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -64,9 +69,44 @@ def _load_fault_spec(path: Optional[str]):
         raise SystemExit(f"--fault-spec {path}: {exc}")
 
 
+def _apply_sanitize(args: argparse.Namespace) -> None:
+    """Honour a ``--sanitize`` flag by exporting ``REPRO_SANITIZE=1``.
+
+    Exported (rather than toggled in-process) so parallel sweep worker
+    processes inherit the setting.
+    """
+    if getattr(args, "sanitize", False):
+        os.environ["REPRO_SANITIZE"] = "1"
+
+
+def _add_sanitize_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help=(
+            "enable the runtime invariant sanitizer (same as "
+            "REPRO_SANITIZE=1; see docs/static-analysis.md)"
+        ),
+    )
+
+
 # ----------------------------------------------------------------------
 # Subcommands
 # ----------------------------------------------------------------------
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    """Run the determinism & invariant linter (repro.checks)."""
+    from repro.checks.linter import main as check_main
+
+    forwarded: List[str] = list(args.paths)
+    if args.select:
+        forwarded += ["--select", args.select]
+    if args.include_fixtures:
+        forwarded.append("--include-fixtures")
+    if args.stats:
+        forwarded.append("--stats")
+    return check_main(forwarded)
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -132,6 +172,7 @@ def _make_tracer(
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.sim.scheduler import simulate
 
+    _apply_sanitize(args)
     trace = _load_trace(args.trace)
     fault_spec = _load_fault_spec(args.fault_spec)
     tracer, close_tracer = _make_tracer(args.trace_out, args.metrics_out)
@@ -187,6 +228,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.sim.parallel import run_sweep_parallel
     from repro.sim.sweep import run_sweep
 
+    _apply_sanitize(args)
     trace = _load_trace(args.trace)
     fault_spec = _load_fault_spec(args.fault_spec)
     policies = args.policies or list(PAPER_POLICIES)
@@ -454,6 +496,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
     from repro.sim.scheduler import simulate
 
+    _apply_sanitize(args)
     trace = _load_trace(args.trace)
     fault_spec = _load_fault_spec(args.fault_spec)
     tracer, close_tracer = _make_tracer(
@@ -593,6 +636,7 @@ def build_parser() -> argparse.ArgumentParser:
             "(see docs/robustness.md)"
         ),
     )
+    _add_sanitize_flag(simulate)
     simulate.set_defaults(func=_cmd_simulate)
 
     sweep = sub.add_parser("sweep", help="sweep policies across memory sizes")
@@ -642,6 +686,7 @@ def build_parser() -> argparse.ArgumentParser:
             "its own coordinate-derived seed (see docs/robustness.md)"
         ),
     )
+    _add_sanitize_flag(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
     provision = sub.add_parser("provision", help="static server sizing")
@@ -726,6 +771,7 @@ def build_parser() -> argparse.ArgumentParser:
             "(see docs/robustness.md)"
         ),
     )
+    _add_sanitize_flag(trace_cmd)
     trace_cmd.set_defaults(func=_cmd_trace)
 
     trace_report = sub.add_parser(
@@ -754,6 +800,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="functions to list in the eviction-churn table",
     )
     trace_report.set_defaults(func=_cmd_trace_report)
+
+    check = sub.add_parser(
+        "check",
+        help=(
+            "run the determinism & invariant linter "
+            "(rules FC001-FC008, docs/static-analysis.md)"
+        ),
+    )
+    check.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    check.add_argument(
+        "--select",
+        metavar="FC001,FC002,...",
+        help="only run these rule codes",
+    )
+    check.add_argument(
+        "--include-fixtures",
+        action="store_true",
+        help=(
+            "also lint the deliberately-broken fixtures under "
+            "tests/fixtures/checks/"
+        ),
+    )
+    check.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-rule counts, including suppressed (noqa) findings",
+    )
+    check.set_defaults(func=_cmd_check)
 
     return parser
 

@@ -12,7 +12,21 @@ evict in the past.
 
 from __future__ import annotations
 
-__all__ = ["LogicalClock"]
+import time
+
+__all__ = ["LogicalClock", "wall_clock_s"]
+
+
+def wall_clock_s() -> float:
+    """Monotonic wall-clock seconds, for throughput observability only.
+
+    The single sanctioned wall-clock accessor in the deterministic
+    layers (lint rule FC001, see ``docs/static-analysis.md``):
+    simulation *logic* must never branch on wall time, but the replay
+    loop may measure its own duration through this function (e.g.
+    ``SimulationMetrics.wall_time_s``).
+    """
+    return time.perf_counter()
 
 
 class LogicalClock:

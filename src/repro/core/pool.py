@@ -26,6 +26,7 @@ from typing import (
     Tuple,
 )
 
+from repro.checks.sanitize import SanitizeError, sanitize_enabled
 from repro.core.container import Container, ContainerState
 from repro.traces.model import TraceFunction
 
@@ -73,6 +74,10 @@ class ContainerPool:
         # containers' busy/idle notifications so the unsatisfiable-
         # deficit check on every drop is O(1) instead of a pool scan.
         self._evictable_mb = 0.0
+        # Runtime sanitizer flag, captured once at construction
+        # (docs/static-analysis.md): when off, admission/eviction pay
+        # exactly one attribute test.
+        self._sanitize = sanitize_enabled()
 
     # ------------------------------------------------------------------
     # Capacity accounting
@@ -154,6 +159,8 @@ class ContainerPool:
             )
             if container.is_idle:
                 self._evictable_mb += container.memory_mb
+        if self._sanitize:
+            self._sanitize_accounting()
 
     def evict(self, container: Container) -> None:
         """Terminate and remove an idle container.
@@ -183,6 +190,30 @@ class ContainerPool:
         self._evictable_mb -= container.memory_mb
         if self._evictable_mb < 1e-9:
             self._evictable_mb = 0.0
+        if self._sanitize:
+            self._sanitize_accounting()
+
+    def _sanitize_accounting(self) -> None:
+        """REPRO_SANITIZE hook: recompute the incremental memory
+        accounting from scratch and fail loudly on any drift."""
+        used = sum(c.memory_mb for c in self._containers.values())
+        if abs(used - self._used_mb) > 1e-6 * max(1.0, used):
+            raise SanitizeError(
+                f"memory conservation violated: containers hold "
+                f"{used:.3f} MB but the pool accounts "
+                f"{self._used_mb:.3f} MB"
+            )
+        evictable = sum(
+            c.memory_mb
+            for c in self._containers.values()
+            if c.is_idle and not c.pinned
+        )
+        if abs(evictable - self._evictable_mb) > 1e-6 * max(1.0, evictable):
+            raise SanitizeError(
+                f"evictable-memory accounting violated: idle unpinned "
+                f"containers hold {evictable:.3f} MB but the pool "
+                f"accounts {self._evictable_mb:.3f} MB"
+            )
 
     # ------------------------------------------------------------------
     # Queries for policies and the simulator
@@ -278,6 +309,10 @@ class ContainerPool:
         """
         heap = self._victim_heap
         restore: List[Tuple[Tuple[float, float, int], int]] = []
+        # Sanitizer: the monotone-key contract implies yielded keys
+        # never decrease; a regression here would silently evict the
+        # wrong containers.
+        last_yielded: Optional[Tuple[float, float, int]] = None
         try:
             while heap:
                 stored_key, container_id = heapq.heappop(heap)
@@ -295,6 +330,14 @@ class ContainerPool:
                 if current_key != stored_key:
                     heapq.heappush(heap, (current_key, container_id))
                     continue
+                if self._sanitize:
+                    if last_yielded is not None and current_key < last_yielded:
+                        raise SanitizeError(
+                            f"victim-index monotonicity violated: key "
+                            f"{current_key} yielded after {last_yielded} "
+                            "(policy key decreased while pooled)"
+                        )
+                    last_yielded = current_key
                 restore.append((stored_key, container_id))
                 yield container
         finally:

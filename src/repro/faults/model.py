@@ -189,7 +189,7 @@ class FaultSpec:
         # Normalize downtime entries: accept ServerDowntime instances,
         # mappings, or (server, down_s, up_s) sequences, in any
         # container — literal construction is as lenient as from_dict.
-        normalized = []
+        normalized: List[ServerDowntime] = []
         for entry in self.server_downtimes:
             if isinstance(entry, ServerDowntime):
                 normalized.append(entry)

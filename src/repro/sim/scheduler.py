@@ -23,11 +23,16 @@ the behaviour that separates FaaS keep-alive from classical caching
 from __future__ import annotations
 
 import heapq
-import time
 from collections import deque
 from dataclasses import dataclass
 from typing import Deque, List, Optional, Tuple
 
+from repro.checks.sanitize import (
+    ReportSink,
+    check_counter_equality,
+    sanitize_enabled,
+)
+from repro.core.clock import wall_clock_s
 from repro.core.container import Container
 from repro.core.policies.base import KeepAlivePolicy, create_policy
 from repro.core.pool import CapacityError, ContainerPool
@@ -125,6 +130,16 @@ class KeepAliveSimulator:
         # ``None`` when tracing is disabled: every emission site guards
         # with a plain ``is None`` test, the cheapest off switch.
         self._tracer = active_tracer(tracer)
+        # Runtime sanitizer (docs/static-analysis.md): when enabled and
+        # the caller attached no tracer of their own, record the event
+        # stream into an in-memory report so run() can assert
+        # trace/metrics counter equality at the end. Warmup runs are
+        # excluded — metrics deliberately skip pre-warmup invocations
+        # while the trace stream sees all of them.
+        self._sanitize_report: Optional[ReportSink] = None
+        if sanitize_enabled() and self._tracer is None and warmup_s <= 0.0:
+            self._sanitize_report = ReportSink()
+            self._tracer = Tracer(self._sanitize_report)
         self.pool = ContainerPool(memory_mb, tracer=self._tracer)
         self.metrics = SimulationMetrics()
         self.prewarm_effectiveness = prewarm_effectiveness
@@ -619,7 +634,7 @@ class KeepAliveSimulator:
         :meth:`SimulationMetrics.mean_memory_mb` instead of silently
         dropped.
         """
-        started = time.perf_counter()
+        started = wall_clock_s()
         functions = self.trace.functions
         end_s = 0.0
         for invocation in self.trace:
@@ -632,7 +647,13 @@ class KeepAliveSimulator:
         if self._track_timeline and end_s > self._last_sample_s:
             self.metrics.memory_timeline.append((end_s, self.pool.used_mb))
             self._last_sample_s = end_s
-        self.metrics.wall_time_s = time.perf_counter() - started
+        self.metrics.wall_time_s = wall_clock_s() - started
+        if self._sanitize_report is not None:
+            # Sanitizer: counters rebuilt from the event stream must
+            # equal the aggregate metrics (raises SanitizeError).
+            check_counter_equality(
+                self._sanitize_report.report, self.metrics.counters()
+            )
         return SimulationResult(
             trace_name=self.trace.name,
             policy_name=self.policy.name,

@@ -97,7 +97,8 @@ def representative_sample(
         sample += rng.sample(pool, take)
     # Top up from the whole population if quartiles were too small.
     if len(sample) < n:
-        leftovers = [fid for fid in candidates if fid not in set(sample)]
+        chosen = set(sample)
+        leftovers = [fid for fid in candidates if fid not in chosen]
         take = min(n - len(sample), len(leftovers))
         sample += rng.sample(leftovers, take)
     return sample

@@ -1,0 +1,8 @@
+# repro-checks-module: repro.sim.fixture_fc001
+"""FC001: a deterministic module reading the wall clock."""
+
+import time
+
+
+def arrival_stamp() -> float:
+    return time.time()

@@ -1,0 +1,9 @@
+# repro-checks-module: repro.sim.fixture_fc001_ok
+"""FC001 fixed: wall timing routed through the sanctioned accessor."""
+
+from repro.core.clock import wall_clock_s
+
+
+def measure_replay() -> float:
+    started = wall_clock_s()
+    return wall_clock_s() - started

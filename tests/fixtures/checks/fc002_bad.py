@@ -1,0 +1,8 @@
+# repro-checks-module: repro.sim.fixture_fc002
+"""FC002: simulation path drawing from the process-global RNG."""
+
+import random
+
+
+def jitter() -> float:
+    return random.uniform(0.0, 1.0)

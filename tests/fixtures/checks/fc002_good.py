@@ -1,0 +1,9 @@
+# repro-checks-module: repro.sim.fixture_fc002_ok
+"""FC002 fixed: randomness flows through a seeded instance."""
+
+import random
+
+
+def jitter(seed: int) -> float:
+    rng = random.Random(seed)
+    return rng.uniform(0.0, 1.0)

@@ -1,0 +1,9 @@
+# repro-checks-module: repro.sim.fixture_fc003
+"""FC003: iterating an unordered set in a deterministic path."""
+
+
+def first_victims(names):
+    order = []
+    for name in set(names):
+        order.append(name)
+    return order

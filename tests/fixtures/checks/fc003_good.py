@@ -1,0 +1,12 @@
+# repro-checks-module: repro.sim.fixture_fc003_ok
+"""FC003 fixed: the set is sorted before iteration, and the
+membership set is hoisted out of the loop."""
+
+
+def first_victims(names, skip):
+    skipped = set(skip)
+    order = []
+    for name in sorted(set(names)):
+        if name not in skipped:
+            order.append(name)
+    return order

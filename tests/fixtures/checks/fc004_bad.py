@@ -1,0 +1,5 @@
+"""FC004: a typo'd event name no schema registers."""
+
+
+def announce(tracer, now_s: float) -> None:
+    tracer.emit("warm_hitt", now_s, function="f")

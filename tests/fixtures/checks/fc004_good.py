@@ -1,0 +1,5 @@
+"""FC004 fixed: only registered event names are emitted."""
+
+
+def announce(tracer, now_s: float) -> None:
+    tracer.emit("warm_hit", now_s, function="f", container_id=1)

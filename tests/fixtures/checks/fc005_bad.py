@@ -1,0 +1,27 @@
+"""FC005: a counter added to SimulationMetrics but not mirrored in
+TraceReport (redefines both classes so the linter diffs this file's
+contract instead of the real one)."""
+
+
+class SimulationMetrics:
+    warm_starts: int = 0
+    cold_starts: int = 0
+    teleports: int = 0
+
+    def counters(self):
+        return {
+            "warm_starts": self.warm_starts,
+            "cold_starts": self.cold_starts,
+            "teleports": self.teleports,
+        }
+
+
+class TraceReport:
+    warm_hits: int = 0
+    cold_hits: int = 0
+
+    def counters(self):
+        return {
+            "warm_starts": self.warm_hits,
+            "cold_starts": self.cold_hits,
+        }

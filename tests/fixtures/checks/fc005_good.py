@@ -1,0 +1,24 @@
+"""FC005 satisfied: both counters() dicts expose the same key set and
+every key has a backing field."""
+
+
+class SimulationMetrics:
+    warm_starts: int = 0
+    cold_starts: int = 0
+
+    def counters(self):
+        return {
+            "warm_starts": self.warm_starts,
+            "cold_starts": self.cold_starts,
+        }
+
+
+class TraceReport:
+    warm_hits: int = 0
+    cold_hits: int = 0
+
+    def counters(self):
+        return {
+            "warm_starts": self.warm_hits,
+            "cold_starts": self.cold_hits,
+        }

@@ -1,0 +1,21 @@
+"""FC006: unpicklable callables in a dataclass default and in
+arguments shipped to run_sweep_parallel."""
+
+from dataclasses import dataclass, field
+
+
+def run_sweep_parallel(trace, sizes, **kwargs):
+    return None
+
+
+@dataclass
+class CellConfig:
+    overrides: dict = field(default_factory=lambda: {})
+
+
+def launch(trace, sizes):
+    def local_progress(done, total, policy, memory_gb):
+        return None
+
+    run_sweep_parallel(trace, sizes, key=lambda cell: cell)
+    run_sweep_parallel(trace, sizes, local_progress)

@@ -1,0 +1,6 @@
+# repro-checks-module: repro.core.fixture_fc007
+"""FC007: exact float equality in priority math."""
+
+
+def same_priority(a: float) -> bool:
+    return a == 1.0

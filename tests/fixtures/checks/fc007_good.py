@@ -1,0 +1,6 @@
+# repro-checks-module: repro.core.fixture_fc007_ok
+"""FC007 fixed: float comparison under an explicit tolerance."""
+
+
+def same_priority(a: float, eps: float = 1e-9) -> bool:
+    return abs(a - 1.0) <= eps

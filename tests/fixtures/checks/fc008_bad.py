@@ -1,0 +1,6 @@
+"""FC008: a mutable default argument shared across calls."""
+
+
+def collect(item, bucket=[]):
+    bucket.append(item)
+    return bucket

@@ -1,0 +1,8 @@
+"""FC008 fixed: the container is created per call."""
+
+
+def collect(item, bucket=None):
+    if bucket is None:
+        bucket = []
+    bucket.append(item)
+    return bucket

@@ -1,0 +1,186 @@
+"""Tests for the runtime invariant sanitizer (REPRO_SANITIZE=1).
+
+The sanitizer must (a) catch deliberately-injected accounting drift,
+victim-order violations, and trace/metrics counter divergence, and
+(b) install nothing at all when disabled — the zero-overhead contract
+the bench-smoke budget relies on.
+"""
+
+import os
+
+import pytest
+
+from repro.checks.sanitize import (
+    SanitizeError,
+    sanitize_enabled,
+    set_sanitize,
+)
+from repro.core.container import Container
+from repro.core.policies.base import create_policy
+from repro.core.pool import ContainerPool
+from repro.obs.sinks import RingBufferSink
+from repro.obs.tracer import Tracer
+from repro.sim.scheduler import KeepAliveSimulator, simulate
+from repro.traces.synth import skewed_frequency_trace
+from tests.conftest import make_function
+
+
+@pytest.fixture
+def sanitized():
+    set_sanitize(True)
+    yield
+    set_sanitize(None)
+
+
+@pytest.fixture
+def unsanitized():
+    set_sanitize(False)
+    yield
+    set_sanitize(None)
+
+
+def make_pool(capacity_mb=1000.0):
+    return ContainerPool(capacity_mb)
+
+
+def pooled(pool, memory_mb=200.0, name="f"):
+    container = Container(make_function(name=name, memory_mb=memory_mb), 0.0)
+    pool.add(container)
+    return container
+
+
+class TestEnablement:
+    def test_env_var_controls_default(self, monkeypatch):
+        set_sanitize(None)
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert sanitize_enabled()
+        monkeypatch.setenv("REPRO_SANITIZE", "0")
+        assert not sanitize_enabled()
+        monkeypatch.delenv("REPRO_SANITIZE")
+        assert not sanitize_enabled()
+
+    def test_set_sanitize_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        set_sanitize(False)
+        try:
+            assert not sanitize_enabled()
+        finally:
+            set_sanitize(None)
+
+    def test_cli_sanitize_flag_exports_env(self, monkeypatch, capsys):
+        from repro.cli import main as cli_main
+
+        monkeypatch.setenv("REPRO_SANITIZE", "0")
+        code = cli_main(
+            [
+                "simulate",
+                "--trace",
+                "skewed-frequency",
+                "--memory-gb",
+                "2",
+                "--sanitize",
+            ]
+        )
+        assert code == 0
+        assert os.environ["REPRO_SANITIZE"] == "1"
+        capsys.readouterr()
+
+
+class TestPoolAccounting:
+    def test_detects_used_mb_drift(self, sanitized):
+        pool = make_pool()
+        pooled(pool, name="a")
+        pool._used_mb += 64.0  # simulate a bookkeeping bug
+        with pytest.raises(SanitizeError, match="memory conservation"):
+            pooled(pool, name="b")
+
+    def test_detects_evictable_drift(self, sanitized):
+        pool = make_pool()
+        container = pooled(pool, name="a")
+        pool._evictable_mb += 64.0
+        with pytest.raises(SanitizeError, match="evictable-memory"):
+            pool.evict(container)
+
+    def test_clean_pool_passes(self, sanitized):
+        pool = make_pool()
+        a = pooled(pool, name="a")
+        pooled(pool, name="b")
+        pool.evict(a)
+        assert pool.used_mb == 200.0
+
+    def test_disabled_pool_tolerates_drift(self, unsanitized):
+        pool = make_pool()
+        pooled(pool, name="a")
+        pool._used_mb += 64.0
+        pooled(pool, name="b")  # no hook installed, no error
+
+
+class TestVictimOrder:
+    def _two_idle(self, sanitized_pool):
+        a = pooled(sanitized_pool, name="a")
+        b = pooled(sanitized_pool, name="b")
+        return a, b
+
+    def test_monotone_iteration_passes(self, sanitized):
+        pool = make_pool()
+        a, b = self._two_idle(pool)
+        keys = {
+            a.container_id: (1.0, 0.0, a.container_id),
+            b.container_id: (2.0, 0.0, b.container_id),
+        }
+        victims = list(pool.iter_victims(lambda c: keys[c.container_id]))
+        assert victims == [a, b]
+
+    def test_key_decrease_mid_scan_raises(self, sanitized):
+        pool = make_pool()
+        a, b = self._two_idle(pool)
+        keys = {
+            a.container_id: (1.0, 0.0, a.container_id),
+            b.container_id: (2.0, 0.0, b.container_id),
+        }
+        iterator = pool.iter_victims(lambda c: keys[c.container_id])
+        assert next(iterator) is a
+        # A policy breaking the monotone-key contract: b's key drops
+        # below the key already yielded.
+        keys[b.container_id] = (0.5, 0.0, b.container_id)
+        with pytest.raises(SanitizeError, match="monotonicity"):
+            list(iterator)
+
+
+class TestCounterEquality:
+    def test_clean_run_passes(self, sanitized):
+        result = simulate(skewed_frequency_trace(seed=1), "GD", 2048.0)
+        assert result.metrics.served > 0
+
+    def test_metrics_corruption_detected(self, sanitized):
+        trace = skewed_frequency_trace(seed=1)
+        sim = KeepAliveSimulator(trace, create_policy("GD"), 2048.0)
+        assert sim._sanitize_report is not None
+        sim.metrics.cold_starts += 1  # diverge from the event stream
+        with pytest.raises(SanitizeError, match="counter equality"):
+            sim.run()
+
+    def test_user_tracer_suppresses_internal_report(self, sanitized):
+        trace = skewed_frequency_trace(seed=1)
+        tracer = Tracer(RingBufferSink())
+        sim = KeepAliveSimulator(
+            trace, create_policy("GD"), 2048.0, tracer=tracer
+        )
+        assert sim._sanitize_report is None
+
+    def test_warmup_run_skips_counter_check(self, sanitized):
+        trace = skewed_frequency_trace(seed=1)
+        sim = KeepAliveSimulator(
+            trace, create_policy("GD"), 2048.0, warmup_s=60.0
+        )
+        assert sim._sanitize_report is None
+        sim.run()  # pool invariants still checked, counters not
+
+
+class TestZeroOverheadWhenDisabled:
+    def test_no_hooks_installed(self, unsanitized):
+        trace = skewed_frequency_trace(seed=1)
+        sim = KeepAliveSimulator(trace, create_policy("GD"), 2048.0)
+        assert sim._sanitize_report is None
+        assert sim._tracer is None
+        assert not sim.pool._sanitize
