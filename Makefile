@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-ci lint typecheck check sanitize examples reproduce clean
+.PHONY: install test bench bench-pytest bench-ci lint typecheck check sanitize examples reproduce clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -10,7 +10,12 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
+# Pinned-seed replay suite gated against the checked-in baseline
+# (docs/performance.md). Writes BENCH_local.json.
 bench:
+	PYTHONPATH=src $(PYTHON) benchmarks/run_bench.py --baseline benchmarks/BASELINE.json
+
+bench-pytest:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 # Machine-readable bench gate (what CI uploads as BENCH_ci.json).

@@ -1,0 +1,16 @@
+#!/usr/bin/env python
+"""Run the pinned-seed benchmark suite (thin wrapper over repro.bench).
+
+Usage:
+    PYTHONPATH=src python benchmarks/run_bench.py \
+        --out BENCH_local.json --baseline benchmarks/BASELINE.json
+
+See docs/performance.md for methodology and baseline-update steps.
+"""
+
+import sys
+
+from repro.bench import main
+
+if __name__ == "__main__":
+    sys.exit(main())

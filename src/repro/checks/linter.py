@@ -23,7 +23,10 @@ Rule catalog (full rationale in ``docs/static-analysis.md``):
            seeded ``Random``/``Generator`` instance.
 ``FC003``  iteration over a bare ``set()``/``frozenset()``/set
            literal without ``sorted(...)`` in a deterministic path,
-           and membership sets rebuilt per loop iteration.
+           iteration over a *variable* known to hold a set (assigned
+           from a set expression, ``Set[...]``-annotated, or a
+           ``.get(..., set())`` default), and membership sets rebuilt
+           per loop iteration.
 ``FC004``  event-name string literals passed to ``Tracer.emit`` (or
            any ``.emit("...")`` call) that are not registered in
            ``repro.obs.events.EVENT_SCHEMAS`` — typo'd event types
@@ -139,7 +142,9 @@ _FC002_SCOPE = _DETERMINISTIC + (
     "repro.provisioning",
 )
 _FC003_SCOPE = _DETERMINISTIC + ("repro.traces",)
-_FC007_SCOPE = ("repro.sim", "repro.core")
+#: repro.analysis feeds the HIST policy's predictability classifier
+#: (Welford CoV), so its float guards are priority math too.
+_FC007_SCOPE = ("repro.sim", "repro.core", "repro.analysis")
 
 _WALL_CLOCK_CALLS = frozenset(
     {
@@ -473,6 +478,11 @@ class _Visitor(ast.NodeVisitor):
         self._select = frozenset(select) if select is not None else None
         self._loop_depth = 0
         self._local_funcs: List[Set[str]] = []
+        # FC003 variable tracking: per-scope names known to hold a
+        # set. The stack bottom is module scope; each function pushes
+        # its own frame. Lookups stay within the innermost frame, so a
+        # closure capture never produces a cross-scope false positive.
+        self._set_vars: List[Set[str]] = [set()]
         self.findings: List[Finding] = []
 
     # -- plumbing ----------------------------------------------------
@@ -586,13 +596,82 @@ class _Visitor(ast.NodeVisitor):
             and node.func.id in ("set", "frozenset")
         )
 
+    @staticmethod
+    def _is_set_annotation(node: Optional[ast.expr]) -> bool:
+        """``set``/``Set[...]``-style annotations, dotted or not."""
+        if node is None:
+            return False
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        dotted = _dotted(node)
+        if dotted is None:
+            return False
+        return dotted.split(".")[-1] in (
+            "set",
+            "frozenset",
+            "Set",
+            "FrozenSet",
+            "AbstractSet",
+            "MutableSet",
+        )
+
+    @classmethod
+    def _is_set_valued(cls, node: Optional[ast.expr]) -> bool:
+        """Expressions that definitely produce a set: bare set
+        expressions, and ``.get``/``.setdefault`` calls whose default
+        argument is one (the idiom set-typed indices are read with)."""
+        if node is None:
+            return False
+        if cls._is_bare_set(node):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("get", "setdefault")
+            and any(cls._is_bare_set(arg) for arg in node.args[1:])
+        )
+
+    def _track_assignment(
+        self, target: ast.expr, value: Optional[ast.expr],
+        annotation: Optional[ast.expr] = None,
+    ) -> None:
+        if not isinstance(target, ast.Name):
+            return
+        scope = self._set_vars[-1]
+        if self._is_set_valued(value) or self._is_set_annotation(annotation):
+            scope.add(target.id)
+        else:
+            # Rebound to something else: stop treating it as a set.
+            scope.discard(target.id)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._track_assignment(target, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._track_assignment(node.target, node.value, node.annotation)
+        self.generic_visit(node)
+
     def _check_iteration(self, iter_node: ast.expr) -> None:
-        if self._scoped(_FC003_SCOPE) and self._is_bare_set(iter_node):
+        if not self._scoped(_FC003_SCOPE):
+            return
+        if self._is_bare_set(iter_node):
             self._report(
                 iter_node,
                 "FC003",
                 "iterating an unordered set in a deterministic path; "
                 "wrap it in sorted(...)",
+            )
+        elif (
+            isinstance(iter_node, ast.Name)
+            and iter_node.id in self._set_vars[-1]
+        ):
+            self._report(
+                iter_node,
+                "FC003",
+                f"{iter_node.id!r} holds a set and reaches this loop "
+                "unordered; iterate sorted(...) of it",
             )
 
     def visit_For(self, node: ast.For) -> None:
@@ -797,7 +876,9 @@ class _Visitor(ast.NodeVisitor):
         if self._local_funcs:
             self._local_funcs[-1].add(node.name)
         self._local_funcs.append(set())
+        self._set_vars.append(set())
         self.generic_visit(node)
+        self._set_vars.pop()
         self._local_funcs.pop()
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:

@@ -11,6 +11,7 @@ Gives downstream users the common workflows without writing Python::
     repro-faascache trace --trace day.json --out events.jsonl
     repro-faascache trace-report events.jsonl
     repro-faascache check src tests
+    repro-faascache bench --baseline benchmarks/BASELINE.json
 
 ``--trace`` accepts a JSON trace file (see :mod:`repro.traces.io`) or
 one of the built-in workload names (``cyclic``, ``skewed-size``,
@@ -22,7 +23,9 @@ see ``docs/robustness.md`` for the spec format and the determinism
 guarantees — and ``--sanitize`` to turn on the runtime invariant
 sanitizer (equivalent to ``REPRO_SANITIZE=1``; see
 ``docs/static-analysis.md``). ``check`` runs the determinism &
-invariant linter (rules FC001–FC008) over the given paths.
+invariant linter (rules FC001–FC008) over the given paths. ``bench``
+runs the pinned-seed benchmark suite and gates timing plus metrics
+fingerprints against a baseline report (``docs/performance.md``).
 """
 
 from __future__ import annotations
@@ -93,6 +96,21 @@ def _add_sanitize_flag(parser: argparse.ArgumentParser) -> None:
 # ----------------------------------------------------------------------
 # Subcommands
 # ----------------------------------------------------------------------
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run the pinned-seed benchmark suite (repro.bench)."""
+    from repro.bench import main as bench_main
+
+    forwarded: List[str] = ["--out", args.out]
+    if args.baseline:
+        forwarded += ["--baseline", args.baseline]
+    forwarded += ["--tolerance", str(args.tolerance)]
+    forwarded += ["--repeats", str(args.repeats)]
+    forwarded += ["--scale", str(args.scale)]
+    for name in args.scenarios or []:
+        forwarded += ["--scenario", name]
+    return bench_main(forwarded)
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -800,6 +818,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="functions to list in the eviction-churn table",
     )
     trace_report.set_defaults(func=_cmd_trace_report)
+
+    bench = sub.add_parser(
+        "bench",
+        help=(
+            "run the pinned-seed benchmark suite and optionally gate "
+            "against a baseline (docs/performance.md)"
+        ),
+    )
+    bench.add_argument(
+        "--out", default="BENCH_local.json", help="report output path"
+    )
+    bench.add_argument(
+        "--baseline",
+        metavar="BASELINE.json",
+        help=(
+            "compare against this report (e.g. benchmarks/BASELINE.json); "
+            "exit 1 on slowdown beyond tolerance or metrics drift"
+        ),
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="allowed fractional slowdown vs the baseline (default 0.10)",
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=3, help="timed runs per scenario"
+    )
+    bench.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="workload size multiplier (use < 1 for smoke runs)",
+    )
+    bench.add_argument(
+        "--scenario",
+        action="append",
+        dest="scenarios",
+        metavar="NAME",
+        help="run only this scenario (repeatable)",
+    )
+    bench.set_defaults(func=_cmd_bench)
 
     check = sub.add_parser(
         "check",

@@ -152,7 +152,6 @@ class HistogramPolicy(KeepAlivePolicy):
         # releasing it and pre-warming later.
         self.release_threshold_s = release_threshold_s
         self._histograms: Dict[str, FunctionHistogram] = {}
-        self._expiry: Dict[int, float] = {}
         # Pending prewarms: heap of (time, seq, request); one per
         # function at a time, replaced on each new invocation.
         self._prewarm_heap: List[Tuple[float, int, PrewarmRequest]] = []
@@ -200,9 +199,15 @@ class HistogramPolicy(KeepAlivePolicy):
         # Frequent function: keep alive through the whole window.
         return now_s + self.tail_margin * tail, None
 
-    def _apply_plan(self, container: Container, now_s: float) -> None:
+    def _apply_plan(
+        self, container: Container, now_s: float, pool: ContainerPool
+    ) -> None:
+        # Deadlines live in the pool's incremental expiry index rather
+        # than a policy-side dict: plans are re-issued on every start
+        # (and can move a deadline *earlier*), which the index handles
+        # by superseding the old entry.
         expiry, request = self._plan_for(container.function, now_s)
-        self._expiry[container.container_id] = expiry
+        pool.schedule_expiry(container, expiry)
         if request is not None:
             self._pending_prewarm[container.function.name] = request
             heapq.heappush(
@@ -212,41 +217,27 @@ class HistogramPolicy(KeepAlivePolicy):
     def on_warm_start(
         self, container: Container, now_s: float, pool: ContainerPool
     ) -> None:
-        self._apply_plan(container, now_s)
+        self._apply_plan(container, now_s, pool)
 
     def on_cold_start(
         self, container: Container, now_s: float, pool: ContainerPool
     ) -> None:
-        self._apply_plan(container, now_s)
+        self._apply_plan(container, now_s, pool)
 
     def on_prewarm(
         self, container: Container, request: PrewarmRequest, pool: ContainerPool
     ) -> None:
-        self._expiry[container.container_id] = request.expiry_s
+        pool.schedule_expiry(container, request.expiry_s)
 
-    def on_evict(
-        self,
-        container: Container,
-        now_s: float,
-        pool: ContainerPool,
-        pressure: bool,
-    ) -> None:
-        self._expiry.pop(container.container_id, None)
-        super().on_evict(container, now_s, pool, pressure)
+    def _fallback_deadline(self, container: Container) -> float:
+        """Deadline for containers no hook ever planned (manually
+        assembled pools): the generic TTL after the last use."""
+        return container.last_used_s + self.generic_ttl_s
 
     def expired_containers(
         self, pool: ContainerPool, now_s: float
     ) -> List[Tuple[Container, float]]:
-        expired = []
-        for container in pool.idle_containers():
-            expiry = self._expiry.get(
-                container.container_id,
-                container.last_used_s + self.generic_ttl_s,
-            )
-            if expiry <= now_s:
-                expired.append((container, expiry))
-        expired.sort(key=lambda pair: pair[1])
-        return expired
+        return pool.pop_expired(now_s, self._fallback_deadline)
 
     def due_prewarms(self, now_s: float) -> List[PrewarmRequest]:
         due: List[PrewarmRequest] = []
@@ -280,6 +271,5 @@ class HistogramPolicy(KeepAlivePolicy):
     def reset(self) -> None:
         super().reset()
         self._histograms.clear()
-        self._expiry.clear()
         self._prewarm_heap.clear()
         self._pending_prewarm.clear()

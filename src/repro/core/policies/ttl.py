@@ -36,16 +36,41 @@ class TTLPolicy(KeepAlivePolicy):
             raise ValueError(f"ttl must be positive, got {ttl_s}")
         self.ttl_s = ttl_s
 
+    # ------------------------------------------------------------------
+    # Expiry via the pool's incremental index
+    # ------------------------------------------------------------------
+    #
+    # A container's TTL clock restarts at its last use, and
+    # ``last_used_s`` lands on ``busy_until_s`` when the invocation
+    # finishes — which is already known when the start hooks fire (the
+    # invoker starts the invocation before notifying the policy). So
+    # each start schedules the post-completion deadline directly and
+    # ``expired_containers`` is a heap peek instead of a pool rescan.
+    # The index defers busy containers internally, preserving the old
+    # scan's semantics of only expiring idle ones.
+
+    def _schedule(self, container: Container, pool: ContainerPool) -> None:
+        pool.schedule_expiry(container, container.busy_until_s + self.ttl_s)
+
+    def on_warm_start(
+        self, container: Container, now_s: float, pool: ContainerPool
+    ) -> None:
+        self._schedule(container, pool)
+
+    def on_cold_start(
+        self, container: Container, now_s: float, pool: ContainerPool
+    ) -> None:
+        self._schedule(container, pool)
+
+    def _fallback_deadline(self, container: Container) -> float:
+        """Deadline for containers added without lifecycle hooks
+        (manually assembled pools): TTL after the last use."""
+        return container.last_used_s + self.ttl_s
+
     def expired_containers(
         self, pool: ContainerPool, now_s: float
     ) -> List[Tuple[Container, float]]:
-        expired = []
-        for container in pool.idle_containers():
-            expiry = container.last_used_s + self.ttl_s
-            if expiry <= now_s:
-                expired.append((container, expiry))
-        expired.sort(key=lambda pair: pair[1])
-        return expired
+        return pool.pop_expired(now_s, self._fallback_deadline)
 
     def priority(self, container: Container, now_s: float) -> float:
         # LRU order under memory pressure.

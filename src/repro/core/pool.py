@@ -70,6 +70,20 @@ class ContainerPool:
         # policy's current key on pop (see :meth:`iter_victims`);
         # entries of evicted containers are discarded lazily.
         self._victim_heap: List[Tuple[Tuple[float, float, int], int]] = []
+        # Incremental expiry index: a min-heap of (deadline, id)
+        # entries validated against the authoritative deadline map on
+        # pop. Unlike the victim index, expiry deadlines are NOT
+        # monotone (a HIST re-plan can pull a deadline earlier), so
+        # every schedule_expiry pushes a fresh entry and stale ones are
+        # discarded when popped (see :meth:`pop_expired`).
+        self._expiry_heap: List[Tuple[float, int]] = []
+        self._expiry_deadline: Dict[int, float] = {}
+        # Containers no policy has scheduled a deadline for yet. The
+        # simulator schedules every container through the policy
+        # lifecycle hooks, so this is empty on the hot path; manually
+        # assembled pools (unit tests, external drivers) fall back to a
+        # scan over exactly these containers.
+        self._unscheduled: Dict[int, Container] = {}
         # Idle, unpinned memory, maintained incrementally through the
         # containers' busy/idle notifications so the unsatisfiable-
         # deficit check on every drop is O(1) instead of a pool scan.
@@ -153,10 +167,12 @@ class ContainerPool:
             )
         if not container.pinned:
             # Pinned containers are never eviction candidates; everyone
-            # else enters the victim index unscored.
+            # else enters the victim index unscored and the expiry
+            # index unscheduled (until a policy hook sets a deadline).
             heapq.heappush(
                 self._victim_heap, (_UNSCORED_KEY, container.container_id)
             )
+            self._unscheduled[container.container_id] = container
             if container.is_idle:
                 self._evictable_mb += container.memory_mb
         if self._sanitize:
@@ -185,6 +201,11 @@ class ContainerPool:
         self._used_mb -= container.memory_mb
         if self._used_mb < 1e-9:
             self._used_mb = 0.0
+        # Expiry bookkeeping: dropping the authoritative deadline turns
+        # any heap entries for this id into stale tombstones, discarded
+        # when popped.
+        self._expiry_deadline.pop(container.container_id, None)
+        self._unscheduled.pop(container.container_id, None)
         # An evicted container was necessarily idle (terminate refuses
         # RUNNING ones) and unpinned, so it was counted as evictable.
         self._evictable_mb -= container.memory_mb
@@ -214,6 +235,26 @@ class ContainerPool:
                 f"containers hold {evictable:.3f} MB but the pool "
                 f"accounts {self._evictable_mb:.3f} MB"
             )
+        # Every unpinned container is either awaiting its first
+        # deadline or carried by the expiry index — never both, never
+        # neither, and never a dangling id.
+        for cid in self._expiry_deadline:
+            if cid not in self._containers:
+                raise SanitizeError(
+                    f"expiry index holds deadline for container {cid} "
+                    "which is not pooled"
+                )
+            if cid in self._unscheduled:
+                raise SanitizeError(
+                    f"container {cid} is both scheduled and unscheduled "
+                    "in the expiry index"
+                )
+        for cid in self._unscheduled:
+            if cid not in self._containers:
+                raise SanitizeError(
+                    f"expiry index tracks unscheduled container {cid} "
+                    "which is not pooled"
+                )
 
     # ------------------------------------------------------------------
     # Queries for policies and the simulator
@@ -224,19 +265,35 @@ class ContainerPool:
 
         When several are idle, the least recently used one is returned
         so that hot containers stay hot (matching the original
-        simulator's behaviour of reusing the oldest match).
+        simulator's behaviour of reusing the oldest match). Ties on
+        ``last_used_s`` break toward the lowest container id — the
+        index is set-typed, so iterating it raw would let the hash
+        seed pick the winner.
         """
         ids = self._by_function.get(function_name)
         if not ids:
             return None
-        idle = [self._containers[i] for i in ids if self._containers[i].is_idle]
-        if not idle:
-            return None
-        return min(idle, key=lambda c: c.last_used_s)
+        best: Optional[Container] = None
+        for cid in sorted(ids):
+            container = self._containers[cid]
+            if not container.is_idle:
+                continue
+            if best is None or container.last_used_s < best.last_used_s:
+                best = container
+        return best
 
     def containers_of(self, function_name: str) -> List[Container]:
-        ids = self._by_function.get(function_name, set())
-        return [self._containers[i] for i in ids]
+        """All containers of ``function_name``, in ascending
+        container-id (creation) order.
+
+        The underlying index is a ``set``; sorting here keeps every
+        caller hash-seed independent instead of leaking raw set
+        iteration order (the FC003 blind spot the ROADMAP flagged).
+        """
+        ids = self._by_function.get(function_name)
+        if not ids:
+            return []
+        return [self._containers[i] for i in sorted(ids)]
 
     def has_containers_of(self, function_name: str) -> bool:
         return bool(self._by_function.get(function_name))
@@ -344,8 +401,95 @@ class ContainerPool:
             for entry in restore:
                 heapq.heappush(heap, entry)
 
-    def function_names(self) -> Set[str]:
-        return set(self._by_function)
+    # ------------------------------------------------------------------
+    # Incremental expiry index
+    # ------------------------------------------------------------------
+
+    def schedule_expiry(self, container: Container, deadline_s: float) -> None:
+        """Set ``container``'s time-based expiry deadline.
+
+        Policies call this from their lifecycle hooks instead of
+        rescanning the pool on every event; :meth:`pop_expired` then
+        surfaces only containers whose deadline has actually passed.
+        Rescheduling is cheap and deadlines need not be monotone: each
+        call pushes a fresh heap entry and the deadline map is the
+        single source of truth, so superseded entries die on pop. A
+        pinned container never expires; scheduling one is a no-op.
+        """
+        cid = container.container_id
+        if cid not in self._containers or container.pinned:
+            return
+        previous = self._expiry_deadline.get(cid)
+        if previous is not None and previous == deadline_s:
+            return  # unchanged: the live heap entry still matches
+        self._unscheduled.pop(cid, None)
+        self._expiry_deadline[cid] = deadline_s
+        heapq.heappush(self._expiry_heap, (deadline_s, cid))
+
+    def expiry_deadline_of(self, container: Container) -> Optional[float]:
+        """The scheduled expiry deadline, or ``None`` if unscheduled."""
+        return self._expiry_deadline.get(container.container_id)
+
+    def pop_expired(
+        self,
+        now_s: float,
+        fallback_deadline: Optional[Callable[[Container], float]] = None,
+    ) -> List[Tuple[Container, float]]:
+        """Idle, unpinned containers whose deadline has passed, as
+        ``(container, deadline)`` pairs in ascending
+        ``(deadline, container_id)`` order.
+
+        This is the hot-path replacement for the policies' former
+        full-pool rescans: when nothing is due, the cost is one peek
+        at the heap top. Entries are validated against the deadline
+        map on pop — stale ones (evicted containers, superseded
+        reschedules) are discarded for good, while reported and
+        busy-past-deadline entries are re-pushed, so the call does not
+        consume anything the caller chooses not to evict. The ordering
+        matches the old scan exactly: a stable sort by deadline over
+        creation-ordered containers is precisely ascending
+        ``(deadline, container_id)``.
+
+        Containers no policy ever scheduled are covered by a scan with
+        ``fallback_deadline`` (in creation order); the simulator
+        schedules every container through lifecycle hooks, so that
+        scan sees an empty dict on the hot path.
+        """
+        expired: List[Tuple[Container, float]] = []
+        heap = self._expiry_heap
+        deadlines = self._expiry_deadline
+        restore: List[Tuple[float, int]] = []
+        while heap and heap[0][0] <= now_s:
+            deadline, cid = heapq.heappop(heap)
+            current = deadlines.get(cid)
+            if current is None or current != deadline:
+                continue  # evicted or rescheduled since this push
+            container = self._containers[cid]
+            restore.append((deadline, cid))
+            if container.is_idle:
+                expired.append((container, deadline))
+            # else: busy past its deadline — deferred; the restored
+            # entry resurfaces it on the first check after it idles.
+        for entry in restore:
+            heapq.heappush(heap, entry)
+        if self._unscheduled and fallback_deadline is not None:
+            for cid in sorted(self._unscheduled):
+                container = self._unscheduled[cid]
+                if not container.is_idle or container.pinned:
+                    continue
+                deadline = fallback_deadline(container)
+                if deadline <= now_s:
+                    expired.append((container, deadline))
+            expired.sort(key=lambda pair: (pair[1], pair[0].container_id))
+        return expired
+
+    def function_names(self) -> List[str]:
+        """Names of all functions with pooled containers, sorted.
+
+        Sorted rather than returned as the raw ``set`` keys so callers
+        iterating the result stay hash-seed independent.
+        """
+        return sorted(self._by_function)
 
     def __len__(self) -> int:
         return len(self._containers)

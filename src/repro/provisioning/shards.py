@@ -64,7 +64,14 @@ def shards_reuse_distances(
     """
     selected = shards_sample_functions(trace, rate, seed)
     if not selected:
-        return [], []
+        # Returning empty lists here used to propagate a degenerate
+        # (empty) hit-ratio curve into capacity planning; fail loudly
+        # with the knobs the caller can actually turn.
+        raise ValueError(
+            f"SHARDS rate {rate} selected 0 of {len(trace.functions)} "
+            f"functions in trace {trace.name!r} (seed {seed}); raise the "
+            "sampling rate or try another seed"
+        )
     filtered = trace.restrict(selected, name=f"{trace.name}-shards")
     scale = 1.0 / rate
     distances: List[float] = []
@@ -86,10 +93,8 @@ def shards_curve(trace: Trace, rate: float, seed: int = 0) -> HitRatioCurve:
     >>> curve.max_hit_ratio > 0.9
     True
     """
+    # A zero-function sample raises inside shards_reuse_distances with
+    # the rate and sampled count; anything that survives it has at
+    # least one monitored function and therefore a non-empty curve.
     distances, weights = shards_reuse_distances(trace, rate, seed)
-    if not distances:
-        raise ValueError(
-            f"SHARDS rate {rate} sampled no functions from {trace.name!r}; "
-            "increase the rate or change the seed"
-        )
     return HitRatioCurve.from_weighted_distances(distances, weights)

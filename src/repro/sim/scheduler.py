@@ -142,6 +142,15 @@ class KeepAliveSimulator:
             self._tracer = Tracer(self._sanitize_report)
         self.pool = ContainerPool(memory_mb, tracer=self._tracer)
         self.metrics = SimulationMetrics()
+        # Expiry fast path: policies that never expire (the resource-
+        # conserving caching family) inherit the base
+        # ``expired_containers``; detecting that once here lets the
+        # event loop skip the expiry phase entirely instead of calling
+        # into an empty-list stub 100k times per replay.
+        self._policy_expires = (
+            type(policy).expired_containers
+            is not KeepAlivePolicy.expired_containers
+        )
         self.prewarm_effectiveness = prewarm_effectiveness
         self.warmup_s = warmup_s
         self._track_timeline = track_memory_timeline
@@ -319,7 +328,8 @@ class KeepAliveSimulator:
     def _attempt(self, function: TraceFunction, now_s: float, attempt: int) -> str:
         """One attempt (first try or retry) at serving an invocation."""
         self._release_finished(now_s)
-        self._expire_containers(now_s)
+        if self._policy_expires:
+            self._expire_containers(now_s)
         self._materialize_prewarms(now_s)
         self.policy.on_invocation(function, now_s)
         tracer = self._tracer

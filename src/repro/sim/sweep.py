@@ -9,6 +9,8 @@ and plotting code consume.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import pathlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
@@ -30,6 +32,7 @@ __all__ = [
     "cell_trace_path",
     "memory_sizes_gb",
     "point_from_result",
+    "point_fingerprint",
 ]
 
 
@@ -88,6 +91,30 @@ def point_from_result(
         invocations_per_s=metrics.invocations_per_s,
         counters=metrics.counters(),
     )
+
+
+def point_fingerprint(point: SweepPoint) -> str:
+    """SHA-256 over the deterministic fields of a sweep cell.
+
+    Covers the identity (policy, memory), the headline ratios at full
+    ``repr`` precision, and the sorted lifecycle counters — but not
+    the wall-clock observability fields, which vary between identical
+    runs. Two replays of the same seeded cell must fingerprint
+    identically; the benchmark regression gate relies on this to
+    detect silent result drift.
+    """
+    payload = {
+        "policy": point.policy,
+        "memory_gb": repr(point.memory_gb),
+        "cold_start_pct": repr(point.cold_start_pct),
+        "exec_time_increase_pct": repr(point.exec_time_increase_pct),
+        "drop_ratio": repr(point.drop_ratio),
+        "hit_ratio": repr(point.hit_ratio),
+        "global_hit_ratio": repr(point.global_hit_ratio),
+        "counters": dict(sorted(point.counters.items())),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 @dataclass

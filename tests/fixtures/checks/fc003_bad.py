@@ -1,5 +1,8 @@
 # repro-checks-module: repro.sim.fixture_fc003
-"""FC003: iterating an unordered set in a deterministic path."""
+"""FC003: iterating an unordered set in a deterministic path —
+directly, and through a variable known to hold one."""
+
+from typing import Dict, Set
 
 
 def first_victims(names):
@@ -7,3 +10,18 @@ def first_victims(names):
     for name in set(names):
         order.append(name)
     return order
+
+
+def containers_of(index: Dict[str, Set[int]], function_name):
+    # The ContainerPool.containers_of pattern before PR 5: the raw
+    # set-typed index reaches the loop through a variable.
+    ids = index.get(function_name, set())
+    return [i for i in ids]
+
+
+def annotated_reach(index: Dict[str, Set[int]]):
+    known: Set[str] = set(index)
+    out = []
+    for name in known:
+        out.append(name)
+    return out

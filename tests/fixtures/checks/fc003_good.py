@@ -1,6 +1,10 @@
 # repro-checks-module: repro.sim.fixture_fc003_ok
-"""FC003 fixed: the set is sorted before iteration, and the
-membership set is hoisted out of the loop."""
+"""FC003 fixed: sets are sorted before iteration (including ones
+reached through a variable), the membership set is hoisted out of the
+loop, and membership tests against a set variable stay allowed — only
+*iteration* order is hash-seed dependent."""
+
+from typing import Dict, Set
 
 
 def first_victims(names, skip):
@@ -10,3 +14,14 @@ def first_victims(names, skip):
         if name not in skipped:
             order.append(name)
     return order
+
+
+def containers_of(index: Dict[str, Set[int]], function_name):
+    ids = index.get(function_name, set())
+    return [i for i in sorted(ids)]
+
+
+def rebound_is_forgotten(index):
+    ids = set(index)
+    ids = sorted(ids)  # now a list: iterating it is deterministic
+    return [i for i in ids]

@@ -1,6 +1,17 @@
-# repro-checks-module: repro.core.fixture_fc007
-"""FC007: exact float equality in priority math."""
+# repro-checks-module: repro.analysis.fixture_fc007
+"""FC007: exact float equality in priority math.
+
+Scoped to ``repro.analysis`` since PR 5: the statistics helpers feed
+the HIST policy's predictability classifier, so their zero-guards are
+priority math too."""
 
 
 def same_priority(a: float) -> bool:
     return a == 1.0
+
+
+def coefficient_of_variation(mean: float, stddev: float) -> float:
+    # The repro.analysis.stats pattern before PR 5.
+    if mean == 0.0:
+        return 0.0
+    return stddev / mean

@@ -1,6 +1,14 @@
-# repro-checks-module: repro.core.fixture_fc007_ok
-"""FC007 fixed: float comparison under an explicit tolerance."""
+# repro-checks-module: repro.analysis.fixture_fc007_ok
+"""FC007 fixed: float comparisons under an explicit tolerance, or
+restructured so an inequality covers the degenerate case exactly."""
 
 
 def same_priority(a: float, eps: float = 1e-9) -> bool:
     return abs(a - 1.0) <= eps
+
+
+def coefficient_of_variation(mean: float, stddev: float) -> float:
+    denominator = abs(mean)
+    if denominator <= 0.0:
+        return 0.0
+    return stddev / denominator

@@ -1,0 +1,205 @@
+"""The pool's incremental expiry index (PR 5's hot-path overhaul).
+
+Unit tests pin the index's contract — non-consuming pops, busy
+deferral, reschedule supersession (deadlines are *not* monotone),
+evict cleanup, pinned exclusion, and the unscheduled fallback — and a
+randomized equivalence suite drives thousands of mixed operations,
+checking every ``pop_expired`` against a reference full-scan like the
+one the TTL/HIST policies performed before the index existed.
+"""
+
+import random
+
+from repro.core.container import Container
+from repro.core.pool import ContainerPool
+from repro.traces.model import TraceFunction
+
+
+def make_function(name, memory_mb=10.0):
+    return TraceFunction(name, memory_mb, 0.1, 1.0)
+
+
+def pooled(pool, name="F", at=0.0):
+    container = Container(make_function(name), at)
+    pool.add(container)
+    return container
+
+
+class TestScheduleAndPop:
+    def test_nothing_due(self):
+        pool = ContainerPool(1000.0)
+        c = pooled(pool)
+        pool.schedule_expiry(c, 100.0)
+        assert pool.pop_expired(99.9) == []
+
+    def test_due_entry_reported_with_deadline(self):
+        pool = ContainerPool(1000.0)
+        c = pooled(pool)
+        pool.schedule_expiry(c, 100.0)
+        assert pool.pop_expired(100.0) == [(c, 100.0)]
+
+    def test_pop_is_non_consuming(self):
+        # The simulator evicts what it pops, but unit-test drivers call
+        # expired_containers repeatedly without evicting; the index
+        # must keep reporting until the caller acts.
+        pool = ContainerPool(1000.0)
+        c = pooled(pool)
+        pool.schedule_expiry(c, 50.0)
+        assert pool.pop_expired(60.0) == [(c, 50.0)]
+        assert pool.pop_expired(60.0) == [(c, 50.0)]
+
+    def test_ascending_deadline_then_id_order(self):
+        pool = ContainerPool(1000.0)
+        a = pooled(pool, "A")
+        b = pooled(pool, "B")
+        c = pooled(pool, "C")
+        pool.schedule_expiry(a, 30.0)
+        pool.schedule_expiry(b, 10.0)
+        pool.schedule_expiry(c, 30.0)
+        assert pool.pop_expired(40.0) == [(b, 10.0), (a, 30.0), (c, 30.0)]
+
+    def test_reschedule_later_supersedes(self):
+        pool = ContainerPool(1000.0)
+        c = pooled(pool)
+        pool.schedule_expiry(c, 10.0)
+        pool.schedule_expiry(c, 90.0)
+        assert pool.pop_expired(50.0) == []
+        assert pool.pop_expired(90.0) == [(c, 90.0)]
+
+    def test_reschedule_earlier_supersedes(self):
+        # HIST re-plans can pull a deadline *earlier*; the index must
+        # not assume monotone deadlines.
+        pool = ContainerPool(1000.0)
+        c = pooled(pool)
+        pool.schedule_expiry(c, 90.0)
+        pool.schedule_expiry(c, 10.0)
+        assert pool.pop_expired(50.0) == [(c, 10.0)]
+
+    def test_busy_container_deferred_until_idle(self):
+        pool = ContainerPool(1000.0)
+        c = pooled(pool)
+        pool.schedule_expiry(c, 10.0)
+        c.start_invocation(5.0, 20.0)  # busy until 25, past the deadline
+        assert pool.pop_expired(15.0) == []
+        c.finish_invocation(25.0)
+        assert pool.pop_expired(26.0) == [(c, 10.0)]
+
+    def test_evicted_entry_is_dropped(self):
+        pool = ContainerPool(1000.0)
+        c = pooled(pool)
+        pool.schedule_expiry(c, 10.0)
+        pool.evict(c)
+        assert pool.pop_expired(20.0) == []
+        assert pool.expiry_deadline_of(c) is None
+
+    def test_pinned_is_never_scheduled(self):
+        pool = ContainerPool(1000.0)
+        container = Container(make_function("P"), 0.0)
+        container.pinned = True
+        pool.add(container)
+        pool.schedule_expiry(container, 1.0)
+        assert pool.expiry_deadline_of(container) is None
+        assert pool.pop_expired(100.0) == []
+
+    def test_unscheduled_fallback_scan(self):
+        # Containers added without any policy hook fall back to the
+        # caller-provided deadline function (manual pools in tests).
+        pool = ContainerPool(1000.0)
+        a = pooled(pool, "A")
+        b = pooled(pool, "B")
+        assert pool.pop_expired(100.0) == []  # no fallback, no opinion
+        result = pool.pop_expired(100.0, lambda c: c.last_used_s + 50.0)
+        assert result == [(a, 50.0), (b, 50.0)]
+
+    def test_fallback_merges_in_deadline_order(self):
+        pool = ContainerPool(1000.0)
+        scheduled = pooled(pool, "A")
+        unscheduled = pooled(pool, "B")
+        pool.schedule_expiry(scheduled, 80.0)
+        result = pool.pop_expired(100.0, lambda c: 20.0)
+        assert result == [(unscheduled, 20.0), (scheduled, 80.0)]
+
+
+class TestRandomizedEquivalence:
+    """Heap-backed index vs the reference full-scan, on randomized
+    schedules of schedule/start/finish/evict operations."""
+
+    def reference_expired(self, pool, deadlines, now_s):
+        pairs = [
+            (container, deadlines[container.container_id])
+            for container in pool.all_containers()
+            if container.is_idle
+            and not container.pinned
+            and container.container_id in deadlines
+            and deadlines[container.container_id] <= now_s
+        ]
+        pairs.sort(key=lambda p: (p[1], p[0].container_id))
+        return pairs
+
+    def run_schedule(self, seed):
+        rng = random.Random(seed)
+        pool = ContainerPool(100_000.0)
+        deadlines = {}  # the test's own authoritative copy
+        live = []
+        now = 0.0
+        for step in range(400):
+            now += rng.uniform(0.0, 5.0)
+            action = rng.random()
+            if action < 0.30 or not live:
+                container = pooled(pool, f"f{rng.randrange(8)}", at=now)
+                live.append(container)
+                deadline = now + rng.uniform(1.0, 40.0)
+                pool.schedule_expiry(container, deadline)
+                deadlines[container.container_id] = deadline
+            elif action < 0.50:
+                container = rng.choice(live)
+                deadline = now + rng.uniform(-20.0, 40.0)  # can be past
+                pool.schedule_expiry(container, deadline)
+                deadlines[container.container_id] = deadline
+            elif action < 0.65:
+                container = rng.choice(live)
+                if container.is_idle:
+                    container.start_invocation(now, rng.uniform(0.5, 10.0))
+            elif action < 0.80:
+                busy = [c for c in live if c.is_running]
+                if busy:
+                    container = rng.choice(busy)
+                    container.finish_invocation(container.busy_until_s)
+            else:
+                idle = [c for c in live if c.is_idle]
+                if idle:
+                    container = rng.choice(idle)
+                    pool.evict(container)
+                    live.remove(container)
+                    deadlines.pop(container.container_id, None)
+            if step % 5 == 0:
+                got = pool.pop_expired(now)
+                expected = self.reference_expired(pool, deadlines, now)
+                assert got == expected, f"divergence at step {step} (seed {seed})"
+
+    def test_equivalence_across_seeds(self):
+        for seed in range(8):
+            self.run_schedule(seed)
+
+    def test_equivalence_with_eviction_of_expired(self):
+        # The simulator's actual pattern: everything popped is evicted
+        # immediately, so the next pop must not resurface it.
+        rng = random.Random(99)
+        pool = ContainerPool(100_000.0)
+        deadlines = {}
+        now = 0.0
+        for _ in range(300):
+            now += rng.uniform(0.0, 3.0)
+            container = pooled(pool, f"f{rng.randrange(4)}", at=now)
+            deadline = now + rng.uniform(1.0, 15.0)
+            pool.schedule_expiry(container, deadline)
+            deadlines[container.container_id] = deadline
+            expected = self.reference_expired(pool, deadlines, now)
+            got = pool.pop_expired(now)
+            assert got == expected
+            for expired, _ in got:
+                pool.evict(expired)
+                deadlines.pop(expired.container_id, None)
+        assert pool.pop_expired(now + 1000.0) == [
+            pair for pair in self.reference_expired(pool, deadlines, now + 1000.0)
+        ]

@@ -162,3 +162,18 @@ class TestShards:
         trace = make_trace("AB")
         with pytest.raises(ValueError):
             shards_curve(trace, rate=1e-9, seed=0)
+
+    def test_empty_sample_error_names_rate_and_count(self):
+        """Regression: a zero-function sample used to return ([], [])
+        from shards_reuse_distances, silently degenerating the curve.
+        Both entry points must now raise, naming the rate and the
+        sampled count so the failure is actionable."""
+        trace = make_trace("AB")
+        with pytest.raises(ValueError) as excinfo:
+            shards_reuse_distances(trace, rate=1e-9, seed=0)
+        message = str(excinfo.value)
+        assert "1e-09" in message
+        assert "0 of 2" in message
+        with pytest.raises(ValueError) as curve_excinfo:
+            shards_curve(trace, rate=1e-9, seed=0)
+        assert "0 of 2" in str(curve_excinfo.value)

@@ -164,7 +164,7 @@ class TestHistogramPolicyExpiry:
         policy.on_cold_start(c, 0.0, pool)
         pool.evict(c)
         policy.on_evict(c, 1.0, pool, pressure=True)
-        assert c.container_id not in policy._expiry
+        assert pool.expiry_deadline_of(c) is None
 
 
 class TestHistogramPolicyPressure:

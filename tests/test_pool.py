@@ -134,7 +134,7 @@ class TestQueries:
         pooled(pool, a)
         pooled(pool, b)
         assert len(pool.containers_of("A")) == 2
-        assert pool.function_names() == {"A", "B"}
+        assert pool.function_names() == ["A", "B"]
         assert pool.has_containers_of("A")
         assert not pool.has_containers_of("Z")
 
