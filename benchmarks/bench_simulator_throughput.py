@@ -26,6 +26,7 @@ one test.
 import heapq
 import random
 import time
+from bisect import insort
 
 import pytest
 
@@ -177,16 +178,22 @@ class _UntracedPool(ContainerPool):
             )
         container.pool = self
         self._containers[container.container_id] = container
-        self._by_function.setdefault(container.function.name, set()).add(
-            container.container_id
-        )
+        peers = self._by_function.setdefault(container.function.name, [])
+        if peers and container.container_id < peers[-1]:
+            insort(peers, container.container_id)
+        else:
+            peers.append(container.container_id)
         self._used_mb += container.memory_mb
         if not container.pinned:
             heapq.heappush(
                 self._victim_heap, (_UNSCORED_KEY, container.container_id)
             )
+            self._unscheduled[container.container_id] = container
             if container.is_idle:
                 self._evictable_mb += container.memory_mb
+                self._idle_unpinned += 1
+        if self._sanitize:
+            self._sanitize_accounting()
 
 
 class _UntracedSimulator(KeepAliveSimulator):
@@ -229,7 +236,7 @@ class _UntracedSimulator(KeepAliveSimulator):
         self._release_finished(now_s)
         self._expire_containers(now_s)
         self._materialize_prewarms(now_s)
-        self.policy.on_invocation(function, now_s)
+        self.policy.on_invocation(function, now_s, self.pool)
 
         container = self.pool.idle_warm_container(function.name)
         if container is not None:

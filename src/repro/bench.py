@@ -4,7 +4,8 @@ The ROADMAP's north star is month-long, million-invocation replays
 "as fast as the hardware allows"; this module is how the repository
 *measures* that promise instead of asserting it. It defines a small
 suite of pinned-seed scenarios — 100k-invocation TTL, HIST, and GDSF
-(GD) replays plus one sweep cell — and a runner that:
+(GD) replays through the columnar engine, a streamed million-plus
+invocation TTL replay, and one sweep cell — and a runner that:
 
 * times each scenario (best-of-N wall clocks via
   :func:`repro.core.clock.wall_clock_s`, the sanctioned accessor);
@@ -12,6 +13,9 @@ suite of pinned-seed scenarios — 100k-invocation TTL, HIST, and GDSF
   over the canonical JSON of the lifecycle counters and headline
   percentages), so a performance change that silently alters
   *results* is caught as loudly as a slowdown;
+* records each scenario's peak traced allocation (one untimed
+  ``tracemalloc`` pass), so the streamed scenario can *gate* the
+  claim that a full-day trace never materializes in memory;
 * compares against a checked-in baseline (``benchmarks/BASELINE.json``)
   with a machine-speed calibration factor and a slowdown tolerance.
 
@@ -31,15 +35,20 @@ import json
 import pathlib
 import platform
 import random
+import tracemalloc
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.checks.sanitize import sanitize_enabled
 from repro.core.clock import wall_clock_s
 from repro.core.policies import create_policy
+from repro.sim.columnar import ColumnarReplayEngine
 from repro.sim.scheduler import KeepAliveSimulator, SimulationResult
 from repro.sim.server import GB_MB
 from repro.sim.sweep import point_fingerprint, run_cell
+from repro.traces.columnar import ColumnarTrace
 from repro.traces.model import Invocation, Trace, TraceFunction
+from repro.traces.streaming import StreamingChurnTrace
 
 __all__ = [
     "SCENARIOS",
@@ -62,6 +71,7 @@ _CHURN_SEED_TTL = 1001
 _CHURN_SEED_HIST = 1002
 _EVICTION_SEED = 1003
 _SWEEP_SEED = 1004
+_STREAM_SEED_1M = 1005
 
 
 # ----------------------------------------------------------------------
@@ -166,12 +176,20 @@ class BenchScenario:
     ``build(scale)`` constructs the (trace, runner) pair; the runner
     executes one full replay and returns ``(invocations, payload)``
     where ``payload`` is the deterministic fingerprint input. Trace
-    construction happens outside the timed region.
+    construction happens outside the timed region — except for
+    streamed scenarios, where chunk generation interleaves with
+    replay *by design* and is therefore timed.
+
+    ``memory_budget_mb``, when set, is a hard ceiling on the
+    scenario's peak traced allocation during one replay (measured by
+    an untimed ``tracemalloc`` pass). It is the enforcement of the
+    streaming claim: a full-day trace must never materialize.
     """
 
     name: str
     description: str
     build: Callable[[float], Tuple[int, Callable[[], Dict[str, object]]]]
+    memory_budget_mb: Optional[float] = None
 
 
 def _scaled(count: int, scale: float, floor: int = 8) -> int:
@@ -179,47 +197,78 @@ def _scaled(count: int, scale: float, floor: int = 8) -> int:
 
 
 def _ttl_scenario(scale: float):
-    trace = churn_trace(
-        num_functions=_scaled(1620, scale), seed=_CHURN_SEED_TTL
+    trace = ColumnarTrace.from_trace(
+        churn_trace(num_functions=_scaled(1620, scale), seed=_CHURN_SEED_TTL)
     )
     capacity_mb = 2048.0 * 128.0
 
     def run() -> Dict[str, object]:
-        simulator = KeepAliveSimulator(
-            trace, create_policy("TTL", ttl_s=300.0), capacity_mb
-        )
-        return _metrics_payload(simulator.run())
+        engine = ColumnarReplayEngine("TTL", capacity_mb, ttl_s=300.0)
+        payload = _metrics_payload(engine.run(trace))
+        if engine.last_path != "vectorized-ttl" and not sanitize_enabled():
+            # The slowdown gate would eventually notice, but a silent
+            # fallback means a kernel precondition regressed — fail
+            # loudly, right here. (Sanitized runs take the sequential
+            # path by design, for maximal invariant coverage.)
+            raise RuntimeError(
+                "ttl_replay_100k fell back to the sequential path"
+            )
+        return payload
 
     return len(trace), run
 
 
 def _hist_scenario(scale: float):
-    trace = churn_trace(
-        num_functions=_scaled(1620, scale),
-        seed=_CHURN_SEED_HIST,
-        name="bench-churn-hist",
+    trace = ColumnarTrace.from_trace(
+        churn_trace(
+            num_functions=_scaled(1620, scale),
+            seed=_CHURN_SEED_HIST,
+            name="bench-churn-hist",
+        )
     )
     capacity_mb = 2048.0 * 128.0
 
     def run() -> Dict[str, object]:
-        simulator = KeepAliveSimulator(
-            trace, create_policy("HIST"), capacity_mb
-        )
-        return _metrics_payload(simulator.run())
+        engine = ColumnarReplayEngine("HIST", capacity_mb)
+        return _metrics_payload(engine.run(trace))
 
     return len(trace), run
 
 
 def _gdsf_scenario(scale: float):
-    trace = eviction_trace(rounds=_scaled(125, scale, floor=2))
+    trace = ColumnarTrace.from_trace(
+        eviction_trace(rounds=_scaled(125, scale, floor=2))
+    )
 
     def run() -> Dict[str, object]:
-        simulator = KeepAliveSimulator(
-            trace, create_policy("GD"), 24.0 * 1024.0
-        )
-        return _metrics_payload(simulator.run())
+        engine = ColumnarReplayEngine("GD", 24.0 * 1024.0)
+        return _metrics_payload(engine.run(trace))
 
     return len(trace), run
+
+
+def _ttl_stream_1m_scenario(scale: float):
+    # Chunk generation interleaves with replay: the trace is never
+    # materialized, which the scenario's memory budget enforces.
+    trace = StreamingChurnTrace(
+        num_functions=_scaled(2000, scale),
+        duration_s=86_400.0,
+        seed=_STREAM_SEED_1M,
+        name="stream-churn-1m",
+    )
+    capacity_mb = 4096.0 * 128.0
+    invocations = sum(len(times) for times, __ in trace.chunks())
+
+    def run() -> Dict[str, object]:
+        engine = ColumnarReplayEngine("TTL", capacity_mb, ttl_s=300.0)
+        payload = _metrics_payload(engine.run(trace))
+        if engine.last_path != "vectorized-ttl" and not sanitize_enabled():
+            raise RuntimeError(
+                "ttl_stream_1m fell back to the sequential path"
+            )
+        return payload
+
+    return invocations, run
 
 
 def _sweep_cell_scenario(scale: float):
@@ -236,14 +285,16 @@ def _sweep_cell_scenario(scale: float):
     return len(trace), run
 
 
-#: The pinned-seed suite, in execution order. TTL and HIST are the
-#: expiry-hot-path guards (the >= 5x speedup criterion of PR 5), GDSF
-#: guards the victim-index path, and the sweep cell covers the
-#: run_cell plumbing both sweep engines share.
+#: The pinned-seed suite, in execution order. TTL exercises the
+#: vectorized columnar kernel, HIST and GDSF the batched sequential
+#: path (histogram/expiry hot paths and the victim index), the
+#: streamed scenario the million-invocation bound-memory claim, and
+#: the sweep cell covers the run_cell plumbing both sweep engines
+#: share.
 SCENARIOS: Tuple[BenchScenario, ...] = (
     BenchScenario(
         "ttl_replay_100k",
-        "100k-invocation TTL replay, large mostly-idle pool (expiry path)",
+        "100k-invocation TTL replay, columnar vectorized kernel",
         _ttl_scenario,
     ),
     BenchScenario(
@@ -255,6 +306,12 @@ SCENARIOS: Tuple[BenchScenario, ...] = (
         "gdsf_replay_100k",
         "100k-invocation GD (GDSF) replay, eviction-heavy (victim index)",
         _gdsf_scenario,
+    ),
+    BenchScenario(
+        "ttl_stream_1m",
+        "1.1M-invocation full-day streamed TTL replay, bounded memory",
+        _ttl_stream_1m_scenario,
+        memory_budget_mb=64.0,
     ),
     BenchScenario(
         "sweep_cell",
@@ -318,14 +375,32 @@ def run_suite(
             started = wall_clock_s()
             payload = run()
             best_s = min(best_s, wall_clock_s() - started)
-        report["scenarios"][scenario.name] = {
+        # One untimed instrumented replay for the peak-allocation
+        # figure (tracemalloc roughly doubles runtime, so it never
+        # shares a pass with the timings). Doubling as a free
+        # determinism check: the instrumented replay must reproduce
+        # the timed payload bit for bit.
+        tracemalloc.start()
+        traced_payload = run()
+        __, peak_bytes = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        if traced_payload != payload:
+            raise RuntimeError(
+                f"{scenario.name}: nondeterministic payload across "
+                "replays (timed vs instrumented runs disagree)"
+            )
+        entry: Dict[str, object] = {
             "description": scenario.description,
             "invocations": invocations,
             "best_s": round(best_s, 6),
             "invocations_per_s": round(invocations / best_s, 1),
+            "peak_mb": round(peak_bytes / (1024.0 * 1024.0), 3),
             "fingerprint": fingerprint(payload),
             "payload": payload,
         }
+        if scenario.memory_budget_mb is not None:
+            entry["memory_budget_mb"] = scenario.memory_budget_mb
+        report["scenarios"][scenario.name] = entry
     return report
 
 
@@ -341,13 +416,16 @@ def compare_reports(
 ) -> List[str]:
     """Failures of ``current`` against ``baseline``; empty means pass.
 
-    Two gates per scenario:
+    Three gates per scenario:
 
     * **metrics drift** — the deterministic fingerprint must match the
       baseline exactly (compared only at equal ``scale``, since scale
       changes the workload);
     * **slowdown** — ``best_s`` must stay within ``1 + tolerance`` of
-      the baseline after normalizing by the calibration ratio.
+      the baseline after normalizing by the calibration ratio;
+    * **peak memory** — scenarios that declare ``memory_budget_mb``
+      must keep their peak traced allocation under it (absolute, at
+      any scale: the streaming bound is the point being gated).
     """
     failures: List[str] = []
     base_cal = float(baseline.get("calibration_s", 0.0))
@@ -372,6 +450,14 @@ def compare_reports(
                 f"{budget_s:.3f}s (baseline {base['best_s']:.3f}s x "
                 f"speed ratio {speed_ratio:.2f} + {tolerance:.0%} tolerance)"
             )
+        memory_budget = cur.get("memory_budget_mb")
+        if memory_budget is not None and "peak_mb" in cur:
+            if float(cur["peak_mb"]) > float(memory_budget):
+                failures.append(
+                    f"{name}: peak memory — {cur['peak_mb']:.1f} MB "
+                    f"exceeds the {float(memory_budget):.0f} MB budget "
+                    f"(the streamed replay materialized its trace?)"
+                )
     return failures
 
 
@@ -437,6 +523,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(
             f"  {name}: {entry['best_s']:.3f}s best "
             f"({entry['invocations_per_s']:,.0f} inv/s, "
+            f"peak {entry['peak_mb']:.1f} MB, "
             f"fingerprint {entry['fingerprint'][:12]})"
         )
 

@@ -203,6 +203,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             reserved_concurrency=_parse_reserved(args.reserve),
             tracer=tracer,
             fault_spec=fault_spec,
+            engine=args.engine,
         )
     finally:
         close_tracer()
@@ -652,6 +653,16 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "inject deterministic faults per this JSON spec "
             "(see docs/robustness.md)"
+        ),
+    )
+    simulate.add_argument(
+        "--engine",
+        choices=("object", "columnar"),
+        default="object",
+        help=(
+            "replay engine: per-invocation object simulator (default) "
+            "or the batched columnar engine (identical metrics; see "
+            "docs/performance.md)"
         ),
     )
     _add_sanitize_flag(simulate)

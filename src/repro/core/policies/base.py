@@ -89,8 +89,22 @@ class KeepAlivePolicy(abc.ABC):
     # Lifecycle notifications from the simulator / invoker
     # ------------------------------------------------------------------
 
-    def on_invocation(self, function: TraceFunction, now_s: float) -> None:
-        """An invocation of ``function`` arrived (before hit/miss is known)."""
+    def on_invocation(
+        self,
+        function: TraceFunction,
+        now_s: float,
+        pool: Optional[ContainerPool] = None,
+    ) -> None:
+        """An invocation of ``function`` arrived (before hit/miss is known).
+
+        ``pool`` is the server's container pool when the caller has one
+        (the simulator and the OpenWhisk invoker pass it; bare unit
+        tests may not). Policies whose scores depend on per-function
+        state changed *here* — the Greedy-Dual family's Freq term —
+        need it to refresh resident containers on every arrival,
+        including arrivals that later drop or shed without reaching a
+        start hook.
+        """
         self._frequency[function.name] = self._frequency.get(function.name, 0) + 1
 
     def on_warm_start(
@@ -198,7 +212,14 @@ class KeepAlivePolicy(abc.ABC):
     ) -> Optional[List[Container]]:
         """Take lowest-key containers from the pool's lazy index until
         ``deficit_mb`` is covered; ``None`` if the whole idle set is
-        not enough (the caller then drops the request)."""
+        not enough (the caller then drops the request).
+
+        Uses the consuming :meth:`ContainerPool.take_victims` variant:
+        selected entries leave the index with the selection instead of
+        being restored and lazily re-discarded after the eviction, and
+        a caller that walks away without evicting gets them back on
+        the next selection.
+        """
 
         def key_of(container: Container) -> Tuple[float, float, int]:
             return (
@@ -207,14 +228,7 @@ class KeepAlivePolicy(abc.ABC):
                 container.container_id,
             )
 
-        victims: List[Container] = []
-        reclaimed = 0.0
-        for container in pool.iter_victims(key_of):
-            victims.append(container)
-            reclaimed += container.memory_mb
-            if reclaimed >= deficit_mb - 1e-9:
-                return victims
-        return None
+        return pool.take_victims(key_of, deficit_mb)
 
     def expired_containers(
         self, pool: ContainerPool, now_s: float
@@ -227,6 +241,18 @@ class KeepAlivePolicy(abc.ABC):
         """
         return []
 
+    def next_expiry_s(self, pool: ContainerPool) -> float:
+        """Earliest time :meth:`expired_containers` could be non-empty.
+
+        The simulator's batched dispatch skips the whole expiry phase
+        while ``now < next_expiry_s(pool)``. The conservative default
+        (``-inf``) never skips, so a policy overriding
+        :meth:`expired_containers` with its own bookkeeping stays
+        correct without opting in; TTL and HIST answer from the pool's
+        incremental expiry index.
+        """
+        return float("-inf")
+
     def due_prewarms(self, now_s: float) -> List[PrewarmRequest]:
         """Prewarm requests scheduled at or before ``now_s``.
 
@@ -234,6 +260,18 @@ class KeepAlivePolicy(abc.ABC):
         same request twice. Only HIST prefetches.
         """
         return []
+
+    def next_prewarm_s(self) -> float:
+        """Earliest time :meth:`due_prewarms` could be non-empty.
+
+        Same contract as :meth:`next_expiry_s`: the simulator skips the
+        prewarm phase while ``now < next_prewarm_s()``, and the
+        ``-inf`` default keeps custom prefetching policies correct
+        without an override. Policies that never prefetch are already
+        skipped wholesale (the simulator detects the un-overridden
+        :meth:`due_prewarms` once at construction).
+        """
+        return float("-inf")
 
     def should_retain(
         self, container: Container, now_s: float, pool: ContainerPool

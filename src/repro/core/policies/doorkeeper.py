@@ -76,9 +76,14 @@ class DoorkeeperPolicy(KeepAlivePolicy):
     # counters feed the admission decision).
     # ------------------------------------------------------------------
 
-    def on_invocation(self, function: TraceFunction, now_s: float) -> None:
-        super().on_invocation(function, now_s)
-        self.inner.on_invocation(function, now_s)
+    def on_invocation(
+        self,
+        function: TraceFunction,
+        now_s: float,
+        pool: Optional[ContainerPool] = None,
+    ) -> None:
+        super().on_invocation(function, now_s, pool)
+        self.inner.on_invocation(function, now_s, pool)
         self._admission_counts[function.name] = (
             self._admission_counts.get(function.name, 0) + 1
         )
@@ -129,8 +134,14 @@ class DoorkeeperPolicy(KeepAlivePolicy):
     ) -> List[Tuple[Container, float]]:
         return self.inner.expired_containers(pool, now_s)
 
+    def next_expiry_s(self, pool: ContainerPool) -> float:
+        return self.inner.next_expiry_s(pool)
+
     def due_prewarms(self, now_s: float) -> List[PrewarmRequest]:
         return self.inner.due_prewarms(now_s)
+
+    def next_prewarm_s(self) -> float:
+        return self.inner.next_prewarm_s()
 
     # ------------------------------------------------------------------
     # The admission gate

@@ -52,6 +52,10 @@ class GreedyDualPolicy(KeepAlivePolicy):
         self.clock = LogicalClock()
         self._frequency_weight = frequency_weight
         self._cost_weight = cost_weight
+        # Name of the function whose resident containers were refreshed
+        # by the latest pool-aware ``on_invocation``; lets the start
+        # hooks skip the sibling sweep they would otherwise repeat.
+        self._arrival_refreshed_fn: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Priority
@@ -84,18 +88,52 @@ class GreedyDualPolicy(KeepAlivePolicy):
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+    #
+    # The Freq term changes in exactly two places: ``on_invocation``
+    # increments it, and the base ``on_evict`` resets it when the last
+    # container dies (leaving nothing to refresh). Refreshing *here*,
+    # at the increment, keeps every resident sibling's cached priority
+    # consistent on every path — including arrivals that drop or shed
+    # before any start hook runs, which previously left siblings scored
+    # with the pre-arrival frequency. The start hooks then only need to
+    # stamp and score the one container they were called for.
+
+    def on_invocation(
+        self,
+        function: TraceFunction,
+        now_s: float,
+        pool: Optional[ContainerPool] = None,
+    ) -> None:
+        super().on_invocation(function, now_s, pool)
+        if pool is not None:
+            self._refresh_function_priorities(function, pool)
+            self._arrival_refreshed_fn = function.name
+        else:
+            self._arrival_refreshed_fn = None
+
+    def _on_start(self, container: Container, pool: ContainerPool) -> None:
+        container.clock_stamp = self.clock.value
+        if self._arrival_refreshed_fn == container.function.name:
+            # Siblings were refreshed when this arrival was announced
+            # (their stamps have not changed since); only the started
+            # container's own stamp — and hence priority — moved.
+            container.priority = container.clock_stamp + self._value_term(
+                container.function
+            )
+        else:
+            # Pool-less driver (bare lifecycle tests): fall back to the
+            # full sibling sweep so cached priorities stay consistent.
+            self._refresh_function_priorities(container.function, pool)
 
     def on_warm_start(
         self, container: Container, now_s: float, pool: ContainerPool
     ) -> None:
-        container.clock_stamp = self.clock.value
-        self._refresh_function_priorities(container.function, pool)
+        self._on_start(container, pool)
 
     def on_cold_start(
         self, container: Container, now_s: float, pool: ContainerPool
     ) -> None:
-        container.clock_stamp = self.clock.value
-        self._refresh_function_priorities(container.function, pool)
+        self._on_start(container, pool)
 
     def on_evict(
         self,
@@ -116,6 +154,7 @@ class GreedyDualPolicy(KeepAlivePolicy):
     def reset(self) -> None:
         super().reset()
         self.clock.reset()
+        self._arrival_refreshed_fn = None
 
     def __repr__(self) -> str:
         return f"GreedyDualPolicy(clock={self.clock.value:.4g})"

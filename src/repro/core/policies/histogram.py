@@ -51,7 +51,15 @@ _MINUTE_S = 60.0
 
 @dataclass
 class FunctionHistogram:
-    """Per-function IAT histogram in minute buckets plus online CoV."""
+    """Per-function IAT histogram in minute buckets plus online CoV.
+
+    Percentile queries are answered from a Fenwick (binary-indexed)
+    tree maintained alongside the plain ``buckets`` list: the policy
+    asks for the head and tail on *every* container start, so the old
+    full-bucket scans (O(window) each, three per plan) dominated the
+    HIST replay hot path. The tree answers a nearest-rank query in
+    O(log window) and costs O(log window) per recorded arrival.
+    """
 
     window_minutes: int
     buckets: List[int] = field(default_factory=list)
@@ -62,6 +70,42 @@ class FunctionHistogram:
     def __post_init__(self) -> None:
         if not self.buckets:
             self.buckets = [0] * self.window_minutes
+        # Fenwick tree over the buckets (1-based), plus the largest
+        # power of two <= window for the descending prefix search.
+        self._fenwick = [0] * (self.window_minutes + 1)
+        msb = 1
+        while msb * 2 <= self.window_minutes:
+            msb *= 2
+        self._fenwick_msb = msb
+        self._total = 0
+        for bucket, count in enumerate(self.buckets):
+            if count:
+                self._fenwick_add(bucket, count)
+
+    def _fenwick_add(self, bucket: int, delta: int) -> None:
+        self._total += delta
+        tree = self._fenwick
+        i = bucket + 1
+        n = self.window_minutes
+        while i <= n:
+            tree[i] += delta
+            i += i & -i
+
+    def _nearest_rank_bucket(self, target: int) -> int:
+        """Smallest 0-based bucket whose cumulative count reaches
+        ``target`` (callers guarantee ``1 <= target <= total``)."""
+        tree = self._fenwick
+        n = self.window_minutes
+        pos = 0
+        remaining = target
+        bit = self._fenwick_msb
+        while bit:
+            nxt = pos + bit
+            if nxt <= n and tree[nxt] < remaining:
+                remaining -= tree[nxt]
+                pos = nxt
+            bit >>= 1
+        return pos
 
     def record_arrival(self, now_s: float) -> None:
         if self.last_arrival_s is not None:
@@ -69,6 +113,7 @@ class FunctionHistogram:
             bucket = int(iat_minutes)
             if bucket < self.window_minutes:
                 self.buckets[bucket] += 1
+                self._fenwick_add(bucket, 1)
                 self.welford.update(iat_minutes)
             else:
                 self.out_of_window += 1
@@ -93,29 +138,23 @@ class FunctionHistogram:
         Returns the *upper edge* of the bucket so the returned window
         covers every IAT that fell in it.
         """
-        total = sum(self.buckets)
+        total = self._total
         if total == 0:
             return 0.0
         target = max(1, int(round(q / 100.0 * total)))
-        running = 0
-        for bucket, count in enumerate(self.buckets):
-            running += count
-            if running >= target:
-                return float(bucket + 1)
-        return float(self.window_minutes)
+        if target > total:
+            return float(self.window_minutes)
+        return float(self._nearest_rank_bucket(target) + 1)
 
     def head_s(self) -> float:
         """Pre-warm window: 5th-percentile IAT, lower bucket edge."""
-        total = sum(self.buckets)
+        total = self._total
         if total == 0:
             return 0.0
         target = max(1, int(round(0.05 * total)))
-        running = 0
-        for bucket, count in enumerate(self.buckets):
-            running += count
-            if running >= target:
-                return float(bucket) * _MINUTE_S
-        return 0.0
+        if target > total:
+            return 0.0
+        return float(self._nearest_rank_bucket(target)) * _MINUTE_S
 
     def tail_s(self) -> float:
         """Keep-alive window: 99th-percentile IAT, upper bucket edge."""
@@ -169,8 +208,13 @@ class HistogramPolicy(KeepAlivePolicy):
             self._histograms[function_name] = hist
         return hist
 
-    def on_invocation(self, function: TraceFunction, now_s: float) -> None:
-        super().on_invocation(function, now_s)
+    def on_invocation(
+        self,
+        function: TraceFunction,
+        now_s: float,
+        pool: Optional[ContainerPool] = None,
+    ) -> None:
+        super().on_invocation(function, now_s, pool)
         self.histogram_of(function.name).record_arrival(now_s)
         # The anticipated invocation arrived; cancel any pending
         # prewarm for this function (it will be rescheduled below).
@@ -239,6 +283,11 @@ class HistogramPolicy(KeepAlivePolicy):
     ) -> List[Tuple[Container, float]]:
         return pool.pop_expired(now_s, self._fallback_deadline)
 
+    def next_expiry_s(self, pool: ContainerPool) -> float:
+        # Plans live in the pool's expiry index; its peek honours the
+        # unscheduled-container fallback by reporting -inf.
+        return pool.next_expiry_s()
+
     def due_prewarms(self, now_s: float) -> List[PrewarmRequest]:
         due: List[PrewarmRequest] = []
         while self._prewarm_heap and self._prewarm_heap[0][0] <= now_s:
@@ -250,6 +299,23 @@ class HistogramPolicy(KeepAlivePolicy):
                 del self._pending_prewarm[request.function.name]
                 due.append(request)
         return due
+
+    def next_prewarm_s(self) -> float:
+        """Earliest live prewarm, purging dead heap tops (cancelled
+        tombstones and superseded requests) so a stale entry cannot
+        hold the simulator's prewarm phase open forever."""
+        heap = self._prewarm_heap
+        while heap:
+            at_s, __, request = heap[0]
+            if (
+                request.at_time_s < 0
+                or self._pending_prewarm.get(request.function.name)
+                is not request
+            ):
+                heapq.heappop(heap)
+                continue
+            return at_s
+        return float("inf")
 
     # ------------------------------------------------------------------
     # Memory-pressure eviction

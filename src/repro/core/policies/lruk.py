@@ -16,10 +16,11 @@ containers break to the least recently used one, as everywhere else.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict
+from typing import Deque, Dict, Optional
 
 from repro.core.container import Container
 from repro.core.policies.base import KeepAlivePolicy, register_policy
+from repro.core.pool import ContainerPool
 from repro.traces.model import TraceFunction
 
 __all__ = ["LRUKPolicy"]
@@ -42,8 +43,13 @@ class LRUKPolicy(KeepAlivePolicy):
         self.k = k
         self._history: Dict[str, Deque[float]] = {}
 
-    def on_invocation(self, function: TraceFunction, now_s: float) -> None:
-        super().on_invocation(function, now_s)
+    def on_invocation(
+        self,
+        function: TraceFunction,
+        now_s: float,
+        pool: Optional[ContainerPool] = None,
+    ) -> None:
+        super().on_invocation(function, now_s, pool)
         history = self._history.get(function.name)
         if history is None:
             history = deque(maxlen=self.k)

@@ -72,6 +72,12 @@ class TTLPolicy(KeepAlivePolicy):
     ) -> List[Tuple[Container, float]]:
         return pool.pop_expired(now_s, self._fallback_deadline)
 
+    def next_expiry_s(self, pool: ContainerPool) -> float:
+        # Every deadline lives in the pool's expiry index (the peek
+        # reports -inf while unscheduled containers exist, so the
+        # fallback-scan case never skips the phase).
+        return pool.next_expiry_s()
+
     def priority(self, container: Container, now_s: float) -> float:
         # LRU order under memory pressure.
         return container.last_used_s

@@ -14,6 +14,7 @@ executes it and maintains the invariants:
 from __future__ import annotations
 
 import heapq
+from bisect import bisect_left, insort
 from typing import (
     TYPE_CHECKING,
     Callable,
@@ -22,7 +23,6 @@ from typing import (
     Iterator,
     List,
     Optional,
-    Set,
     Tuple,
 )
 
@@ -61,9 +61,17 @@ class ContainerPool:
             else None
         )
         self._capacity_mb = float(capacity_mb)
+        # Capacity-relative float slack: repeated add/evict cycles can
+        # leave ``_used_mb`` a few ULPs away from the exact sum, and an
+        # ULP of a large capacity is far bigger than any absolute 1e-9.
+        self._slack_mb = 1e-9 * self._capacity_mb
         self._used_mb = 0.0
         self._containers: Dict[int, Container] = {}
-        self._by_function: Dict[str, Set[int]] = {}
+        # Per-function container ids in ascending (creation) order.
+        # Ids come from a global monotone counter, so admission appends
+        # and every lookup walks an already-sorted list instead of
+        # paying a per-call ``sorted()``.
+        self._by_function: Dict[str, List[int]] = {}
         # Lazy victim index: a min-heap of (key, container_id) entries,
         # at most one live entry per container. Entries are pushed with
         # a sentinel key on admission and revalidated against the
@@ -87,7 +95,23 @@ class ContainerPool:
         # Idle, unpinned memory, maintained incrementally through the
         # containers' busy/idle notifications so the unsatisfiable-
         # deficit check on every drop is O(1) instead of a pool scan.
+        # ``_idle_unpinned`` counts the same population, so the
+        # drift-cleanup clamp below can fire only when the idle set is
+        # actually empty instead of masking real accounting bugs.
         self._evictable_mb = 0.0
+        self._idle_unpinned = 0
+        # Victim-index entries consumed by :meth:`take_victims` whose
+        # containers have not been evicted yet. ``evict`` discards the
+        # pending entry; a caller that walks away without evicting gets
+        # its entries restored at the start of the next selection.
+        self._taken: Dict[int, Tuple[Tuple[float, float, int], int]] = {}
+        # Victim-index entries whose containers were busy when popped.
+        # Instead of re-pushing them for the *next* selection to pop
+        # and skip again (running containers dominate the heap front
+        # under eviction pressure), they wait here and re-enter the
+        # heap when the container actually goes idle — the stored key
+        # is unchanged, so selection order is identical.
+        self._parked: Dict[int, Tuple[Tuple[float, float, int], int]] = {}
         # Runtime sanitizer flag, captured once at construction
         # (docs/static-analysis.md): when off, admission/eviction pay
         # exactly one attribute test.
@@ -110,8 +134,10 @@ class ContainerPool:
         return self._capacity_mb - self._used_mb
 
     def can_fit(self, memory_mb: float) -> bool:
-        # Tolerate float rounding from repeated add/remove cycles.
-        return memory_mb <= self.free_mb + 1e-9
+        # Tolerate float rounding from repeated add/remove cycles. The
+        # slack is relative to capacity: accumulated drift scales with
+        # the magnitudes being summed, not with an absolute constant.
+        return memory_mb <= self.free_mb + self._slack_mb
 
     def set_capacity(self, capacity_mb: float) -> None:
         """Resize the pool (vertical scaling).
@@ -122,12 +148,15 @@ class ContainerPool:
         """
         if capacity_mb <= 0:
             raise ValueError(f"capacity must be positive, got {capacity_mb}")
-        if capacity_mb < self._used_mb - 1e-9:
+        if capacity_mb < self._used_mb - 1e-9 * max(
+            self._capacity_mb, float(capacity_mb)
+        ):
             raise CapacityError(
                 f"cannot shrink capacity to {capacity_mb} MB while "
                 f"{self._used_mb} MB is in use"
             )
         self._capacity_mb = float(capacity_mb)
+        self._slack_mb = 1e-9 * self._capacity_mb
 
     # ------------------------------------------------------------------
     # Membership
@@ -151,9 +180,13 @@ class ContainerPool:
             )
         container.pool = self
         self._containers[container.container_id] = container
-        self._by_function.setdefault(container.function.name, set()).add(
-            container.container_id
-        )
+        peers = self._by_function.setdefault(container.function.name, [])
+        if peers and container.container_id < peers[-1]:
+            # Only reachable with externally-built containers; ids from
+            # the global counter always append in ascending order.
+            insort(peers, container.container_id)
+        else:
+            peers.append(container.container_id)
         self._used_mb += container.memory_mb
         if self._tracer is not None:
             self._tracer.emit(
@@ -175,6 +208,7 @@ class ContainerPool:
             self._unscheduled[container.container_id] = container
             if container.is_idle:
                 self._evictable_mb += container.memory_mb
+                self._idle_unpinned += 1
         if self._sanitize:
             self._sanitize_accounting()
 
@@ -195,21 +229,29 @@ class ContainerPool:
         container.pool = None
         del self._containers[container.container_id]
         peers = self._by_function[container.function.name]
-        peers.discard(container.container_id)
+        del peers[bisect_left(peers, container.container_id)]
         if not peers:
             del self._by_function[container.function.name]
         self._used_mb -= container.memory_mb
-        if self._used_mb < 1e-9:
+        # Drift cleanup, not error masking: only reset the accumulator
+        # when the pool is *actually* empty and the residual is within
+        # the float-drift slack. A near-zero value with containers
+        # still pooled — or a large residual on an empty pool — is a
+        # real bug and must stay visible to the sanitizer.
+        if not self._containers and abs(self._used_mb) <= self._slack_mb:
             self._used_mb = 0.0
         # Expiry bookkeeping: dropping the authoritative deadline turns
         # any heap entries for this id into stale tombstones, discarded
         # when popped.
         self._expiry_deadline.pop(container.container_id, None)
         self._unscheduled.pop(container.container_id, None)
+        self._taken.pop(container.container_id, None)
+        self._parked.pop(container.container_id, None)
         # An evicted container was necessarily idle (terminate refuses
         # RUNNING ones) and unpinned, so it was counted as evictable.
         self._evictable_mb -= container.memory_mb
-        if self._evictable_mb < 1e-9:
+        self._idle_unpinned -= 1
+        if self._idle_unpinned == 0 and abs(self._evictable_mb) <= self._slack_mb:
             self._evictable_mb = 0.0
         if self._sanitize:
             self._sanitize_accounting()
@@ -235,6 +277,17 @@ class ContainerPool:
                 f"containers hold {evictable:.3f} MB but the pool "
                 f"accounts {self._evictable_mb:.3f} MB"
             )
+        idle_unpinned = sum(
+            1
+            for c in self._containers.values()
+            if c.is_idle and not c.pinned
+        )
+        if idle_unpinned != self._idle_unpinned:
+            raise SanitizeError(
+                f"idle-container accounting violated: {idle_unpinned} "
+                f"idle unpinned containers but the pool counts "
+                f"{self._idle_unpinned}"
+            )
         # Every unpinned container is either awaiting its first
         # deadline or carried by the expiry index — never both, never
         # neither, and never a dangling id.
@@ -255,6 +308,21 @@ class ContainerPool:
                     f"expiry index tracks unscheduled container {cid} "
                     "which is not pooled"
                 )
+        # Parked victim-index entries exist only for pooled containers
+        # that are genuinely not idle; an idle parked container would
+        # be invisible to victim selection.
+        for cid in self._parked:
+            container = self._containers.get(cid)
+            if container is None:
+                raise SanitizeError(
+                    f"victim index parks container {cid} which is not "
+                    "pooled"
+                )
+            if container.is_idle:
+                raise SanitizeError(
+                    f"victim index parks idle container {cid}; it would "
+                    "never be offered for eviction"
+                )
 
     # ------------------------------------------------------------------
     # Queries for policies and the simulator
@@ -266,34 +334,38 @@ class ContainerPool:
         When several are idle, the least recently used one is returned
         so that hot containers stay hot (matching the original
         simulator's behaviour of reusing the oldest match). Ties on
-        ``last_used_s`` break toward the lowest container id — the
-        index is set-typed, so iterating it raw would let the hash
-        seed pick the winner.
+        ``last_used_s`` break toward the lowest container id; the
+        per-function index is kept in ascending id order, so the scan
+        is allocation-free and hash-seed independent.
         """
         ids = self._by_function.get(function_name)
         if not ids:
             return None
+        containers = self._containers
         best: Optional[Container] = None
-        for cid in sorted(ids):
-            container = self._containers[cid]
+        best_last = 0.0
+        for cid in ids:
+            container = containers[cid]
             if not container.is_idle:
                 continue
-            if best is None or container.last_used_s < best.last_used_s:
+            if best is None or container.last_used_s < best_last:
                 best = container
+                best_last = container.last_used_s
         return best
 
     def containers_of(self, function_name: str) -> List[Container]:
         """All containers of ``function_name``, in ascending
         container-id (creation) order.
 
-        The underlying index is a ``set``; sorting here keeps every
-        caller hash-seed independent instead of leaking raw set
-        iteration order (the FC003 blind spot the ROADMAP flagged).
+        The index is maintained in sorted id order, so this is a plain
+        copy: deterministic (no raw set-iteration order, the FC003
+        blind spot the ROADMAP flagged) without a per-call sort.
         """
         ids = self._by_function.get(function_name)
         if not ids:
             return []
-        return [self._containers[i] for i in sorted(ids)]
+        containers = self._containers
+        return [containers[i] for i in ids]
 
     def has_containers_of(self, function_name: str) -> bool:
         return bool(self._by_function.get(function_name))
@@ -329,12 +401,25 @@ class ContainerPool:
     def _container_became_busy(self, container: Container) -> None:
         if not container.pinned:
             self._evictable_mb -= container.memory_mb
-            if self._evictable_mb < 1e-9:
+            self._idle_unpinned -= 1
+            # Same rule as eviction: reset the accumulator only when
+            # the idle set is genuinely empty and the residual is mere
+            # float drift, so real accounting bugs stay observable.
+            if (
+                self._idle_unpinned == 0
+                and abs(self._evictable_mb) <= self._slack_mb
+            ):
                 self._evictable_mb = 0.0
 
     def _container_became_idle(self, container: Container) -> None:
+        entry = self._parked.pop(container.container_id, None)
+        if entry is not None:
+            # Re-enroll the victim-index entry parked while the
+            # container was running (a pinned one is discarded on pop).
+            heapq.heappush(self._victim_heap, entry)
         if not container.pinned:
             self._evictable_mb += container.memory_mb
+            self._idle_unpinned += 1
 
     def iter_victims(
         self,
@@ -364,6 +449,8 @@ class ContainerPool:
         callers may evict all, some, or none of them afterwards —
         entries of evicted containers are discarded on a later pop.
         """
+        if self._taken:
+            self._restore_taken()
         heap = self._victim_heap
         restore: List[Tuple[Tuple[float, float, int], int]] = []
         # Sanitizer: the monotone-key contract implies yielded keys
@@ -379,9 +466,12 @@ class ContainerPool:
                 if container.pinned:
                     continue  # reserved capacity: never a candidate
                 if not container.is_idle:
-                    # Busy right now; re-enroll unchanged once the scan
-                    # finishes (its key can only have grown by then).
-                    restore.append((stored_key, container_id))
+                    # Busy right now; park the entry until the container
+                    # goes idle again (its key can only have grown by
+                    # then, and a running container can never be a
+                    # candidate, so re-pushing it for every scan to pop
+                    # and skip again is pure churn).
+                    self._parked[container_id] = (stored_key, container_id)
                     continue
                 current_key = key_of(container)
                 if current_key != stored_key:
@@ -400,6 +490,81 @@ class ContainerPool:
         finally:
             for entry in restore:
                 heapq.heappush(heap, entry)
+
+    def _restore_taken(self) -> None:
+        """Re-enroll entries a previous :meth:`take_victims` consumed
+        for containers the caller never evicted. Dict iteration is
+        insertion-ordered, so this is deterministic."""
+        heap = self._victim_heap
+        for entry in self._taken.values():
+            heapq.heappush(heap, entry)
+        self._taken.clear()
+
+    def take_victims(
+        self,
+        key_of: Callable[[Container], Tuple[float, float, int]],
+        deficit_mb: float,
+    ) -> Optional[List[Container]]:
+        """Lowest-``key_of`` idle unpinned containers covering
+        ``deficit_mb``, or ``None`` when the whole idle set is not
+        enough (everything is then restored and the caller drops).
+
+        The consuming variant of :meth:`iter_victims` for callers that
+        evict every selected victim (the simulator's pressure path):
+        selected entries leave the heap immediately and the subsequent
+        :meth:`evict` just discards the pending record, saving the
+        restore-push and the later dead-entry pop that the iterator
+        pays per victim. Selection order and the monotone-key contract
+        are identical to :meth:`iter_victims`; a caller that does not
+        evict a returned container loses nothing — its entry is
+        re-enrolled at the start of the next selection.
+        """
+        if self._taken:
+            self._restore_taken()
+        heap = self._victim_heap
+        taken = self._taken
+        containers = self._containers
+        victims: List[Container] = []
+        reclaimed = 0.0
+        last_yielded: Optional[Tuple[float, float, int]] = None
+        covered = False
+        while heap:
+            entry = heapq.heappop(heap)
+            stored_key, container_id = entry
+            container = containers.get(container_id)
+            if container is None:
+                continue  # evicted since enrollment: drop the entry
+            if container.pinned:
+                continue  # reserved capacity: never a candidate
+            if not container.is_idle:
+                # Parked until the container goes idle again — see
+                # :meth:`iter_victims`.
+                self._parked[container_id] = entry
+                continue
+            current_key = key_of(container)
+            if current_key != stored_key:
+                heapq.heappush(heap, (current_key, container_id))
+                continue
+            if self._sanitize:
+                if last_yielded is not None and current_key < last_yielded:
+                    raise SanitizeError(
+                        f"victim-index monotonicity violated: key "
+                        f"{current_key} yielded after {last_yielded} "
+                        "(policy key decreased while pooled)"
+                    )
+                last_yielded = current_key
+            victims.append(container)
+            taken[container_id] = entry
+            reclaimed += container.memory_mb
+            if reclaimed >= deficit_mb - 1e-9:
+                covered = True
+                break
+        if not covered:
+            # Insufficient idle memory: nothing will be evicted, so
+            # put every consumed entry back.
+            self._restore_taken()
+            return None
+        return victims
 
     # ------------------------------------------------------------------
     # Incremental expiry index
@@ -429,6 +594,33 @@ class ContainerPool:
     def expiry_deadline_of(self, container: Container) -> Optional[float]:
         """The scheduled expiry deadline, or ``None`` if unscheduled."""
         return self._expiry_deadline.get(container.container_id)
+
+    def next_expiry_s(self) -> float:
+        """Earliest moment anything *could* expire; ``inf`` if nothing
+        is scheduled.
+
+        The O(1) peek behind the simulator's batched event dispatch:
+        while ``now < next_expiry_s()`` the whole expiry phase — the
+        policy call, :meth:`pop_expired`, and its result list — is
+        skipped. Stale heap tops (evicted or rescheduled entries) are
+        purged here so a dead earliest-deadline cannot pin the wake-up
+        time in the past forever. Containers nothing ever scheduled
+        (manually assembled pools) may expire via a fallback scan this
+        peek knows nothing about, so their presence disables the fast
+        path by reporting ``-inf``.
+        """
+        if self._unscheduled:
+            return float("-inf")
+        heap = self._expiry_heap
+        deadlines = self._expiry_deadline
+        while heap:
+            deadline, cid = heap[0]
+            current = deadlines.get(cid)
+            if current is None or current != deadline:
+                heapq.heappop(heap)  # stale: superseded or evicted
+                continue
+            return deadline
+        return float("inf")
 
     def pop_expired(
         self,

@@ -103,7 +103,7 @@ class InvokerContainerPool:
 
     def record_arrival(self, function: TraceFunction, now_s: float) -> None:
         """Announce one request arrival (exactly once per request)."""
-        self.policy.on_invocation(function, now_s)
+        self.policy.on_invocation(function, now_s, self.pool)
 
     def acquire(
         self, function: TraceFunction, now_s: float

@@ -151,6 +151,16 @@ class KeepAliveSimulator:
             type(policy).expired_containers
             is not KeepAlivePolicy.expired_containers
         )
+        # Prewarm fast path, same trick: only HIST (and wrappers)
+        # override ``due_prewarms``, so everyone else skips the phase
+        # without a call. For policies that *do* expire or prefetch,
+        # the per-arrival work is further gated by the policies'
+        # ``next_expiry_s``/``next_prewarm_s`` peeks (batched dispatch:
+        # one float compare instead of a call returning a fresh empty
+        # list on every quiet arrival).
+        self._policy_prewarms = (
+            type(policy).due_prewarms is not KeepAlivePolicy.due_prewarms
+        )
         self.prewarm_effectiveness = prewarm_effectiveness
         self.warmup_s = warmup_s
         self._track_timeline = track_memory_timeline
@@ -328,10 +338,11 @@ class KeepAliveSimulator:
     def _attempt(self, function: TraceFunction, now_s: float, attempt: int) -> str:
         """One attempt (first try or retry) at serving an invocation."""
         self._release_finished(now_s)
-        if self._policy_expires:
+        if self._policy_expires and self.policy.next_expiry_s(self.pool) <= now_s:
             self._expire_containers(now_s)
-        self._materialize_prewarms(now_s)
-        self.policy.on_invocation(function, now_s)
+        if self._policy_prewarms and self.policy.next_prewarm_s() <= now_s:
+            self._materialize_prewarms(now_s)
+        self.policy.on_invocation(function, now_s, self.pool)
         tracer = self._tracer
         if tracer is not None and attempt == 0:
             tracer.emit("invocation_arrived", now_s, function=function.name)
@@ -652,12 +663,21 @@ class KeepAliveSimulator:
                 functions[invocation.function_name], invocation.time_s
             )
             end_s = invocation.time_s
+        return self.finalize(end_s, started)
+
+    def finalize(self, end_s: float, started_wall_s: float) -> SimulationResult:
+        """Post-replay epilogue shared by :meth:`run` and external
+        arrival drivers (the columnar engine's chunked loop): drain
+        pending retries, close the memory timeline, stamp the wall
+        clock, run the sanitizer's trace/metrics counter-equality
+        check, and package the result. ``end_s`` is the time of the
+        last processed arrival (0.0 for an empty replay)."""
         # Give every pending retry a terminal outcome before reporting.
         self.drain_retries()
         if self._track_timeline and end_s > self._last_sample_s:
             self.metrics.memory_timeline.append((end_s, self.pool.used_mb))
             self._last_sample_s = end_s
-        self.metrics.wall_time_s = wall_clock_s() - started
+        self.metrics.wall_time_s = wall_clock_s() - started_wall_s
         if self._sanitize_report is not None:
             # Sanitizer: counters rebuilt from the event stream must
             # equal the aggregate metrics (raises SanitizeError).
@@ -683,6 +703,7 @@ def simulate(
     warmup_s: float = 0.0,
     tracer: Optional[Tracer] = None,
     fault_spec: Optional[FaultSpec] = None,
+    engine: str = "object",
     **policy_kwargs,
 ) -> SimulationResult:
     """Convenience one-shot simulation.
@@ -695,6 +716,12 @@ def simulate(
     explicitly; any remaining keyword arguments configure the *policy*
     and are therefore only valid with a policy name.
 
+    ``engine`` selects the replay implementation: ``"object"`` (this
+    module's per-invocation simulator) or ``"columnar"``
+    (:class:`repro.sim.columnar.ColumnarReplayEngine`, batched and —
+    for eligible TTL configurations — vectorized). The two produce
+    byte-identical metrics; the differential suite holds them to it.
+
     >>> from repro.traces.synth import skewed_frequency_trace
     >>> result = simulate(skewed_frequency_trace(seed=1), "GD", 4096)
     >>> result.metrics.served > 0
@@ -704,6 +731,25 @@ def simulate(
         policy = create_policy(policy, **policy_kwargs)
     elif policy_kwargs:
         raise ValueError("policy_kwargs are only valid with a policy name")
+    if engine not in ("object", "columnar"):
+        raise ValueError(
+            f"engine must be 'object' or 'columnar', got {engine!r}"
+        )
+    if engine == "columnar":
+        # Imported here: repro.sim.columnar imports this module.
+        from repro.sim.columnar import ColumnarReplayEngine
+
+        return ColumnarReplayEngine(
+            policy,
+            memory_mb,
+            track_memory_timeline=track_memory_timeline,
+            timeline_interval_s=timeline_interval_s,
+            prewarm_effectiveness=prewarm_effectiveness,
+            reserved_concurrency=reserved_concurrency,
+            warmup_s=warmup_s,
+            tracer=tracer,
+            fault_spec=fault_spec,
+        ).run(trace)
     simulator = KeepAliveSimulator(
         trace,
         policy,

@@ -18,6 +18,11 @@ from repro.traces.functionbench import (
     functionbench_app,
     functionbench_apps,
 )
+from repro.traces.columnar import (
+    DEFAULT_CHUNK_INVOCATIONS,
+    ColumnarTrace,
+    FunctionTable,
+)
 from repro.traces.model import Invocation, Trace, TraceFunction
 from repro.traces.preprocess import (
     dataset_to_trace,
@@ -32,6 +37,7 @@ from repro.traces.sampling import (
     representative_sample,
     scale_trace_rate,
 )
+from repro.traces.streaming import STREAM_IAT_CHOICES_S, StreamingChurnTrace
 from repro.traces.synth import (
     bursty_arrivals,
     cyclic_trace,
@@ -58,6 +64,11 @@ __all__ = [
     "Invocation",
     "Trace",
     "TraceFunction",
+    "ColumnarTrace",
+    "FunctionTable",
+    "DEFAULT_CHUNK_INVOCATIONS",
+    "StreamingChurnTrace",
+    "STREAM_IAT_CHOICES_S",
     "dataset_to_trace",
     "minute_bucket_times",
     "trace_function_from_record",

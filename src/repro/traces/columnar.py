@@ -1,0 +1,228 @@
+"""Columnar (struct-of-arrays) trace representation.
+
+A million-invocation object :class:`~repro.traces.model.Trace` spends
+most of its footprint on per-invocation ``Invocation`` instances and
+interned name strings — roughly 100+ bytes each. Replaying at the
+ROADMAP's month-long scale wants the transpose: one float64 array of
+arrival times plus one int32 array of function-table indices, ~12
+bytes per invocation, iterated in cache-friendly chunks.
+
+:class:`ColumnarTrace` is that transpose. It is a *representation*
+change only: :meth:`ColumnarTrace.from_trace` /
+:meth:`ColumnarTrace.to_trace` round-trip losslessly, replay order is
+the object trace's canonical ``(time_s, function_name)`` order, and
+the simulator produces byte-identical metrics from either form (the
+differential suite in ``tests/test_columnar_differential.py`` holds
+the two paths to equal fingerprints).
+
+Static per-function data lives once in a :class:`FunctionTable`:
+parallel arrays of memory/warm/cold columns plus the interned
+:class:`~repro.traces.model.TraceFunction` objects the object-based
+simulator hooks expect.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.traces.model import Invocation, Trace, TraceFunction
+
+__all__ = ["FunctionTable", "ColumnarTrace", "DEFAULT_CHUNK_INVOCATIONS"]
+
+#: Default replay-chunk granularity: big enough to amortize the
+#: per-chunk ``tolist`` and dispatch overhead, small enough that a
+#: chunk of times + ids stays around a megabyte.
+DEFAULT_CHUNK_INVOCATIONS = 65_536
+
+
+class FunctionTable:
+    """Static function characteristics as parallel columns.
+
+    Row *i* describes the function with id *i*; invocation arrays
+    refer to functions by these ids. Names are unique, and the
+    column order is the insertion order of the functions given to the
+    constructor (deterministic, never hash order).
+    """
+
+    def __init__(self, functions: Iterable[TraceFunction]) -> None:
+        objects: List[TraceFunction] = []
+        index: Dict[str, int] = {}
+        for func in functions:
+            if func.name in index:
+                raise ValueError(f"duplicate function name {func.name!r}")
+            index[func.name] = len(objects)
+            objects.append(func)
+        self._objects: Tuple[TraceFunction, ...] = tuple(objects)
+        self._index = index
+        self.names: Tuple[str, ...] = tuple(f.name for f in objects)
+        self.memory_mb = np.array(
+            [f.memory_mb for f in objects], dtype=np.float64
+        )
+        self.warm_time_s = np.array(
+            [f.warm_time_s for f in objects], dtype=np.float64
+        )
+        self.cold_time_s = np.array(
+            [f.cold_time_s for f in objects], dtype=np.float64
+        )
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def index_of(self, name: str) -> int:
+        return self._index[name]
+
+    def object_of(self, function_id: int) -> TraceFunction:
+        return self._objects[function_id]
+
+    def objects(self) -> Tuple[TraceFunction, ...]:
+        """The interned :class:`TraceFunction` row objects, by id."""
+        return self._objects
+
+    def as_dict(self) -> Dict[str, TraceFunction]:
+        """Name-to-function mapping (the object ``Trace`` contract)."""
+        return {f.name: f for f in self._objects}
+
+    def __repr__(self) -> str:
+        return f"FunctionTable(functions={len(self._objects)})"
+
+
+class ColumnarTrace:
+    """A replayable workload in struct-of-arrays form.
+
+    ``times_s`` (float64) and ``function_ids`` (int32, indices into
+    ``functions``) are parallel arrays in replay order. Replay order
+    is the canonical object-trace order — ascending ``(time_s,
+    function_name)`` — which :meth:`from_trace` inherits and direct
+    constructions must provide (times are validated; tie order is the
+    caller's contract, exactly as ``Trace`` trusts ``sorted``).
+    """
+
+    def __init__(
+        self,
+        functions: FunctionTable,
+        times_s: np.ndarray,
+        function_ids: np.ndarray,
+        name: str = "trace",
+    ) -> None:
+        times_s = np.ascontiguousarray(times_s, dtype=np.float64)
+        function_ids = np.ascontiguousarray(function_ids, dtype=np.int32)
+        if times_s.shape != function_ids.shape or times_s.ndim != 1:
+            raise ValueError(
+                f"times and function ids must be parallel 1-D arrays, got "
+                f"shapes {times_s.shape} and {function_ids.shape}"
+            )
+        if times_s.size:
+            if float(times_s[0]) < 0.0:
+                raise ValueError(
+                    f"invocation times must be >= 0, got {times_s[0]}"
+                )
+            if np.any(times_s[1:] < times_s[:-1]):
+                raise ValueError("invocation times must be non-decreasing")
+            lo = int(function_ids.min())
+            hi = int(function_ids.max())
+            if lo < 0 or hi >= len(functions):
+                raise ValueError(
+                    f"function ids must be within [0, {len(functions)}), "
+                    f"got range [{lo}, {hi}]"
+                )
+        self.name = name
+        self.functions_table = functions
+        self.times_s = times_s
+        self.function_ids = function_ids
+
+    # ------------------------------------------------------------------
+    # Conversions (the differential-testing bridge)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_trace(cls, trace: Trace) -> "ColumnarTrace":
+        """Transpose an object trace; replay order is preserved."""
+        table = FunctionTable(trace.functions.values())
+        invocations = trace.invocations
+        times = np.fromiter(
+            (inv.time_s for inv in invocations),
+            dtype=np.float64,
+            count=len(invocations),
+        )
+        ids = np.fromiter(
+            (table.index_of(inv.function_name) for inv in invocations),
+            dtype=np.int32,
+            count=len(invocations),
+        )
+        return cls(table, times, ids, name=trace.name)
+
+    def to_trace(self) -> Trace:
+        """Materialize the object form (the differential oracle)."""
+        names = self.functions_table.names
+        return Trace(
+            functions=self.functions_table.objects(),
+            invocations=[
+                Invocation(t, names[i])
+                for t, i in zip(
+                    self.times_s.tolist(), self.function_ids.tolist()
+                )
+            ],
+            name=self.name,
+        )
+
+    # ------------------------------------------------------------------
+    # Replay access
+    # ------------------------------------------------------------------
+
+    def iter_chunks(
+        self, chunk_invocations: int = DEFAULT_CHUNK_INVOCATIONS
+    ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(times, function_ids)`` array views in replay order."""
+        if chunk_invocations < 1:
+            raise ValueError(
+                f"chunk size must be >= 1, got {chunk_invocations}"
+            )
+        total = self.times_s.size
+        for start in range(0, total, chunk_invocations):
+            stop = min(start + chunk_invocations, total)
+            yield self.times_s[start:stop], self.function_ids[start:stop]
+
+    # ------------------------------------------------------------------
+    # Object-Trace-compatible surface (what the simulator reads)
+    # ------------------------------------------------------------------
+
+    @property
+    def functions(self) -> Dict[str, TraceFunction]:
+        return self.functions_table.as_dict()
+
+    @property
+    def duration_s(self) -> float:
+        if not self.times_s.size:
+            return 0.0
+        return float(self.times_s[-1]) - float(self.times_s[0])
+
+    @property
+    def num_functions(self) -> int:
+        return len(self.functions_table)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the invocation columns (~12 per invocation)."""
+        return int(self.times_s.nbytes + self.function_ids.nbytes)
+
+    def per_function_counts(self) -> Dict[str, int]:
+        counts = np.bincount(
+            self.function_ids, minlength=len(self.functions_table)
+        )
+        return {
+            name: int(count)
+            for name, count in zip(self.functions_table.names, counts.tolist())
+        }
+
+    def __len__(self) -> int:
+        return int(self.times_s.size)
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnarTrace(name={self.name!r}, "
+            f"functions={len(self.functions_table)}, "
+            f"invocations={self.times_s.size}, "
+            f"nbytes={self.nbytes})"
+        )

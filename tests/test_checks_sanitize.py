@@ -184,3 +184,73 @@ class TestZeroOverheadWhenDisabled:
         assert sim._sanitize_report is None
         assert sim._tracer is None
         assert not sim.pool._sanitize
+
+
+class TestDriftClampChurn:
+    """Regression for the float-drift clamps (see ContainerPool.evict):
+    they must fire only when the population is actually empty, so
+    fractional-size churn neither accumulates visible drift nor trips
+    the sanitizer's exact recomputation."""
+
+    def test_fractional_churn_clean_under_sanitizer(self, sanitized):
+        import random
+
+        pool = ContainerPool(10_000.0)
+        rng = random.Random(2024)
+        for round_no in range(30):
+            live = []
+            for i in range(20):
+                mem = rng.choice((33.3, 128.7, 0.07, 501.101, 76.49))
+                c = Container(
+                    make_function(name=f"f{i}", memory_mb=mem), 0.0
+                )
+                pool.add(c)  # sanitizer recomputes exactly per op
+                live.append(c)
+            rng.shuffle(live)
+            for c in live:
+                pool.evict(c)
+            # Fully drained: the clamp must have zeroed the residue.
+            assert pool.used_mb == 0.0
+            assert pool.evictable_mb() == 0.0
+
+    def test_clamp_never_fires_while_populated(self, sanitized):
+        pool = ContainerPool(1000.0)
+        keeper = pooled(pool, memory_mb=0.1, name="keeper")
+        for i in range(200):
+            c = pooled(pool, memory_mb=3.7, name=f"churn{i}")
+            pool.evict(c)
+        # The keeper's footprint must survive the churn (float
+        # residue within the sanitizer's tolerance is fine) — a clamp
+        # firing mid-population would have zeroed used_mb with a
+        # container still pooled, and the sanitizer's per-op exact
+        # recomputation would have raised above.
+        assert pool.used_mb == pytest.approx(0.1)
+        pool.evict(keeper)
+        assert pool.used_mb == 0.0
+
+    def test_can_fit_tolerates_relative_drift(self, sanitized):
+        # 100 x 0.1 accumulates binary-representation error well
+        # within the capacity-relative slack; the final exact-fit add
+        # must still be admitted.
+        pool = ContainerPool(10.0)
+        for i in range(100):
+            assert pool.can_fit(0.1)
+            pool.add(
+                Container(
+                    make_function(name=f"s{i}", memory_mb=0.1), 0.0
+                )
+            )
+        assert not pool.can_fit(0.1 + 1e-6)
+
+    def test_set_capacity_tolerates_relative_drift(self, sanitized):
+        pool = ContainerPool(10.0)
+        for i in range(100):
+            pool.add(
+                Container(
+                    make_function(name=f"s{i}", memory_mb=0.1), 0.0
+                )
+            )
+        # Shrinking to the nominal sum must survive the accumulated
+        # float residue in used_mb.
+        pool.set_capacity(10.0)
+        assert pool.capacity_mb == 10.0

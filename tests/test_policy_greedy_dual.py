@@ -184,3 +184,55 @@ class TestVictimSelection:
         policy.reset()
         assert policy.clock.value == 0.0
         assert policy.frequency_of("A") == 0
+
+
+class TestArrivalRefresh:
+    """Regression: every Freq-changing path must refresh the cached
+    priorities of the function's resident containers. Arrivals that
+    drop or shed before any start hook runs used to leave siblings
+    scored with the pre-arrival frequency."""
+
+    def _value(self, policy, function):
+        """Equation 1's Freq*Cost/Size with default weights."""
+        return (
+            policy.frequency_of(function.name)
+            * function.init_time_s
+            / function.memory_mb
+        )
+
+    def test_pool_aware_arrival_refreshes_residents(self):
+        policy = GreedyDualPolicy()
+        pool = ContainerPool(10_000.0)
+        f = make_function("A")
+        c1 = start_cold(policy, pool, f, now=0.0)
+        c2 = start_cold(policy, pool, f, now=1.0)
+        # An arrival announced to the policy that never reaches a
+        # start hook (the scheduler drops or sheds it):
+        policy.on_invocation(f, 2.0, pool)
+        value = self._value(policy, f)
+        assert c1.priority == c1.clock_stamp + value
+        assert c2.priority == c2.clock_stamp + value
+
+    def test_evicting_last_container_resets_then_rescoring_is_fresh(self):
+        policy = GreedyDualPolicy()
+        pool = ContainerPool(10_000.0)
+        fa = make_function("A")
+        fb = make_function("B")
+        a1 = start_cold(policy, pool, fa, now=0.0)
+        a2 = start_cold(policy, pool, fa, now=1.0)
+        b = start_cold(policy, pool, fb, now=2.0)
+        hit(policy, pool, b, now=3.0)
+        # Evict A's containers one by one under pressure; the second
+        # is the function's last, which resets A's frequency.
+        for victim in (a1, a2):
+            pool.evict(victim)
+            policy.on_evict(victim, 10.0, pool, pressure=True)
+        assert policy.frequency_of("A") == 0
+        # The surviving sibling function's cached priority still
+        # matches its own (unreset) frequency exactly.
+        assert b.priority == b.clock_stamp + self._value(policy, fb)
+        # A's next arrival scores from the fresh count, not the stale
+        # pre-reset frequency.
+        a3 = start_cold(policy, pool, fa, now=20.0)
+        assert policy.frequency_of("A") == 1
+        assert a3.priority == a3.clock_stamp + self._value(policy, fa)

@@ -167,3 +167,53 @@ class TestIndexedMatchesSort:
         indexed = self._run(trace, name, 700.0, True)
         sorted_ = self._run(trace, name, 700.0, False)
         assert indexed == sorted_
+
+
+class TestParkedBusyEntries:
+    """Busy containers leave the heap entirely while running: parked
+    on first encounter, re-enrolled only on the idle transition. A
+    long-running container must not be re-popped and re-pushed by
+    every scan in between (the churn that dominated eviction-heavy
+    replays)."""
+
+    def _pool_with(self, *specs):
+        pool = ContainerPool(100_000.0)
+        containers = []
+        for i, (name, mem, prio) in enumerate(specs):
+            c = Container(make_function(name, memory_mb=mem), float(i))
+            c.priority = prio
+            pool.add(c)
+            containers.append(c)
+        return pool, containers
+
+    def test_busy_entry_skipped_across_repeated_scans(self):
+        pool, (a, b) = self._pool_with(("A", 100.0, 1.0), ("B", 100.0, 2.0))
+        a.start_invocation(10.0, 100.0)
+        for __ in range(5):
+            assert list(pool.iter_victims(_key_of)) == [b]
+        a.finish_invocation(110.0)
+        a.priority = 1.0
+        # Exactly one entry re-enrolled on the idle transition.
+        assert list(pool.iter_victims(_key_of)) == [a, b]
+
+    def test_take_victims_parks_busy_and_restores_on_idle(self):
+        pool, (a, b, c) = self._pool_with(
+            ("A", 100.0, 1.0), ("B", 100.0, 2.0), ("C", 100.0, 3.0)
+        )
+        a.start_invocation(10.0, 100.0)
+        victims = pool.take_victims(_key_of, 200.0)
+        assert victims == [b, c]
+        for victim in victims:
+            pool.evict(victim)
+        a.finish_invocation(110.0)
+        a.priority = 1.0
+        assert pool.take_victims(_key_of, 100.0) == [a]
+
+    def test_parked_entry_discarded_when_evicted_after_idle(self):
+        pool, (a, b) = self._pool_with(("A", 100.0, 1.0), ("B", 100.0, 2.0))
+        a.start_invocation(10.0, 100.0)
+        assert list(pool.iter_victims(_key_of)) == [b]  # parks a
+        a.finish_invocation(110.0)  # re-enrolls a
+        a.priority = 1.0
+        pool.evict(a)
+        assert list(pool.iter_victims(_key_of)) == [b]
