@@ -2,10 +2,15 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-pytest bench-ci lint typecheck check sanitize examples reproduce clean
+.PHONY: install ci-install test bench bench-pytest bench-ci fairness lint typecheck check sanitize examples reproduce clean
 
 install:
 	$(PYTHON) setup.py develop
+
+# The editable install CI jobs use (mirrors .github/actions/setup).
+# EXTRAS selects optional dependency groups: make ci-install EXTRAS=[dev]
+ci-install:
+	$(PYTHON) -m pip install -e ".$(EXTRAS)"
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -21,6 +26,11 @@ bench-pytest:
 # Machine-readable bench gate (what CI uploads as BENCH_ci.json).
 bench-ci:
 	$(PYTHON) benchmarks/ci_export.py --out BENCH_ci.json
+
+# Multi-tenant fairness determinism gate (docs/multi-tenancy.md):
+# noisy-neighbor Jain's index pinned vs benchmarks/TENANT_FAIRNESS.json.
+fairness:
+	PYTHONPATH=src $(PYTHON) benchmarks/tenant_fairness_gate.py
 
 # Both need their tool installed (pip install -e ".[lint]" / ".[typecheck]").
 lint:

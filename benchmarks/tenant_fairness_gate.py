@@ -1,0 +1,162 @@
+"""Tenant-fairness determinism gate (the CI ``tenant-fairness`` job).
+
+Replays the built-in ``noisy-neighbor`` scenario (one bursty attacker
+tenant against 24 low-rate victim tenants, pinned seed) under the GD
+policy twice — once on a legacy shared pool, once with a soft quota on
+the attacker — and gates three things:
+
+1. **Fairness direction** — Jain's fairness index over per-tenant
+   warm-hit ratios must be *strictly* higher under the quota than in
+   shared mode. This is the paper-level claim of the multi-tenant
+   extension (docs/multi-tenancy.md): quotas stop the noisy neighbour
+   from evicting everyone else's containers.
+2. **Determinism pin** — the Jain indices (at full ``repr``
+   precision), the lifecycle counters, and the per-tenant counters of
+   both runs must equal the committed expectation
+   (``benchmarks/TENANT_FAIRNESS.json``) bit for bit. Any drift means
+   a code change altered tenant-aware simulation results; regenerate
+   deliberately with ``--write`` and review the diff.
+3. **Trace/aggregate agreement** — the CI job additionally records the
+   quota run twice through the CLI under strict tracing and
+   byte-compares the event streams (the chaos-replay pattern), so the
+   pin here only needs to cover the aggregate numbers.
+
+Usage::
+
+    python benchmarks/tenant_fairness_gate.py                  # gate
+    python benchmarks/tenant_fairness_gate.py --write          # re-pin
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import List, Optional
+
+from repro.sim.scheduler import simulate
+from repro.traces.synth import noisy_neighbor_trace
+
+EXPECTED_PATH = pathlib.Path(__file__).parent / "TENANT_FAIRNESS.json"
+
+#: Pool size and the attacker's soft quota, chosen so the attacker
+#: (8 x 512 MB functions) saturates a shared pool but the 24 victims
+#: (128 MB each) fit comfortably beside a quota-bounded attacker.
+MEMORY_MB = 4096.0
+ATTACKER_TENANT = 1
+ATTACKER_QUOTA_MB = 1024.0
+
+
+def _payload(result) -> dict:
+    metrics = result.metrics
+    return {
+        "jain_fairness_index": repr(metrics.jain_fairness_index),
+        "counters": metrics.counters(),
+        "tenant_counters": {
+            str(tenant_id): counts
+            for tenant_id, counts in metrics.tenant_counters().items()
+        },
+    }
+
+
+def build_report() -> dict:
+    """Run the shared/quota pair on fresh traces and policies."""
+    shared = simulate(noisy_neighbor_trace(), "GD", MEMORY_MB)
+    quota = simulate(
+        noisy_neighbor_trace(),
+        "GD",
+        MEMORY_MB,
+        tenant_mode="quota",
+        tenant_quotas={ATTACKER_TENANT: ATTACKER_QUOTA_MB},
+    )
+    return {
+        "trace": "noisy-neighbor",
+        "policy": "GD",
+        "memory_mb": repr(MEMORY_MB),
+        "attacker_tenant": ATTACKER_TENANT,
+        "attacker_quota_mb": repr(ATTACKER_QUOTA_MB),
+        "shared": _payload(shared),
+        "quota": _payload(quota),
+    }
+
+
+def compare(actual: dict, expected: dict) -> List[str]:
+    """Human-readable differences between two gate reports."""
+    problems: List[str] = []
+
+    def _walk(prefix: str, got, want) -> None:
+        if isinstance(want, dict) and isinstance(got, dict):
+            for key in sorted(set(got) | set(want)):
+                _walk(
+                    f"{prefix}.{key}" if prefix else key,
+                    got.get(key),
+                    want.get(key),
+                )
+        elif got != want:
+            problems.append(f"{prefix}: got {got!r}, expected {want!r}")
+
+    _walk("", actual, expected)
+    return problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--expected",
+        default=str(EXPECTED_PATH),
+        help="committed expectation to gate against",
+    )
+    parser.add_argument(
+        "--write",
+        action="store_true",
+        help="regenerate the expectation file instead of gating",
+    )
+    args = parser.parse_args(argv)
+
+    report = build_report()
+
+    shared_jain = float(report["shared"]["jain_fairness_index"])
+    quota_jain = float(report["quota"]["jain_fairness_index"])
+    print(
+        f"Jain fairness index: shared={shared_jain:.6f} "
+        f"quota={quota_jain:.6f}"
+    )
+    if not quota_jain > shared_jain:
+        print(
+            "FAIL: quota mode must strictly improve Jain's fairness "
+            f"index over shared mode ({quota_jain!r} <= {shared_jain!r})",
+            file=sys.stderr,
+        )
+        return 1
+
+    expected_path = pathlib.Path(args.expected)
+    if args.write:
+        expected_path.write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {expected_path}")
+        return 0
+
+    expected = json.loads(expected_path.read_text())
+    problems = compare(report, expected)
+    if problems:
+        print(
+            f"FAIL: tenant-fairness drift vs {expected_path} "
+            f"({len(problems)} difference(s)):",
+            file=sys.stderr,
+        )
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        print(
+            "If the change is intentional, regenerate with --write and "
+            "commit the diff.",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"tenant-fairness gate OK (matches {expected_path})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

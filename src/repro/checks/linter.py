@@ -34,7 +34,10 @@ Rule catalog (full rationale in ``docs/static-analysis.md``):
 ``FC005``  lifecycle-counter drift: the key set of
            ``SimulationMetrics.counters()`` must equal
            ``TraceReport.counters()``, every key must be a real
-           dataclass field, and ``SweepPoint`` must carry them.
+           dataclass field, and ``SweepPoint`` must carry them. The
+           per-tenant half mirrors this: both classes must define
+           ``tenant_counters()`` with identical inner keys and
+           ``SweepPoint`` must carry a ``tenant_counters`` snapshot.
 ``FC006``  ``lambda``/local-function values in dataclass field
            defaults or in arguments shipped to
            ``run_sweep_parallel`` (pickle safety; the parent-side
@@ -112,7 +115,8 @@ RULES: Dict[str, Tuple[str, str]] = {
     "FC005": (
         "lifecycle-counter contract drift",
         "mirror the counter key in SimulationMetrics.counters(), "
-        "TraceReport.counters() and keep SweepPoint's counters field",
+        "TraceReport.counters() (and their tenant_counters() inner "
+        "dicts) and keep SweepPoint's counters/tenant_counters fields",
     ),
     "FC006": (
         "unpicklable callable in a dataclass default or "
@@ -326,6 +330,11 @@ class _CounterDef:
     keys: Set[str]
     fields: Set[str]
     from_checked: bool
+    #: Inner dict-literal keys of the class's ``tenant_counters``
+    #: method (the per-tenant half of the contract), or ``None`` when
+    #: the class defines no such method.
+    tenant_keys: Optional[Set[str]] = None
+    tenant_line: int = 0
 
 
 @dataclass
@@ -371,6 +380,37 @@ def _counters_keys(node: ast.ClassDef) -> Optional[Tuple[int, Set[str]]]:
     return None
 
 
+def _tenant_counter_keys(
+    node: ast.ClassDef,
+) -> Optional[Tuple[int, Set[str]]]:
+    """Inner dict-literal keys of a ``tenant_counters`` method.
+
+    The method returns ``{tenant_id: {"warm_starts": ..., ...}}`` —
+    the outer mapping is keyed by runtime tenant ids, so the contract
+    lives in the *inner* literal's string keys. The first dict literal
+    with string-constant keys found anywhere in the method body is
+    taken as that inner literal (it sits inside a dict comprehension
+    in both real implementations).
+    """
+    for stmt in node.body:
+        if (
+            isinstance(stmt, ast.FunctionDef)
+            and stmt.name == "tenant_counters"
+        ):
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Dict):
+                    keys = {
+                        key.value
+                        for key in sub.keys
+                        if isinstance(key, ast.Constant)
+                        and isinstance(key.value, str)
+                    }
+                    if keys:
+                        return stmt.lineno, keys
+            return stmt.lineno, set()
+    return None
+
+
 def _harvest_symbols(
     symbols: ProjectSymbols, source_file: _SourceFile, from_checked: bool
 ) -> None:
@@ -406,6 +446,11 @@ def _harvest_symbols(
                     fields=_class_fields(node),
                     from_checked=from_checked,
                 )
+                tenant_found = _tenant_counter_keys(node)
+                if tenant_found is not None:
+                    definition.tenant_line, definition.tenant_keys = (
+                        tenant_found
+                    )
                 if node.name == "SimulationMetrics":
                     symbols.metrics = definition
                 else:
@@ -953,6 +998,48 @@ def _check_counter_contract(
                 metrics,
                 "SweepPoint carries neither a counters snapshot field "
                 "nor the individual counter fields",
+            )
+
+    # Per-tenant half of the contract (docs/multi-tenancy.md): both
+    # sides must define tenant_counters() with identical inner keys,
+    # and SweepPoint must snapshot them.
+    if metrics.tenant_keys is None and report.tenant_keys is not None:
+        _report_at(
+            report if report.from_checked else metrics,
+            "TraceReport defines tenant_counters() but "
+            "SimulationMetrics does not",
+        )
+    elif metrics.tenant_keys is not None and report.tenant_keys is None:
+        _report_at(
+            report if report.from_checked else metrics,
+            "SimulationMetrics defines tenant_counters() but "
+            "TraceReport does not",
+        )
+    elif metrics.tenant_keys is not None and report.tenant_keys is not None:
+        tenant_missing = sorted(metrics.tenant_keys - report.tenant_keys)
+        if tenant_missing:
+            _report_at(
+                report if report.from_checked else metrics,
+                f"per-tenant counter(s) {tenant_missing} in "
+                "SimulationMetrics.tenant_counters() have no mirror in "
+                "TraceReport.tenant_counters()",
+            )
+        tenant_extra = sorted(report.tenant_keys - metrics.tenant_keys)
+        if tenant_extra:
+            _report_at(
+                report if report.from_checked else metrics,
+                f"per-tenant counter(s) {tenant_extra} in "
+                "TraceReport.tenant_counters() do not exist in "
+                "SimulationMetrics.tenant_counters()",
+            )
+        if (
+            symbols.sweep_fields is not None
+            and "tenant_counters" not in symbols.sweep_fields
+        ):
+            _report_at(
+                metrics,
+                "SweepPoint does not carry the tenant_counters "
+                "snapshot field",
             )
     return findings
 

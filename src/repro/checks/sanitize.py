@@ -41,6 +41,7 @@ __all__ = [
     "set_sanitize",
     "ReportSink",
     "check_counter_equality",
+    "check_tenant_counter_equality",
 ]
 
 
@@ -99,5 +100,20 @@ def check_counter_equality(
     if mismatches:
         raise SanitizeError(
             "trace/metrics counter equality violated: "
+            + "; ".join(mismatches)
+        )
+
+
+def check_tenant_counter_equality(
+    report: TraceReport, tenant_counters: Mapping[int, Mapping[str, int]]
+) -> None:
+    """Raise :class:`SanitizeError` unless the per-tenant counters
+    rebuilt from the events' ``tenant`` fields equal the simulator's
+    per-tenant aggregates (the multi-tenant half of the contract;
+    vacuously true on tenant-less runs where both sides are empty)."""
+    mismatches = report.check_tenant_counters(tenant_counters)
+    if mismatches:
+        raise SanitizeError(
+            "trace/metrics tenant-counter equality violated: "
             + "; ".join(mismatches)
         )

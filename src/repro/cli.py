@@ -15,7 +15,11 @@ Gives downstream users the common workflows without writing Python::
 
 ``--trace`` accepts a JSON trace file (see :mod:`repro.traces.io`) or
 one of the built-in workload names (``cyclic``, ``skewed-size``,
-``skewed-frequency``, ``multitenant``).
+``skewed-frequency``, ``multitenant``, ``noisy-neighbor``).
+
+``simulate``, ``sweep``, and ``trace`` take the multi-tenancy flags
+(``--tenant-mode``, ``--tenant-quota TENANT=MB``,
+``--tenant-weights TENANT=WEIGHT`` — see ``docs/multi-tenancy.md``).
 
 ``simulate``, ``sweep``, and ``trace`` additionally accept
 ``--fault-spec SPEC.json`` for seeded, deterministic fault injection —
@@ -41,7 +45,13 @@ from repro.traces.model import Trace
 
 __all__ = ["main", "build_parser"]
 
-_BUILTIN_WORKLOADS = ("cyclic", "skewed-size", "skewed-frequency", "multitenant")
+_BUILTIN_WORKLOADS = (
+    "cyclic",
+    "skewed-size",
+    "skewed-frequency",
+    "multitenant",
+    "noisy-neighbor",
+)
 
 
 def _load_trace(spec: str) -> Trace:
@@ -53,6 +63,7 @@ def _load_trace(spec: str) -> Trace:
             "skewed-size": synth.skewed_size_trace,
             "skewed-frequency": synth.skewed_frequency_trace,
             "multitenant": synth.multitenant_trace,
+            "noisy-neighbor": synth.noisy_neighbor_trace,
         }
         return builders[spec]()
     from repro.traces.io import load_trace_json
@@ -91,6 +102,69 @@ def _add_sanitize_flag(parser: argparse.ArgumentParser) -> None:
             "REPRO_SANITIZE=1; see docs/static-analysis.md)"
         ),
     )
+
+
+def _add_tenant_flags(parser: argparse.ArgumentParser) -> None:
+    """Multi-tenancy flags shared by simulate/sweep/trace
+    (docs/multi-tenancy.md)."""
+    parser.add_argument(
+        "--tenant-mode",
+        choices=("shared", "partitioned", "quota"),
+        default="shared",
+        help=(
+            "pool tenancy mode: shared (legacy, default), partitioned "
+            "(hard per-tenant slices), or quota (soft limits with "
+            "preferential eviction)"
+        ),
+    )
+    parser.add_argument(
+        "--tenant-quota",
+        nargs="*",
+        metavar="TENANT=MB",
+        help=(
+            "per-tenant memory limit (slice in partitioned mode, soft "
+            "quota in quota mode); omit to split capacity equally over "
+            "the trace's tenants"
+        ),
+    )
+    parser.add_argument(
+        "--tenant-weights",
+        nargs="*",
+        metavar="TENANT=WEIGHT",
+        help=(
+            "per-tenant multiplicative weight on the GD value term "
+            "(only meaningful with GD-family policies)"
+        ),
+    )
+
+
+def _parse_tenant_map(
+    specs: Optional[List[str]], flag: str
+) -> Optional[dict]:
+    """Parse repeated ``TENANT=NUMBER`` arguments into an int->float
+    map (``None`` when the flag was not given)."""
+    if not specs:
+        return None
+    parsed = {}
+    for spec in specs:
+        tenant, sep, value = spec.partition("=")
+        if not sep or not tenant:
+            raise SystemExit(f"{flag} expects TENANT=NUMBER, got {spec!r}")
+        try:
+            parsed[int(tenant)] = float(value)
+        except ValueError:
+            raise SystemExit(
+                f"{flag}: tenant must be an integer and the value a "
+                f"number, got {spec!r}"
+            )
+    return parsed
+
+
+def _tenant_policy_kwargs(args: argparse.Namespace) -> dict:
+    """Policy kwargs implied by ``--tenant-weights`` (empty when the
+    flag is absent, so tenant-less invocations stay untouched)."""
+    weights = _parse_tenant_map(args.tenant_weights, "--tenant-weights")
+    return {"tenant_weights": weights} if weights else {}
 
 
 # ----------------------------------------------------------------------
@@ -204,6 +278,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             tracer=tracer,
             fault_spec=fault_spec,
             engine=args.engine,
+            tenant_mode=args.tenant_mode,
+            tenant_quotas=_parse_tenant_map(
+                args.tenant_quota, "--tenant-quota"
+            ),
+            **_tenant_policy_kwargs(args),
         )
     finally:
         close_tracer()
@@ -251,6 +330,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     trace = _load_trace(args.trace)
     fault_spec = _load_fault_spec(args.fault_spec)
     policies = args.policies or list(PAPER_POLICIES)
+    tenant_quotas = _parse_tenant_map(args.tenant_quota, "--tenant-quota")
+    policy_kwargs = _tenant_policy_kwargs(args) or None
     if args.workers is not None and args.workers != 1:
         def report(done: int, total: int, policy: str, memory_gb: float) -> None:
             print(
@@ -266,6 +347,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             progress=report if not args.quiet else None,
             trace_dir=args.trace_dir,
             fault_spec=fault_spec,
+            tenant_mode=args.tenant_mode,
+            tenant_quotas=tenant_quotas,
+            policy_kwargs=policy_kwargs,
         )
         for cell in sweep.failed_cells:
             print(
@@ -277,6 +361,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         sweep = run_sweep(
             trace, args.memory_gb, policies=policies,
             trace_dir=args.trace_dir, fault_spec=fault_spec,
+            tenant_mode=args.tenant_mode, tenant_quotas=tenant_quotas,
+            policy_kwargs=policy_kwargs,
         )
     if args.trace_dir:
         print(
@@ -525,6 +611,11 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         result = simulate(
             trace, args.policy, args.memory_gb * 1024.0, tracer=tracer,
             fault_spec=fault_spec,
+            tenant_mode=args.tenant_mode,
+            tenant_quotas=_parse_tenant_map(
+                args.tenant_quota, "--tenant-quota"
+            ),
+            **_tenant_policy_kwargs(args),
         )
     finally:
         close_tracer()
@@ -543,6 +634,15 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             "counters": metrics.counters(),
             "summary": metrics.summary(),
         }
+        tenant_counters = metrics.tenant_counters()
+        if tenant_counters:
+            # String keys so the snapshot JSON-round-trips unchanged;
+            # omitted entirely on tenant-less runs so their summaries
+            # stay byte-identical to pre-tenancy output.
+            summary["tenant_counters"] = {
+                str(tenant_id): counts
+                for tenant_id, counts in tenant_counters.items()
+            }
         import pathlib
 
         pathlib.Path(args.summary_json).write_text(
@@ -581,6 +681,20 @@ def _cmd_trace_report(args: argparse.Namespace) -> int:
         # summary JSON (counters nested under "counters").
         counters = expected.get("counters", expected)
         mismatches = report.check_counters(counters)
+        # Summaries from tenant-aware runs also pin the per-tenant
+        # counters (JSON string keys -> int tenant ids).
+        expected_tenants = (
+            expected.get("tenant_counters")
+            if isinstance(expected.get("tenant_counters"), dict)
+            else None
+        )
+        if expected_tenants is not None:
+            mismatches += report.check_tenant_counters(
+                {
+                    int(tenant_id): counts
+                    for tenant_id, counts in expected_tenants.items()
+                }
+            )
         if mismatches:
             print(
                 f"TRACE/METRICS MISMATCH ({len(mismatches)}):",
@@ -589,9 +703,12 @@ def _cmd_trace_report(args: argparse.Namespace) -> int:
             for line in mismatches:
                 print(f"  {line}", file=sys.stderr)
             return 1
+        checked = len(counters) + (
+            len(expected_tenants) if expected_tenants is not None else 0
+        )
         print(
             f"trace agrees with {args.check} on all "
-            f"{len(counters)} counters"
+            f"{checked} counters"
         )
     return 0
 
@@ -665,6 +782,7 @@ def build_parser() -> argparse.ArgumentParser:
             "docs/performance.md)"
         ),
     )
+    _add_tenant_flags(simulate)
     _add_sanitize_flag(simulate)
     simulate.set_defaults(func=_cmd_simulate)
 
@@ -715,6 +833,7 @@ def build_parser() -> argparse.ArgumentParser:
             "its own coordinate-derived seed (see docs/robustness.md)"
         ),
     )
+    _add_tenant_flags(sweep)
     _add_sanitize_flag(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
@@ -800,6 +919,7 @@ def build_parser() -> argparse.ArgumentParser:
             "(see docs/robustness.md)"
         ),
     )
+    _add_tenant_flags(trace_cmd)
     _add_sanitize_flag(trace_cmd)
     trace_cmd.set_defaults(func=_cmd_trace)
 

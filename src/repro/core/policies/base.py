@@ -230,6 +230,106 @@ class KeepAlivePolicy(abc.ABC):
 
         return pool.take_victims(key_of, deficit_mb)
 
+    def select_victims_tenant(
+        self,
+        pool: ContainerPool,
+        needed_mb: float,
+        now_s: float,
+        tenant_id: int,
+    ) -> Optional[List[Container]]:
+        """Tenant-aware victim selection (docs/multi-tenancy.md).
+
+        The generalization of :meth:`select_victims` the simulator
+        calls when the pool is not in ``shared`` mode — for shared
+        pools it delegates to the plain path, so tenant-less runs are
+        untouched.
+
+        * ``partitioned`` — the deficit is measured against the
+          requesting tenant's slice and only that tenant's idle
+          containers are candidates: one tenant's miss can never evict
+          another tenant's container.
+        * ``quota`` — the deficit is global, but candidates are ranked
+          ``(over_quota_rank, priority, last_used, id)``: every idle
+          container of a currently over-quota tenant is offered before
+          any within-quota container, regardless of policy priority.
+          Additionally, a miss whose admission would push the
+          requesting tenant *over* its quota may only evict that
+          tenant's own containers or other over-quota tenants' — quota
+          is soft (free memory and over-quota capacity are fair game)
+          but never a license to displace within-quota tenants.
+
+        Both modes use the exact sort-every-miss path rather than the
+        pool's lazy victim index: the quota rank flips when a tenant
+        crosses its limit and the partition filter depends on the
+        requester, so neither key is monotone per container. Over-quota
+        status is frozen at selection start (evicting a victim mid-
+        selection may bring its tenant back under quota; re-ranking
+        mid-scan would make the choice order-dependent).
+        """
+        mode = pool.tenant_mode
+        if mode == "shared":
+            return self.select_victims(pool, needed_mb, now_s)
+        if mode == "partitioned":
+            deficit = needed_mb - pool.tenant_free_mb(tenant_id)
+            if deficit <= 1e-9:
+                return []
+            candidates = [
+                c
+                for c in pool.idle_containers()
+                if c.function.tenant_id == tenant_id
+            ]
+        else:  # quota
+            deficit = needed_mb - pool.free_mb
+            if deficit <= 1e-9:
+                return []
+            over = pool.over_quota_tenants()
+            candidates = pool.idle_containers()
+            if pool.quota_exceeded_by(tenant_id, needed_mb):
+                # The requester would land over quota: it may only feed
+                # on itself and on other over-quota tenants.
+                candidates = [
+                    c
+                    for c in candidates
+                    if c.function.tenant_id == tenant_id
+                    or c.function.tenant_id in over
+                ]
+            elif pool.evictable_mb() < deficit - 1e-9:
+                # Fast path (unrestricted candidate set only): total
+                # idle memory cannot cover the deficit.
+                return None
+            candidates.sort(
+                key=lambda c: (
+                    0 if c.function.tenant_id in over else 1,
+                    self.priority(c, now_s),
+                    c.last_used_s,
+                    c.container_id,
+                )
+            )
+            return self._accumulate_victims(candidates, deficit)
+        candidates.sort(
+            key=lambda c: (
+                self.priority(c, now_s),
+                c.last_used_s,
+                c.container_id,
+            )
+        )
+        return self._accumulate_victims(candidates, deficit)
+
+    @staticmethod
+    def _accumulate_victims(
+        candidates: List[Container], deficit_mb: float
+    ) -> Optional[List[Container]]:
+        """Prefix of ``candidates`` covering ``deficit_mb``, or
+        ``None`` when even the whole list is not enough."""
+        victims: List[Container] = []
+        reclaimed = 0.0
+        for container in candidates:
+            victims.append(container)
+            reclaimed += container.memory_mb
+            if reclaimed >= deficit_mb - 1e-9:
+                return victims
+        return None
+
     def expired_containers(
         self, pool: ContainerPool, now_s: float
     ) -> List[Tuple[Container, float]]:

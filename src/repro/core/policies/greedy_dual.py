@@ -20,7 +20,7 @@ under memory pressure, never on a timer.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.core.clock import LogicalClock
 from repro.core.container import Container
@@ -44,14 +44,34 @@ class GreedyDualPolicy(KeepAlivePolicy):
         self,
         frequency_weight: float = 1.0,
         cost_weight: float = 1.0,
+        tenant_weights: Optional[Dict[int, float]] = None,
     ) -> None:
         """``frequency_weight`` and ``cost_weight`` scale the Freq and
         Cost terms, allowing the ablations in Section 4.2 (setting one
-        to zero recovers simpler family members)."""
+        to zero recovers simpler family members).
+
+        ``tenant_weights`` maps tenant ids to multiplicative weights on
+        the whole value term (docs/multi-tenancy.md): a tenant with
+        weight 2 keeps containers as if their cold starts were twice as
+        expensive, so paying tenants survive pressure longer. Tenants
+        absent from the map get weight 1. The weight is static per
+        function, so the monotone-priority contract of the lazy victim
+        index still holds. ``None`` (the default) skips the weighting
+        multiply entirely, keeping tenant-less priorities bit-identical
+        to the unweighted policy.
+        """
         super().__init__()
         self.clock = LogicalClock()
         self._frequency_weight = frequency_weight
         self._cost_weight = cost_weight
+        if tenant_weights is not None:
+            for tid, weight in sorted(tenant_weights.items()):
+                if weight < 0:
+                    raise ValueError(
+                        f"tenant {tid}: weight must be >= 0, got {weight}"
+                    )
+            tenant_weights = dict(tenant_weights)
+        self._tenant_weights = tenant_weights
         # Name of the function whose resident containers were refreshed
         # by the latest pool-aware ``on_invocation``; lets the start
         # hooks skip the sibling sweep they would otherwise repeat.
@@ -62,14 +82,20 @@ class GreedyDualPolicy(KeepAlivePolicy):
     # ------------------------------------------------------------------
 
     def _value_term(self, function: TraceFunction) -> float:
-        """The Freq * Cost / Size part of Equation 1."""
+        """The Freq * Cost / Size part of Equation 1, scaled by the
+        function's tenant weight when weights are configured."""
         freq = self.frequency_of(function.name)
         cost = function.init_time_s
-        return (
+        value = (
             (self._frequency_weight * freq)
             * (self._cost_weight * cost)
             / function.memory_mb
         )
+        if self._tenant_weights is not None:
+            # Applied only when configured: the no-weights fast path
+            # stays bit-identical to the pre-tenancy policy.
+            value *= self._tenant_weights.get(function.tenant_id, 1.0)
+        return value
 
     def _refresh_function_priorities(
         self, function: TraceFunction, pool: ContainerPool

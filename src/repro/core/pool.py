@@ -33,7 +33,14 @@ from repro.traces.model import TraceFunction
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.obs.tracer import Tracer
 
-__all__ = ["ContainerPool", "CapacityError"]
+__all__ = ["ContainerPool", "CapacityError", "TENANT_MODES"]
+
+#: Valid pool tenant modes (docs/multi-tenancy.md): ``shared`` is the
+#: single-owner behavior (tenant identity tracked but never acted on),
+#: ``partitioned`` gives every tenant a hard capacity slice, ``quota``
+#: gives soft limits under which an over-quota tenant becomes
+#: preferentially evictable.
+TENANT_MODES = ("shared", "partitioned", "quota")
 
 #: Heap key a container is enrolled with before any policy has scored
 #: it. Compares below every real ``(priority, last_used, id)`` key, so
@@ -49,10 +56,50 @@ class ContainerPool:
     """All live containers on one server, bounded by a memory capacity."""
 
     def __init__(
-        self, capacity_mb: float, tracer: Optional["Tracer"] = None
+        self,
+        capacity_mb: float,
+        tracer: Optional["Tracer"] = None,
+        tenant_mode: str = "shared",
+        tenant_limits_mb: Optional[Dict[int, float]] = None,
     ) -> None:
         if capacity_mb <= 0:
             raise ValueError(f"capacity must be positive, got {capacity_mb}")
+        if tenant_mode not in TENANT_MODES:
+            raise ValueError(
+                f"tenant_mode must be one of {TENANT_MODES}, got "
+                f"{tenant_mode!r}"
+            )
+        limits: Dict[int, float] = {}
+        for tid, limit in sorted((tenant_limits_mb or {}).items()):
+            if tid < 0:
+                raise ValueError(f"tenant id must be >= 0, got {tid}")
+            if limit < 0:
+                raise ValueError(
+                    f"tenant {tid}: limit must be >= 0, got {limit}"
+                )
+            limits[int(tid)] = float(limit)
+        if tenant_mode == "shared" and limits:
+            raise ValueError("tenant limits are meaningless in shared mode")
+        if tenant_mode != "shared" and not limits:
+            raise ValueError(
+                f"tenant_mode={tenant_mode!r} requires per-tenant limits"
+            )
+        if tenant_mode == "partitioned":
+            total = sum(limits.values())
+            if total > capacity_mb * (1.0 + 1e-9):
+                raise CapacityError(
+                    f"partition slices sum to {total:.1f} MB but capacity "
+                    f"is {capacity_mb:.1f} MB"
+                )
+        self._tenant_mode = tenant_mode
+        self._tenant_limits_mb = limits
+        # Per-tenant incremental accounting (memory + population),
+        # maintained in every mode — shared pools answer tenant-usage
+        # queries too — at the cost of two dict updates per add/evict.
+        # Keys are dropped when a tenant's population returns to zero,
+        # so the dicts never outgrow the live tenant set.
+        self._tenant_used_mb: Dict[int, float] = {}
+        self._tenant_count: Dict[int, int] = {}
         # Normalized to ``None`` when tracing is disabled so admission
         # pays exactly one ``is None`` test (see repro.obs.tracer).
         self._tracer = (
@@ -155,6 +202,13 @@ class ContainerPool:
                 f"cannot shrink capacity to {capacity_mb} MB while "
                 f"{self._used_mb} MB is in use"
             )
+        if self._tenant_mode == "partitioned":
+            total = sum(self._tenant_limits_mb.values())
+            if total > capacity_mb * (1.0 + 1e-9):
+                raise CapacityError(
+                    f"cannot shrink capacity to {capacity_mb} MB below "
+                    f"the {total:.1f} MB sum of partition slices"
+                )
         self._capacity_mb = float(capacity_mb)
         self._slack_mb = 1e-9 * self._capacity_mb
 
@@ -173,6 +227,14 @@ class ContainerPool:
                 f"container needs {container.memory_mb} MB but only "
                 f"{self.free_mb:.1f} MB is free"
             )
+        if self._tenant_mode == "partitioned":
+            tenant_id = container.function.tenant_id
+            free_t = self.tenant_free_mb(tenant_id)
+            if container.memory_mb > free_t + self._slack_mb:
+                raise CapacityError(
+                    f"tenant {tenant_id} needs {container.memory_mb} MB "
+                    f"but its partition has only {free_t:.1f} MB free"
+                )
         if container.pool is not None:
             raise ValueError(
                 f"container {container.container_id} already belongs "
@@ -188,6 +250,13 @@ class ContainerPool:
         else:
             peers.append(container.container_id)
         self._used_mb += container.memory_mb
+        tenant_id = container.function.tenant_id
+        self._tenant_used_mb[tenant_id] = (
+            self._tenant_used_mb.get(tenant_id, 0.0) + container.memory_mb
+        )
+        self._tenant_count[tenant_id] = (
+            self._tenant_count.get(tenant_id, 0) + 1
+        )
         if self._tracer is not None:
             self._tracer.emit(
                 "container_spawned",
@@ -240,6 +309,20 @@ class ContainerPool:
         # real bug and must stay visible to the sanitizer.
         if not self._containers and abs(self._used_mb) <= self._slack_mb:
             self._used_mb = 0.0
+        tenant_id = container.function.tenant_id
+        self._tenant_used_mb[tenant_id] -= container.memory_mb
+        remaining = self._tenant_count[tenant_id] - 1
+        if remaining:
+            self._tenant_count[tenant_id] = remaining
+        elif abs(self._tenant_used_mb[tenant_id]) <= self._slack_mb:
+            # Same drift-cleanup rule as ``_used_mb``: only forget a
+            # tenant when its population is genuinely empty and the
+            # residual is float noise; a large residual stays visible
+            # to the sanitizer.
+            del self._tenant_count[tenant_id]
+            del self._tenant_used_mb[tenant_id]
+        else:
+            self._tenant_count[tenant_id] = 0
         # Expiry bookkeeping: dropping the authoritative deadline turns
         # any heap entries for this id into stale tombstones, discarded
         # when popped.
@@ -288,6 +371,37 @@ class ContainerPool:
                 f"idle unpinned containers but the pool counts "
                 f"{self._idle_unpinned}"
             )
+        # Per-tenant accounting must agree with a from-scratch
+        # recompute, tenant keys must never dangle, and in partitioned
+        # mode no tenant may exceed its slice.
+        tenant_used: Dict[int, float] = {}
+        tenant_count: Dict[int, int] = {}
+        for c in self._containers.values():
+            tid = c.function.tenant_id
+            tenant_used[tid] = tenant_used.get(tid, 0.0) + c.memory_mb
+            tenant_count[tid] = tenant_count.get(tid, 0) + 1
+        for tid in sorted(set(self._tenant_used_mb) | set(tenant_used)):
+            used_t = tenant_used.get(tid, 0.0)
+            booked_t = self._tenant_used_mb.get(tid, 0.0)
+            if abs(used_t - booked_t) > 1e-6 * max(1.0, used_t):
+                raise SanitizeError(
+                    f"tenant {tid} memory accounting violated: containers "
+                    f"hold {used_t:.3f} MB but the pool accounts "
+                    f"{booked_t:.3f} MB"
+                )
+            if tenant_count.get(tid, 0) != self._tenant_count.get(tid, 0):
+                raise SanitizeError(
+                    f"tenant {tid} population accounting violated: "
+                    f"{tenant_count.get(tid, 0)} containers pooled but "
+                    f"the pool counts {self._tenant_count.get(tid, 0)}"
+                )
+            if self._tenant_mode == "partitioned":
+                limit = self._tenant_limits_mb.get(tid, 0.0)
+                if used_t > limit + 1e-6 * max(1.0, limit):
+                    raise SanitizeError(
+                        f"tenant {tid} exceeds its partition slice: "
+                        f"{used_t:.3f} MB used of {limit:.3f} MB"
+                    )
         # Every unpinned container is either awaiting its first
         # deadline or carried by the expiry index — never both, never
         # neither, and never a dangling id.
@@ -393,6 +507,97 @@ class ContainerPool:
         notifications instead of scanning the pool.
         """
         return self._evictable_mb
+
+    # ------------------------------------------------------------------
+    # Tenant accounting (docs/multi-tenancy.md)
+    # ------------------------------------------------------------------
+
+    @property
+    def tenant_mode(self) -> str:
+        return self._tenant_mode
+
+    def tenant_limit_mb(self, tenant_id: int) -> Optional[float]:
+        """The tenant's slice (partitioned) or soft quota (quota), or
+        ``None`` when no limit is configured for it."""
+        return self._tenant_limits_mb.get(tenant_id)
+
+    def tenant_used_mb(self, tenant_id: int) -> float:
+        """Memory currently held by the tenant's containers. O(1)."""
+        return self._tenant_used_mb.get(tenant_id, 0.0)
+
+    def tenant_container_count(self, tenant_id: int) -> int:
+        """Live containers owned by the tenant. O(1)."""
+        return self._tenant_count.get(tenant_id, 0)
+
+    def tenant_usage(self) -> Dict[int, float]:
+        """Per-tenant used memory for every tenant with containers,
+        in ascending tenant-id order (deterministic)."""
+        return {
+            tid: self._tenant_used_mb[tid]
+            for tid in sorted(self._tenant_used_mb)
+        }
+
+    def tenant_free_mb(self, tenant_id: int) -> float:
+        """Free memory within the tenant's partition slice.
+
+        In ``partitioned`` mode a tenant with no configured slice has
+        zero free memory — it can never admit a container (the
+        zero-quota degenerate case). In the other modes the limit is
+        not an admission bound, so the global free memory is returned.
+        """
+        if self._tenant_mode != "partitioned":
+            return self.free_mb
+        limit = self._tenant_limits_mb.get(tenant_id, 0.0)
+        return limit - self.tenant_used_mb(tenant_id)
+
+    def can_admit(self, function: TraceFunction) -> bool:
+        """Whether a container for ``function`` may be admitted now.
+
+        The tenant-aware generalization of :meth:`can_fit`: shared and
+        quota pools bound admission only by global capacity (quota
+        limits are soft — enforced through preferential eviction, not
+        admission), while partitioned pools additionally require the
+        owning tenant's slice to fit the container.
+        """
+        if not self.can_fit(function.memory_mb):
+            return False
+        if self._tenant_mode != "partitioned":
+            return True
+        return (
+            function.memory_mb
+            <= self.tenant_free_mb(function.tenant_id) + self._slack_mb
+        )
+
+    def quota_exceeded_by(self, tenant_id: int, memory_mb: float) -> bool:
+        """Whether admitting ``memory_mb`` for ``tenant_id`` would put
+        it strictly over its configured limit (beyond the float slack).
+
+        ``False`` for tenants with no configured limit and in shared
+        mode. Quota-mode victim selection uses this to decide whether a
+        miss may displace within-quota tenants or must feed on its own
+        tenant's (and over-quota tenants') containers.
+        """
+        limit = self._tenant_limits_mb.get(tenant_id)
+        if limit is None:
+            return False
+        used = self._tenant_used_mb.get(tenant_id, 0.0)
+        return used + memory_mb > limit + self._slack_mb
+
+    def over_quota_tenants(self) -> frozenset:
+        """Tenants currently holding more than their soft quota.
+
+        Meaningful in ``quota`` mode, where victim selection ranks
+        these tenants' idle containers ahead of everyone else's.
+        Usage must *strictly* exceed the limit beyond the float slack,
+        so a tenant exactly at quota is not yet preferentially
+        evictable — but a zero-quota tenant becomes so the moment it
+        holds anything.
+        """
+        return frozenset(
+            tid
+            for tid, used in self._tenant_used_mb.items()
+            if used > self._tenant_limits_mb.get(tid, float("inf")) + self._slack_mb
+        )
 
     # ------------------------------------------------------------------
     # State-change notifications from containers

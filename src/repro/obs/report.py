@@ -105,6 +105,11 @@ class TraceReport:
         self.faults_by_kind: Dict[str, int] = {}
         self.sheds_by_reason: Dict[str, int] = {}
         self.server_downtime_s = 0.0
+        # Per-tenant outcome counts, rebuilt from the optional
+        # ``tenant`` context field on warm_hit/cold_start/dropped
+        # events (docs/multi-tenancy.md). Tenant-less traces never
+        # carry the field, leaving this empty.
+        self._tenant_outcomes: Dict[int, Dict[str, int]] = {}
         # Open eviction -> next cold-start gap tracking.
         self._evicted_at: Dict[str, float] = {}
 
@@ -123,6 +128,23 @@ class TraceReport:
         if self.first_time_s is None:
             self.first_time_s = time_s
         self.last_time_s = time_s
+
+        if event_type in ("warm_hit", "cold_start", "dropped"):
+            tenant = event.get("tenant")
+            if tenant is not None:
+                outcome = self._tenant_outcomes.get(tenant)
+                if outcome is None:
+                    outcome = self._tenant_outcomes[tenant] = {
+                        "warm_starts": 0,
+                        "cold_starts": 0,
+                        "dropped": 0,
+                    }
+                if event_type == "warm_hit":
+                    outcome["warm_starts"] += 1
+                elif event_type == "cold_start":
+                    outcome["cold_starts"] += 1
+                else:
+                    outcome["dropped"] += 1
 
         function = event.get("function")
         if function is not None and event_type in _TIMELINE_EVENTS:
@@ -216,6 +238,55 @@ class TraceReport:
             "sheds": self.event_counts.get("invocation_shed", 0),
             "server_downs": self.event_counts.get("server_down", 0),
         }
+
+    def tenant_counters(self) -> Dict[int, Dict[str, int]]:
+        """Per-tenant lifecycle counters rebuilt from the trace.
+
+        Keyed exactly like
+        :meth:`repro.sim.metrics.SimulationMetrics.tenant_counters`
+        (the per-tenant half of the trace/aggregate contract; FC005
+        checks the inner key set for drift). Empty for tenant-less
+        traces, whose events never carry a ``tenant`` field.
+        """
+        return {
+            tenant_id: {
+                "warm_starts": outcome["warm_starts"],
+                "cold_starts": outcome["cold_starts"],
+                "dropped": outcome["dropped"],
+            }
+            for tenant_id, outcome in sorted(self._tenant_outcomes.items())
+        }
+
+    @property
+    def jain_fairness_index(self) -> float:
+        """Jain's fairness index over per-tenant warm-hit ratios,
+        rebuilt from the trace (mirrors
+        :attr:`SimulationMetrics.jain_fairness_index`)."""
+        from repro.sim.metrics import jain_index
+
+        ratios = []
+        for __, outcome in sorted(self._tenant_outcomes.items()):
+            served = outcome["warm_starts"] + outcome["cold_starts"]
+            if served:
+                ratios.append(outcome["warm_starts"] / served)
+        return jain_index(ratios)
+
+    def check_tenant_counters(
+        self, expected: Mapping[int, Mapping[str, int]]
+    ) -> List[str]:
+        """Compare rebuilt per-tenant counters against an expected
+        mapping; returns mismatch descriptions (empty = agreement)."""
+        rebuilt = self.tenant_counters()
+        mismatches = []
+        for tenant_id in sorted(set(rebuilt) | set(expected)):
+            got = rebuilt.get(tenant_id)
+            want = expected.get(tenant_id)
+            if got != want:
+                mismatches.append(
+                    f"tenant {tenant_id}: trace says {got}, "
+                    f"metrics say {want}"
+                )
+        return mismatches
 
     def timeline(self, function: str) -> FunctionTimeline:
         try:

@@ -43,7 +43,7 @@ contract), so the fast path can never silently diverge.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -93,6 +93,8 @@ class ColumnarReplayEngine:
         tracer=None,
         fault_spec=None,
         server_index: int = 0,
+        tenant_mode: str = "shared",
+        tenant_quotas: Optional[Dict[int, float]] = None,
         **policy_kwargs,
     ) -> None:
         """Same knobs as :class:`KeepAliveSimulator`; ``policy`` may be
@@ -121,6 +123,8 @@ class ColumnarReplayEngine:
             tracer=tracer,
             fault_spec=fault_spec,
             server_index=server_index,
+            tenant_mode=tenant_mode,
+            tenant_quotas=tenant_quotas,
         )
         #: Which path the last :meth:`run` took: ``"vectorized-ttl"``
         #: or ``"sequential"`` (None before the first run).
@@ -134,7 +138,7 @@ class ColumnarReplayEngine:
         """Replay ``trace`` and return the collected metrics."""
         if isinstance(trace, Trace):
             trace = ColumnarTrace.from_trace(trace)
-        if self._kernel_eligible():
+        if self._kernel_eligible() and not trace.functions_table.has_tenants:
             result = _run_ttl_kernel(
                 trace,
                 self.policy.ttl_s,
@@ -160,8 +164,13 @@ class ColumnarReplayEngine:
         sanitizer — the sequential loop is what the sanitizer's
         per-event invariants instrument, so sanitized runs take it
         unconditionally (maximal checking beats maximal speed there).
-        Per-trace preconditions (arrival gaps, capacity headroom) are
-        validated chunk by chunk inside the kernel itself.
+        Tenancy disqualifies the kernel twice over: non-shared pool
+        modes change victim selection, and even a shared-mode replay of
+        a tenant-tagged trace must fall back so the per-tenant metrics
+        the oracle records are produced (``run`` additionally checks
+        the trace's tenant column). Per-trace preconditions (arrival
+        gaps, capacity headroom) are validated chunk by chunk inside
+        the kernel itself.
         """
         if type(self.policy) is not TTLPolicy:
             return False
@@ -172,6 +181,7 @@ class ColumnarReplayEngine:
             or kwargs["reserved_concurrency"]
             or kwargs["track_memory_timeline"]
             or kwargs["warmup_s"] > 0.0
+            or kwargs["tenant_mode"] != "shared"
         ):
             return False
         if sanitize_enabled():

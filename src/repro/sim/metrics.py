@@ -18,9 +18,29 @@ small cache sizes (Figure 3).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
-__all__ = ["FunctionOutcome", "SimulationMetrics"]
+__all__ = ["FunctionOutcome", "SimulationMetrics", "jain_index"]
+
+
+def jain_index(values: List[float]) -> float:
+    """Jain's fairness index over ``values``: ``(Σx)² / (n·Σx²)``.
+
+    1.0 means perfectly equal; 1/n means one party gets everything.
+    Degenerate inputs (empty, or all zero) read as perfectly fair —
+    there is no allocation to be unfair about.
+    """
+    n = len(values)
+    if not n:
+        return 1.0
+    total = 0.0
+    square = 0.0
+    for v in values:
+        total += v
+        square += v * v
+    if square <= 0.0:
+        return 1.0
+    return (total * total) / (n * square)
 
 
 @dataclass
@@ -81,6 +101,10 @@ class SimulationMetrics:
     sheds_by_reason: Dict[str, int] = field(default_factory=dict)
 
     per_function: Dict[str, FunctionOutcome] = field(default_factory=dict)
+    #: Per-tenant invocation outcomes (docs/multi-tenancy.md).
+    #: Populated only when the replayed trace carries tenant ids, so
+    #: tenant-less runs keep producing exactly the legacy metrics.
+    per_tenant: Dict[int, FunctionOutcome] = field(default_factory=dict)
     #: Sampled (time, used_mb) pairs, when timeline tracking is enabled.
     #: The simulator appends a closing sample at trace end so the tail
     #: interval after the last periodic sample carries its weight in
@@ -103,33 +127,55 @@ class SimulationMetrics:
             self.per_function[function_name] = outcome
         return outcome
 
+    def _tenant_outcome(self, tenant_id: int) -> FunctionOutcome:
+        outcome = self.per_tenant.get(tenant_id)
+        if outcome is None:
+            outcome = FunctionOutcome()
+            self.per_tenant[tenant_id] = outcome
+        return outcome
+
     def record_warm(
         self,
         function_name: str,
         warm_time_s: float,
         actual_time_s: float | None = None,
+        tenant_id: Optional[int] = None,
     ) -> None:
         """Record a warm start. ``actual_time_s`` (default: the warm
         time) can exceed the ideal when a prefetched container still
-        had initialization work left (Section 9's explicit-init gap)."""
+        had initialization work left (Section 9's explicit-init gap).
+        ``tenant_id`` (``None`` on tenant-less runs) additionally books
+        the outcome under :attr:`per_tenant`."""
         self.warm_starts += 1
         self.ideal_exec_time_s += warm_time_s
         self.actual_exec_time_s += (
             warm_time_s if actual_time_s is None else actual_time_s
         )
         self._outcome(function_name).warm += 1
+        if tenant_id is not None:
+            self._tenant_outcome(tenant_id).warm += 1
 
     def record_cold(
-        self, function_name: str, warm_time_s: float, cold_time_s: float
+        self,
+        function_name: str,
+        warm_time_s: float,
+        cold_time_s: float,
+        tenant_id: Optional[int] = None,
     ) -> None:
         self.cold_starts += 1
         self.ideal_exec_time_s += warm_time_s
         self.actual_exec_time_s += cold_time_s
         self._outcome(function_name).cold += 1
+        if tenant_id is not None:
+            self._tenant_outcome(tenant_id).cold += 1
 
-    def record_dropped(self, function_name: str) -> None:
+    def record_dropped(
+        self, function_name: str, tenant_id: Optional[int] = None
+    ) -> None:
         self.dropped += 1
         self._outcome(function_name).dropped += 1
+        if tenant_id is not None:
+            self._tenant_outcome(tenant_id).dropped += 1
 
     def record_fault(self, kind: str) -> None:
         """Record one injected fault (spawn failure, crash, timeout)."""
@@ -258,6 +304,51 @@ class SimulationMetrics:
             "server_downs": self.server_downs,
         }
 
+    def tenant_counters(self) -> Dict[int, Dict[str, int]]:
+        """Per-tenant lifecycle counters, in ascending tenant-id order.
+
+        The per-tenant half of the trace/aggregate contract:
+        :meth:`repro.obs.report.TraceReport.tenant_counters` rebuilds
+        exactly these keys from the events' ``tenant`` fields, and the
+        two must agree for a fully-traced tenant run (checked by the
+        sanitizer and the tenant-fairness CI job). Empty on tenant-less
+        runs. The inner key set is covered by the FC005 drift check.
+        """
+        return {
+            tenant_id: {
+                "warm_starts": outcome.warm,
+                "cold_starts": outcome.cold,
+                "dropped": outcome.dropped,
+            }
+            for tenant_id, outcome in sorted(self.per_tenant.items())
+        }
+
+    def tenant_cold_start_ratios(self) -> Dict[int, float]:
+        """Per-tenant cold-start ratio over served invocations, in
+        ascending tenant-id order. Empty on tenant-less runs."""
+        return {
+            tenant_id: (
+                outcome.cold / outcome.served if outcome.served else 0.0
+            )
+            for tenant_id, outcome in sorted(self.per_tenant.items())
+        }
+
+    @property
+    def jain_fairness_index(self) -> float:
+        """Jain's fairness index over per-tenant warm-hit ratios.
+
+        Tenants that had nothing served contribute no allocation and
+        are excluded; a run with no tenant data (or where no tenant was
+        served) reads as perfectly fair (1.0).
+        """
+        return jain_index(
+            [
+                outcome.hit_ratio
+                for __, outcome in sorted(self.per_tenant.items())
+                if outcome.served
+            ]
+        )
+
     @property
     def shed_ratio(self) -> float:
         """Sheds over all terminal outcomes (served + dropped + shed).
@@ -289,4 +380,5 @@ class SimulationMetrics:
             "global_hit_ratio": self.global_hit_ratio,
             "drop_ratio": self.drop_ratio,
             "shed_ratio": self.shed_ratio,
+            "jain_fairness_index": self.jain_fairness_index,
         }

@@ -63,6 +63,15 @@ _WORKER_TRACE_DIR: Optional[str] = None
 #: identical in every process and on every retry.
 _WORKER_FAULT_SPEC: Optional[FaultSpec] = None
 
+#: Per-worker tenancy/policy configuration shared by every cell:
+#: ``(tenant_mode, tenant_quotas, policy_kwargs)``. Plain picklable
+#: values, broadcast once like the trace (docs/multi-tenancy.md).
+_WORKER_CELL_CONFIG: Tuple[str, Optional[dict], Optional[dict]] = (
+    "shared",
+    None,
+    None,
+)
+
 #: How many times a crashed pool is rebuilt before falling back to
 #: per-cell quarantine. Rebuilding keeps the surviving cells parallel;
 #: the cap stops a systematically-crashing environment from looping.
@@ -77,23 +86,34 @@ def _init_worker(
     trace: Trace,
     trace_dir: Optional[str] = None,
     fault_spec: Optional[FaultSpec] = None,
+    cell_config: Tuple[str, Optional[dict], Optional[dict]] = (
+        "shared",
+        None,
+        None,
+    ),
 ) -> None:
     global _WORKER_TRACE, _WORKER_TRACE_DIR, _WORKER_FAULT_SPEC
+    global _WORKER_CELL_CONFIG
     _WORKER_TRACE = trace
     _WORKER_TRACE_DIR = trace_dir
     _WORKER_FAULT_SPEC = fault_spec
+    _WORKER_CELL_CONFIG = cell_config
 
 
 def _run_cell(policy_name: str, memory_gb: float):
     """Worker-side cell execution against the broadcast trace."""
     if _WORKER_TRACE is None:
         raise RuntimeError("worker pool was not initialized with a trace")
+    tenant_mode, tenant_quotas, policy_kwargs = _WORKER_CELL_CONFIG
     return simulate_cell(
         _WORKER_TRACE,
         policy_name,
         memory_gb,
         trace_dir=_WORKER_TRACE_DIR,
         fault_spec=_WORKER_FAULT_SPEC,
+        tenant_mode=tenant_mode,
+        tenant_quotas=tenant_quotas,
+        policy_kwargs=policy_kwargs,
     )
 
 
@@ -103,17 +123,22 @@ def simulate_cell(
     memory_gb: float,
     trace_dir: Optional[str] = None,
     fault_spec: Optional[FaultSpec] = None,
+    tenant_mode: str = "shared",
+    tenant_quotas: Optional[dict] = None,
+    policy_kwargs: Optional[dict] = None,
 ):
     """Run one (policy, memory) cell; module-level so it pickles.
 
     ``trace_dir`` (optional) writes the cell's lifecycle events to its
     own JSONL file — see :func:`repro.sim.sweep.cell_trace_path`.
     ``fault_spec`` is the sweep-level spec; the cell seed is derived
-    inside :func:`repro.sim.sweep.run_cell`.
+    inside :func:`repro.sim.sweep.run_cell`. The tenancy arguments
+    mirror :func:`repro.sim.sweep.run_cell`'s.
     """
     return run_cell(
         trace, policy_name, memory_gb, trace_dir=trace_dir,
-        fault_spec=fault_spec,
+        fault_spec=fault_spec, tenant_mode=tenant_mode,
+        tenant_quotas=tenant_quotas, policy_kwargs=policy_kwargs,
     )
 
 
@@ -123,13 +148,18 @@ def _run_cell_isolated(
     memory_gb: float,
     trace_dir: Optional[str] = None,
     fault_spec: Optional[FaultSpec] = None,
+    cell_config: Tuple[str, Optional[dict], Optional[dict]] = (
+        "shared",
+        None,
+        None,
+    ),
 ):
     """Last-resort execution of one cell in its own single-worker
     pool, isolating hard worker crashes to the cell that caused them."""
     with ProcessPoolExecutor(
         max_workers=1,
         initializer=_init_worker,
-        initargs=(trace, trace_dir, fault_spec),
+        initargs=(trace, trace_dir, fault_spec, cell_config),
     ) as solo:
         return solo.submit(_run_cell, policy_name, memory_gb).result()
 
@@ -144,6 +174,9 @@ def run_sweep_parallel(
     tracer: Optional[Tracer] = None,
     trace_dir: Optional[str] = None,
     fault_spec: Optional[FaultSpec] = None,
+    tenant_mode: str = "shared",
+    tenant_quotas: Optional[dict] = None,
+    policy_kwargs: Optional[dict] = None,
 ) -> SweepResult:
     """Like :func:`repro.sim.sweep.run_sweep`, fanned out over processes.
 
@@ -173,6 +206,12 @@ def run_sweep_parallel(
     broadcast once through the pool initializer like the trace; each
     worker derives per-cell seeds locally, so parallel and sequential
     fault sweeps produce bit-identical grids.
+
+    The tenancy arguments (``tenant_mode``, ``tenant_quotas``,
+    ``policy_kwargs`` — see :func:`repro.sim.sweep.run_cell`) are plain
+    picklable values broadcast the same way and applied identically to
+    every cell, so tenant-aware parallel sweeps stay bit-identical to
+    their sequential counterparts.
     """
     if retries < 0:
         raise ValueError(f"retries must be >= 0, got {retries}")
@@ -186,6 +225,11 @@ def run_sweep_parallel(
             "processes; pass trace_dir=<directory> for per-cell JSONL "
             "files, or max_workers=1 to trace in-process"
         )
+    cell_config: Tuple[str, Optional[dict], Optional[dict]] = (
+        tenant_mode,
+        tenant_quotas,
+        policy_kwargs,
+    )
     cells: List[Tuple[str, float]] = [
         (policy, memory_gb)
         for policy in policies
@@ -215,6 +259,9 @@ def run_sweep_parallel(
                     tracer=tracer,
                     trace_dir=trace_dir,
                     fault_spec=fault_spec,
+                    tenant_mode=tenant_mode,
+                    tenant_quotas=tenant_quotas,
+                    policy_kwargs=policy_kwargs,
                 )
             except Exception as exc:
                 result.failed_cells.append(
@@ -240,7 +287,7 @@ def run_sweep_parallel(
         with ProcessPoolExecutor(
             max_workers=max_workers,
             initializer=_init_worker,
-            initargs=(trace, trace_dir, fault_spec),
+            initargs=(trace, trace_dir, fault_spec, cell_config),
         ) as pool:
             futures: Dict[object, Tuple[int, int]] = {}
             for index in sorted(remaining):
@@ -303,6 +350,7 @@ def run_sweep_parallel(
                 memory_gb,
                 trace_dir=trace_dir,
                 fault_spec=fault_spec,
+                cell_config=cell_config,
             )
         except Exception as exc:
             result.failed_cells.append(

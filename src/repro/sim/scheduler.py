@@ -25,11 +25,12 @@ from __future__ import annotations
 import heapq
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.checks.sanitize import (
     ReportSink,
     check_counter_equality,
+    check_tenant_counter_equality,
     sanitize_enabled,
 )
 from repro.core.clock import wall_clock_s
@@ -78,6 +79,8 @@ class KeepAliveSimulator:
         tracer: Optional[Tracer] = None,
         fault_spec: Optional[FaultSpec] = None,
         server_index: int = 0,
+        tenant_mode: str = "shared",
+        tenant_quotas: Optional[Dict[int, float]] = None,
     ) -> None:
         """``prewarm_effectiveness`` models Section 9's explicit-
         initialization discussion: a prefetched (HIST) container only
@@ -117,7 +120,19 @@ class KeepAliveSimulator:
         failure-free path byte-identical to a simulator built without
         the parameter. ``server_index`` identifies this server both in
         ``server_down``/``server_recovered`` events and as the
-        coordinate for rate-based whole-server outages."""
+        coordinate for rate-based whole-server outages.
+
+        ``tenant_mode`` selects the pool's multi-tenant behavior
+        (docs/multi-tenancy.md): ``shared`` (the default, today's
+        single-owner semantics), ``partitioned`` (hard per-tenant
+        capacity slices), or ``quota`` (soft limits — an over-quota
+        tenant becomes preferentially evictable). ``tenant_quotas``
+        maps tenant ids to slice/quota MB; if omitted in a non-shared
+        mode, capacity is split equally across the tenants appearing
+        in the trace. Per-tenant metrics and ``tenant`` event fields
+        are recorded whenever the trace carries tenant ids, in every
+        mode; tenant-less traces replay byte-identically to the
+        pre-tenancy simulator."""
         if not 0.0 <= prewarm_effectiveness <= 1.0:
             raise ValueError(
                 f"prewarm effectiveness must be in [0, 1], "
@@ -140,7 +155,27 @@ class KeepAliveSimulator:
         if sanitize_enabled() and self._tracer is None and warmup_s <= 0.0:
             self._sanitize_report = ReportSink()
             self._tracer = Tracer(self._sanitize_report)
-        self.pool = ContainerPool(memory_mb, tracer=self._tracer)
+        # Multi-tenancy: per-tenant metrics (and ``tenant`` event
+        # fields) are recorded exactly when the trace carries tenant
+        # ids, so tenant-less replays take the legacy path bit for bit.
+        self._tenants_active = any(
+            f.tenant_id != 0 for f in trace.functions.values()
+        )
+        limits = tenant_quotas
+        if tenant_mode != "shared" and limits is None:
+            # Equal split across the trace's tenants — the sensible
+            # default for CLI runs that name a mode but no quotas.
+            tenant_ids = sorted(
+                {f.tenant_id for f in trace.functions.values()}
+            )
+            share = memory_mb / len(tenant_ids) if tenant_ids else memory_mb
+            limits = {tid: share for tid in tenant_ids}
+        self.pool = ContainerPool(
+            memory_mb,
+            tracer=self._tracer,
+            tenant_mode=tenant_mode,
+            tenant_limits_mb=limits if tenant_mode != "shared" else None,
+        )
         self.metrics = SimulationMetrics()
         # Expiry fast path: policies that never expire (the resource-
         # conserving caching family) inherit the base
@@ -285,7 +320,7 @@ class KeepAliveSimulator:
             # tight: prewarming never evicts real containers.
             if self.pool.idle_warm_container(function.name) is not None:
                 continue
-            if not self.pool.can_fit(function.memory_mb):
+            if not self.pool.can_admit(function):
                 continue
             container = Container(function, created_at_s=request.at_time_s)
             container.prewarmed = True
@@ -293,8 +328,12 @@ class KeepAliveSimulator:
             self.policy.on_prewarm(container, request, self.pool)
             self.metrics.prewarms += 1
 
-    def _evict_for(self, needed_mb: float, now_s: float) -> bool:
-        """Free memory for ``needed_mb``; False means the request drops."""
+    def _evict_for(self, function: TraceFunction, now_s: float) -> bool:
+        """Free memory for a container of ``function``; False means the
+        request drops. In non-shared tenant modes the deficit and the
+        candidate set are tenant-aware (see
+        :meth:`KeepAlivePolicy.select_victims_tenant`)."""
+        needed_mb = function.memory_mb
         tracer = self._tracer
         if tracer is not None and needed_mb > self.pool.free_mb + 1e-9:
             tracer.emit(
@@ -306,7 +345,12 @@ class KeepAliveSimulator:
                 used_mb=self.pool.used_mb,
                 capacity_mb=self.pool.capacity_mb,
             )
-        victims = self.policy.select_victims(self.pool, needed_mb, now_s)
+        if self.pool.tenant_mode == "shared":
+            victims = self.policy.select_victims(self.pool, needed_mb, now_s)
+        else:
+            victims = self.policy.select_victims_tenant(
+                self.pool, needed_mb, now_s, function.tenant_id
+            )
         if victims is None:
             return False
         for container in victims:
@@ -344,8 +388,18 @@ class KeepAliveSimulator:
             self._materialize_prewarms(now_s)
         self.policy.on_invocation(function, now_s, self.pool)
         tracer = self._tracer
+        # ``None`` on tenant-less runs: metrics skip per-tenant
+        # bookkeeping and events carry no ``tenant`` field, keeping
+        # legacy traces byte-identical.
+        tenant_id = function.tenant_id if self._tenants_active else None
+        tenant_extra = {} if tenant_id is None else {"tenant": tenant_id}
         if tracer is not None and attempt == 0:
-            tracer.emit("invocation_arrived", now_s, function=function.name)
+            tracer.emit(
+                "invocation_arrived",
+                now_s,
+                function=function.name,
+                **tenant_extra,
+            )
 
         if self._down:
             # Routed to (or retried on) a failed server. With a fault
@@ -392,10 +446,14 @@ class KeepAliveSimulator:
                     function=function.name,
                     container_id=container.container_id,
                     duration_s=duration,
+                    **tenant_extra,
                 )
             if now_s >= self.warmup_s:
                 self.metrics.record_warm(
-                    function.name, function.warm_time_s, actual_time_s=duration
+                    function.name,
+                    function.warm_time_s,
+                    actual_time_s=duration,
+                    tenant_id=tenant_id,
                 )
             self._sample_memory(now_s)
             return "warm"
@@ -416,7 +474,7 @@ class KeepAliveSimulator:
                 self.metrics.record_fault("spawn_failure")
             return self._handle_failure(function, now_s, attempt, "retry_budget")
 
-        if not self._evict_for(function.memory_mb, now_s):
+        if not self._evict_for(function, now_s):
             if faults is not None:
                 # Graceful degradation: under a fault spec, memory
                 # pressure feeds the same bounded retry/shed machinery
@@ -430,9 +488,10 @@ class KeepAliveSimulator:
                     now_s,
                     function=function.name,
                     needed_mb=function.memory_mb,
+                    **tenant_extra,
                 )
             if now_s >= self.warmup_s:
-                self.metrics.record_dropped(function.name)
+                self.metrics.record_dropped(function.name, tenant_id=tenant_id)
             self._sample_memory(now_s)
             return "dropped"
 
@@ -456,10 +515,14 @@ class KeepAliveSimulator:
                 function=function.name,
                 container_id=container.container_id,
                 duration_s=function.cold_time_s,
+                **tenant_extra,
             )
         if now_s >= self.warmup_s:
             self.metrics.record_cold(
-                function.name, function.warm_time_s, function.cold_time_s
+                function.name,
+                function.warm_time_s,
+                function.cold_time_s,
+                tenant_id=tenant_id,
             )
         self._sample_memory(now_s)
         return "cold"
@@ -684,6 +747,9 @@ class KeepAliveSimulator:
             check_counter_equality(
                 self._sanitize_report.report, self.metrics.counters()
             )
+            check_tenant_counter_equality(
+                self._sanitize_report.report, self.metrics.tenant_counters()
+            )
         return SimulationResult(
             trace_name=self.trace.name,
             policy_name=self.policy.name,
@@ -704,6 +770,8 @@ def simulate(
     tracer: Optional[Tracer] = None,
     fault_spec: Optional[FaultSpec] = None,
     engine: str = "object",
+    tenant_mode: str = "shared",
+    tenant_quotas: Optional[Dict[int, float]] = None,
     **policy_kwargs,
 ) -> SimulationResult:
     """Convenience one-shot simulation.
@@ -749,6 +817,8 @@ def simulate(
             warmup_s=warmup_s,
             tracer=tracer,
             fault_spec=fault_spec,
+            tenant_mode=tenant_mode,
+            tenant_quotas=tenant_quotas,
         ).run(trace)
     simulator = KeepAliveSimulator(
         trace,
@@ -761,5 +831,7 @@ def simulate(
         warmup_s=warmup_s,
         tracer=tracer,
         fault_spec=fault_spec,
+        tenant_mode=tenant_mode,
+        tenant_quotas=tenant_quotas,
     )
     return simulator.run()

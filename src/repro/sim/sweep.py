@@ -62,6 +62,17 @@ class SweepPoint:
     #: out of ``==``/``hash`` so points stay hashable and older
     #: hand-built points (without counters) still compare equal.
     counters: Mapping[str, int] = field(default_factory=dict, compare=False)
+    #: Per-tenant lifecycle counters
+    #: (:meth:`SimulationMetrics.tenant_counters`), keyed by the
+    #: *string form* of the tenant id so the snapshot JSON-round-trips
+    #: unchanged. Empty on tenant-less cells, and excluded from
+    #: ``==``/``hash`` for the same reasons as ``counters``.
+    tenant_counters: Mapping[str, Mapping[str, int]] = field(
+        default_factory=dict, compare=False
+    )
+    #: Jain fairness index over the cell's per-tenant warm-hit ratios
+    #: (1.0 on tenant-less cells — the degenerate perfectly-fair case).
+    jain_fairness_index: float = field(default=1.0, compare=False)
 
 
 @dataclass(frozen=True)
@@ -90,6 +101,11 @@ def point_from_result(
         wall_time_s=metrics.wall_time_s,
         invocations_per_s=metrics.invocations_per_s,
         counters=metrics.counters(),
+        tenant_counters={
+            str(tid): dict(counts)
+            for tid, counts in metrics.tenant_counters().items()
+        },
+        jain_fairness_index=metrics.jain_fairness_index,
     )
 
 
@@ -102,6 +118,11 @@ def point_fingerprint(point: SweepPoint) -> str:
     runs. Two replays of the same seeded cell must fingerprint
     identically; the benchmark regression gate relies on this to
     detect silent result drift.
+
+    The per-tenant payload joins the hash only when the cell actually
+    has one: tenant-less cells fingerprint exactly as they did before
+    multi-tenancy existed, so committed baselines
+    (``benchmarks/BASELINE.json``) stay valid without regeneration.
     """
     payload = {
         "policy": point.policy,
@@ -113,6 +134,12 @@ def point_fingerprint(point: SweepPoint) -> str:
         "global_hit_ratio": repr(point.global_hit_ratio),
         "counters": dict(sorted(point.counters.items())),
     }
+    if point.tenant_counters:
+        payload["tenant_counters"] = {
+            key: dict(sorted(counts.items()))
+            for key, counts in sorted(point.tenant_counters.items())
+        }
+        payload["jain_fairness_index"] = repr(point.jain_fairness_index)
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
@@ -199,6 +226,9 @@ def run_cell(
     tracer: Optional[Tracer] = None,
     trace_dir: Optional[str] = None,
     fault_spec: Optional[FaultSpec] = None,
+    tenant_mode: str = "shared",
+    tenant_quotas: Optional[Dict[int, float]] = None,
+    policy_kwargs: Optional[Mapping[str, object]] = None,
 ) -> SweepPoint:
     """Run one (policy, memory) cell with optional tracing.
 
@@ -214,6 +244,11 @@ def run_cell(
     fault draws, while any re-execution of the same cell — sequential,
     parallel, or a retry after a worker crash — replays the identical
     fault sequence.
+
+    ``tenant_mode``/``tenant_quotas`` configure the cell's pool
+    (docs/multi-tenancy.md); ``policy_kwargs`` are forwarded to
+    :func:`create_policy` (e.g. GD's ``tenant_weights``) — callers own
+    matching them to policies that accept them.
     """
     cell_tracer = None
     owned_sink = None
@@ -232,13 +267,15 @@ def run_cell(
         else None
     )
     try:
-        policy = create_policy(policy_name)
+        policy = create_policy(policy_name, **dict(policy_kwargs or {}))
         sim = KeepAliveSimulator(
             trace,
             policy,
             memory_gb * GB_MB,
             tracer=cell_tracer,
             fault_spec=cell_spec,
+            tenant_mode=tenant_mode,
+            tenant_quotas=tenant_quotas,
         )
         return point_from_result(policy_name, memory_gb, sim.run())
     finally:
@@ -254,6 +291,9 @@ def run_sweep(
     tracer: Optional[Tracer] = None,
     trace_dir: Optional[str] = None,
     fault_spec: Optional[FaultSpec] = None,
+    tenant_mode: str = "shared",
+    tenant_quotas: Optional[Dict[int, float]] = None,
+    policy_kwargs: Optional[Mapping[str, object]] = None,
 ) -> SweepResult:
     """Simulate every (policy, memory) cell over ``trace``.
 
@@ -282,6 +322,9 @@ def run_sweep(
                     tracer=tracer,
                     trace_dir=trace_dir,
                     fault_spec=fault_spec,
+                    tenant_mode=tenant_mode,
+                    tenant_quotas=tenant_quotas,
+                    policy_kwargs=policy_kwargs,
                 )
             )
     return result

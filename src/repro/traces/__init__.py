@@ -43,6 +43,7 @@ from repro.traces.synth import (
     cyclic_trace,
     figure8_trace,
     multitenant_trace,
+    noisy_neighbor_trace,
     periodic_arrivals,
     skewed_frequency_trace,
     skewed_size_trace,
@@ -82,6 +83,7 @@ __all__ = [
     "cyclic_trace",
     "figure8_trace",
     "multitenant_trace",
+    "noisy_neighbor_trace",
     "periodic_arrivals",
     "skewed_frequency_trace",
     "skewed_size_trace",

@@ -66,6 +66,9 @@ class FunctionTable:
         self.cold_time_s = np.array(
             [f.cold_time_s for f in objects], dtype=np.float64
         )
+        self.tenant_id = np.array(
+            [f.tenant_id for f in objects], dtype=np.int32
+        )
 
     def __len__(self) -> int:
         return len(self._objects)
@@ -83,6 +86,11 @@ class FunctionTable:
     def as_dict(self) -> Dict[str, TraceFunction]:
         """Name-to-function mapping (the object ``Trace`` contract)."""
         return {f.name: f for f in self._objects}
+
+    @property
+    def has_tenants(self) -> bool:
+        """True when any row carries a real (non-zero) tenant id."""
+        return bool(self.tenant_id.size) and bool(np.any(self.tenant_id != 0))
 
     def __repr__(self) -> str:
         return f"FunctionTable(functions={len(self._objects)})"
@@ -201,6 +209,16 @@ class ColumnarTrace:
     @property
     def num_functions(self) -> int:
         return len(self.functions_table)
+
+    @property
+    def has_tenants(self) -> bool:
+        return self.functions_table.has_tenants
+
+    def tenant_ids(self) -> Tuple[int, ...]:
+        """Sorted distinct tenant ids (the object ``Trace`` contract)."""
+        return tuple(
+            int(t) for t in np.unique(self.functions_table.tenant_id)
+        )
 
     @property
     def nbytes(self) -> int:

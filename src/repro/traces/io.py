@@ -36,12 +36,16 @@ def save_trace_json(trace: Trace, path: PathLike) -> None:
         "format": "repro-trace",
         "version": _FORMAT_VERSION,
         "name": trace.name,
+        # tenant_id is written only when non-zero, so tenant-less
+        # traces serialize byte-identically to the pre-tenancy format
+        # (and old readers never see an unknown key).
         "functions": [
             {
                 "name": f.name,
                 "memory_mb": f.memory_mb,
                 "warm_time_s": f.warm_time_s,
                 "cold_time_s": f.cold_time_s,
+                **({"tenant_id": f.tenant_id} if f.tenant_id else {}),
             }
             for f in trace.functions.values()
         ],
@@ -67,6 +71,7 @@ def load_trace_json(path: PathLike) -> Trace:
             memory_mb=f["memory_mb"],
             warm_time_s=f["warm_time_s"],
             cold_time_s=f["cold_time_s"],
+            tenant_id=int(f.get("tenant_id", 0)),
         )
         for f in document["functions"]
     ]
@@ -87,13 +92,22 @@ def _csv_paths(stem: PathLike) -> tuple:
 def save_trace_csv(trace: Trace, stem: PathLike) -> None:
     """Write ``<stem>.functions.csv`` and ``<stem>.invocations.csv``."""
     functions_path, invocations_path = _csv_paths(stem)
+    # The tenant column appears only for tenant-carrying traces, so
+    # tenant-less exports stay byte-identical to the pre-tenancy CSVs.
+    tenants = trace.has_tenants
     with open(functions_path, "w", newline="") as handle:
         writer = csv.writer(handle)
-        writer.writerow(["name", "memory_mb", "warm_time_s", "cold_time_s"])
+        header = ["name", "memory_mb", "warm_time_s", "cold_time_s"]
+        if tenants:
+            header.append("tenant_id")
+        writer.writerow(header)
         for f in trace.functions.values():
-            writer.writerow(
-                [f.name, repr(f.memory_mb), repr(f.warm_time_s), repr(f.cold_time_s)]
-            )
+            row = [
+                f.name, repr(f.memory_mb), repr(f.warm_time_s), repr(f.cold_time_s)
+            ]
+            if tenants:
+                row.append(str(f.tenant_id))
+            writer.writerow(row)
     with open(invocations_path, "w", newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(["time_s", "function_name"])
@@ -113,6 +127,7 @@ def load_trace_csv(stem: PathLike, name: str = "trace") -> Trace:
                     memory_mb=float(row["memory_mb"]),
                     warm_time_s=float(row["warm_time_s"]),
                     cold_time_s=float(row["cold_time_s"]),
+                    tenant_id=int(row.get("tenant_id") or 0),
                 )
             )
     invocations = []

@@ -27,18 +27,30 @@ class TraceFunction:
     memory a container for it occupies, and its warm and cold running
     times. ``cold_time`` includes the initialization overhead, so the
     cold-start *penalty* is ``cold_time - warm_time``.
+
+    ``tenant_id`` identifies the function's owner in multi-tenant
+    workloads (docs/multi-tenancy.md). Tenant ``0`` means *untenanted*
+    — the pre-tenancy single-owner world — and is the default, so every
+    existing trace constructor, serialized file, and columnar layout
+    keeps working unchanged. Real tenants are positive integers.
     """
 
     name: str
     memory_mb: float
     warm_time_s: float
     cold_time_s: float
+    tenant_id: int = 0
 
     def __post_init__(self) -> None:
         if self.memory_mb <= 0:
             raise ValueError(
                 f"function {self.name!r}: memory must be positive, "
                 f"got {self.memory_mb}"
+            )
+        if self.tenant_id < 0:
+            raise ValueError(
+                f"function {self.name!r}: tenant_id must be >= 0, "
+                f"got {self.tenant_id}"
             )
         if self.warm_time_s < 0 or self.cold_time_s < 0:
             raise ValueError(
@@ -145,6 +157,21 @@ class Trace:
         for inv in self._invocations:
             counts[inv.function_name] += 1
         return counts
+
+    def tenant_ids(self) -> Tuple[int, ...]:
+        """Sorted distinct tenant ids appearing in this trace."""
+        return tuple(sorted({f.tenant_id for f in self._functions.values()}))
+
+    @property
+    def has_tenants(self) -> bool:
+        """True when any function carries a real (non-zero) tenant id.
+
+        The simulator uses this once-per-run flag to decide whether to
+        record per-tenant metrics and attach ``tenant`` event fields;
+        tenant-less traces take exactly the legacy code path, keeping
+        their event streams and fingerprints byte-identical.
+        """
+        return any(f.tenant_id != 0 for f in self._functions.values())
 
     def restrict(self, function_names: Iterable[str], name: str | None = None) -> "Trace":
         """A sub-trace containing only the given functions' invocations."""

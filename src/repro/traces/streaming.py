@@ -62,6 +62,7 @@ class StreamingChurnTrace:
         warm_time_s: float = 0.2,
         cold_time_s: float = 1.2,
         name: str = "stream-churn",
+        num_tenants: int = 0,
     ) -> None:
         if num_functions < 1:
             raise ValueError(
@@ -73,7 +74,12 @@ class StreamingChurnTrace:
             raise ValueError(
                 f"chunk size must be >= 1, got {chunk_invocations}"
             )
+        if num_tenants < 0:
+            raise ValueError(
+                f"num_tenants must be >= 0, got {num_tenants}"
+            )
         self.num_functions = num_functions
+        self.num_tenants = num_tenants
         self.duration_s = duration_s
         self.seed = seed
         self.chunk_invocations = chunk_invocations
@@ -81,12 +87,18 @@ class StreamingChurnTrace:
         # Zero-padded names make (time, function id) merge order equal
         # the object trace's (time, function name) sort order.
         width = len(str(num_functions - 1)) if num_functions > 1 else 1
+        # num_tenants > 0 deals functions round-robin to tenants
+        # 1..num_tenants (0 is reserved for "untenanted"); the default
+        # of 0 keeps every function untenanted and the generated
+        # arrivals byte-identical to the pre-tenancy streams — tenant
+        # assignment never perturbs the seeded arrival RNGs.
         self.functions_table = FunctionTable(
             TraceFunction(
                 name=f"{name}-{i:0{width}d}",
                 memory_mb=memory_mb,
                 warm_time_s=warm_time_s,
                 cold_time_s=cold_time_s,
+                tenant_id=(i % num_tenants) + 1 if num_tenants else 0,
             )
             for i in range(num_functions)
         )

@@ -29,6 +29,7 @@ __all__ = [
     "skewed_size_trace",
     "figure8_trace",
     "multitenant_trace",
+    "noisy_neighbor_trace",
 ]
 
 
@@ -305,3 +306,81 @@ def multitenant_trace(
             rng=rng,
         )
     return Trace(functions, invocations, name="fig8-multitenant")
+
+
+def noisy_neighbor_trace(
+    duration_s: float = 3600.0,
+    num_victims: int = 24,
+    num_attacker_functions: int = 8,
+    attacker_memory_mb: float = 512.0,
+    victim_memory_mb: float = 128.0,
+    victim_interarrival_s: float = 120.0,
+    victim_init_s: float = 2.0,
+    burst_rate_per_s: float = 4.0,
+    burst_duration_s: float = 90.0,
+    idle_duration_s: float = 60.0,
+    jitter: float = 0.2,
+    seed: int = 11,
+) -> Trace:
+    """One bursty tenant attacking a long tail of small tenants.
+
+    The multi-tenancy litmus workload (docs/multi-tenancy.md): tenant
+    ``1`` — the *noisy neighbor* — owns ``num_attacker_functions``
+    large functions driven by on/off Poisson bursts, while tenants
+    ``2..num_victims+1`` each own a single small function with slow
+    periodic arrivals and an expensive cold start. In a ``shared``
+    pool the attacker's bursts flood the warm pool and evict the
+    victims between their arrivals; under ``quota`` the attacker goes
+    over its soft limit and becomes preferentially evictable, so the
+    victims keep their containers. Jain's fairness index over
+    per-tenant hit ratios quantifies the gap (gated by the
+    ``tenant-fairness`` CI job).
+
+    Deterministic given ``seed``; tenant id 0 is never used so the
+    trace always reads as tenant-carrying.
+    """
+    if num_victims < 1:
+        raise ValueError(f"need at least one victim, got {num_victims}")
+    if num_attacker_functions < 1:
+        raise ValueError(
+            f"need at least one attacker function, got {num_attacker_functions}"
+        )
+    rng = random.Random(seed)
+    functions: List[TraceFunction] = []
+    invocations: List[Invocation] = []
+    for i in range(num_attacker_functions):
+        function = TraceFunction(
+            name=f"attacker-{i:03d}",
+            memory_mb=attacker_memory_mb,
+            warm_time_s=0.2,
+            cold_time_s=0.7,
+            tenant_id=1,
+        )
+        functions.append(function)
+        invocations += bursty_arrivals(
+            function.name,
+            burst_rate_per_s=burst_rate_per_s,
+            burst_duration_s=burst_duration_s,
+            idle_duration_s=idle_duration_s,
+            total_duration_s=duration_s,
+            start_s=rng.uniform(0.0, burst_duration_s),
+            rng=rng,
+        )
+    for i in range(num_victims):
+        function = TraceFunction(
+            name=f"victim-{i:03d}",
+            memory_mb=victim_memory_mb,
+            warm_time_s=0.2,
+            cold_time_s=0.2 + victim_init_s,
+            tenant_id=i + 2,
+        )
+        functions.append(function)
+        invocations += periodic_arrivals(
+            function.name,
+            victim_interarrival_s,
+            duration_s,
+            start_s=rng.uniform(0.0, victim_interarrival_s),
+            jitter=jitter,
+            rng=rng,
+        )
+    return Trace(functions, invocations, name="noisy-neighbor")

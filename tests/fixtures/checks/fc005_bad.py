@@ -1,6 +1,7 @@
 """FC005: a counter added to SimulationMetrics but not mirrored in
-TraceReport (redefines both classes so the linter diffs this file's
-contract instead of the real one)."""
+TraceReport, and a per-tenant counter whose inner key drifted between
+the two tenant_counters() implementations (redefines both classes so
+the linter diffs this file's contract instead of the real one)."""
 
 
 class SimulationMetrics:
@@ -15,6 +16,15 @@ class SimulationMetrics:
             "teleports": self.teleports,
         }
 
+    def tenant_counters(self):
+        return {
+            tenant_id: {
+                "warm_starts": outcome.warm,
+                "cold_starts": outcome.cold,
+            }
+            for tenant_id, outcome in sorted(self.per_tenant.items())
+        }
+
 
 class TraceReport:
     warm_hits: int = 0
@@ -24,4 +34,13 @@ class TraceReport:
         return {
             "warm_starts": self.warm_hits,
             "cold_starts": self.cold_hits,
+        }
+
+    def tenant_counters(self):
+        return {
+            tenant_id: {
+                "warm_starts": outcome["warm_starts"],
+                "chilly_starts": outcome["cold_starts"],
+            }
+            for tenant_id, outcome in sorted(self._tenant_outcomes.items())
         }

@@ -1,5 +1,6 @@
-"""FC005 satisfied: both counters() dicts expose the same key set and
-every key has a backing field."""
+"""FC005 satisfied: both counters() dicts expose the same key set,
+every key has a backing field, and the tenant_counters() inner dicts
+agree too."""
 
 
 class SimulationMetrics:
@@ -12,6 +13,15 @@ class SimulationMetrics:
             "cold_starts": self.cold_starts,
         }
 
+    def tenant_counters(self):
+        return {
+            tenant_id: {
+                "warm_starts": outcome.warm,
+                "cold_starts": outcome.cold,
+            }
+            for tenant_id, outcome in sorted(self.per_tenant.items())
+        }
+
 
 class TraceReport:
     warm_hits: int = 0
@@ -21,4 +31,13 @@ class TraceReport:
         return {
             "warm_starts": self.warm_hits,
             "cold_starts": self.cold_hits,
+        }
+
+    def tenant_counters(self):
+        return {
+            tenant_id: {
+                "warm_starts": outcome["warm_starts"],
+                "cold_starts": outcome["cold_starts"],
+            }
+            for tenant_id, outcome in sorted(self._tenant_outcomes.items())
         }
