@@ -5,7 +5,8 @@ The ROADMAP's north star is month-long, million-invocation replays
 *measures* that promise instead of asserting it. It defines a small
 suite of pinned-seed scenarios — 100k-invocation TTL, HIST, and GDSF
 (GD) replays through the columnar engine, a streamed million-plus
-invocation TTL replay, and one sweep cell — and a runner that:
+invocation TTL replay, a harvested-capacity GD replay through the
+object simulator, and one sweep cell — and a runner that:
 
 * times each scenario (best-of-N wall clocks via
   :func:`repro.core.clock.wall_clock_s`, the sanctioned accessor);
@@ -42,6 +43,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.checks.sanitize import sanitize_enabled
 from repro.core.clock import wall_clock_s
 from repro.core.policies import create_policy
+from repro.faults import FaultSpec
 from repro.sim.columnar import ColumnarReplayEngine
 from repro.sim.scheduler import KeepAliveSimulator, SimulationResult
 from repro.sim.server import GB_MB
@@ -72,6 +74,7 @@ _CHURN_SEED_HIST = 1002
 _EVICTION_SEED = 1003
 _SWEEP_SEED = 1004
 _STREAM_SEED_1M = 1005
+_HARVEST_SEED = 1006
 
 
 # ----------------------------------------------------------------------
@@ -151,11 +154,21 @@ def _metrics_payload(result: SimulationResult) -> Dict[str, object]:
 
     Integer lifecycle counters plus the headline percentages, with
     floats carried at full ``repr`` precision — any change here is a
-    *results* change, not a performance change.
+    *results* change, not a performance change. Harvest/spot counters
+    are dropped while zero (mirroring
+    :func:`repro.sim.sweep.point_fingerprint`), so scenarios that
+    predate the harvest subsystem keep their pinned fingerprints.
     """
     metrics = result.metrics
+    counters = dict(sorted(metrics.counters().items()))
+    for key in (
+        "capacity_shrinks", "capacity_grows", "eviction_notices",
+        "deflations",
+    ):
+        if not counters.get(key, 0):
+            counters.pop(key, None)
     return {
-        "counters": dict(sorted(metrics.counters().items())),
+        "counters": counters,
         "cold_start_pct": repr(metrics.cold_start_pct),
         "exec_time_increase_pct": repr(metrics.exec_time_increase_pct),
         "hit_ratio": repr(metrics.hit_ratio),
@@ -271,6 +284,37 @@ def _ttl_stream_1m_scenario(scale: float):
     return invocations, run
 
 
+def _harvest_scenario(scale: float):
+    # Harvested/spot capacity exercises the object simulator (any
+    # fault spec routes the columnar engine to its sequential oracle,
+    # so the object path is what production harvest runs pay for): a
+    # near-full churn pool under periodic harvest shrink/grow steps
+    # plus spot evict/restore cycles, stressing graceful deflation's
+    # lazy victim-index walks and the deferred-resume path.
+    trace = churn_trace(
+        num_functions=_scaled(1620, scale),
+        seed=_HARVEST_SEED,
+        name="bench-harvest",
+    )
+    capacity_mb = 1800.0 * 128.0
+    spec = FaultSpec(
+        seed=_HARVEST_SEED,
+        harvest_interval_s=600.0,
+        harvest_min_frac=0.55,
+        harvest_max_frac=0.95,
+        spot_mtbf_s=4000.0,
+        spot_notice_s=30.0,
+    )
+
+    def run() -> Dict[str, object]:
+        simulator = KeepAliveSimulator(
+            trace, create_policy("GD"), capacity_mb, fault_spec=spec
+        )
+        return _metrics_payload(simulator.run())
+
+    return len(trace), run
+
+
 def _sweep_cell_scenario(scale: float):
     trace = churn_trace(
         num_functions=_scaled(160, scale),
@@ -288,9 +332,10 @@ def _sweep_cell_scenario(scale: float):
 #: The pinned-seed suite, in execution order. TTL exercises the
 #: vectorized columnar kernel, HIST and GDSF the batched sequential
 #: path (histogram/expiry hot paths and the victim index), the
-#: streamed scenario the million-invocation bound-memory claim, and
-#: the sweep cell covers the run_cell plumbing both sweep engines
-#: share.
+#: streamed scenario the million-invocation bound-memory claim, the
+#: harvest scenario the graceful-deflation path of the object
+#: simulator, and the sweep cell covers the run_cell plumbing both
+#: sweep engines share.
 SCENARIOS: Tuple[BenchScenario, ...] = (
     BenchScenario(
         "ttl_replay_100k",
@@ -312,6 +357,12 @@ SCENARIOS: Tuple[BenchScenario, ...] = (
         "1.1M-invocation full-day streamed TTL replay, bounded memory",
         _ttl_stream_1m_scenario,
         memory_budget_mb=64.0,
+    ),
+    BenchScenario(
+        "harvest_100k",
+        "100k-invocation GD replay under harvest shrink/grow + spot "
+        "evictions (graceful deflation hot path)",
+        _harvest_scenario,
     ),
     BenchScenario(
         "sweep_cell",

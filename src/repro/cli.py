@@ -15,7 +15,8 @@ Gives downstream users the common workflows without writing Python::
 
 ``--trace`` accepts a JSON trace file (see :mod:`repro.traces.io`) or
 one of the built-in workload names (``cyclic``, ``skewed-size``,
-``skewed-frequency``, ``multitenant``, ``noisy-neighbor``).
+``skewed-frequency``, ``multitenant``, ``noisy-neighbor``,
+``harvest-day``).
 
 ``simulate``, ``sweep``, and ``trace`` take the multi-tenancy flags
 (``--tenant-mode``, ``--tenant-quota TENANT=MB``,
@@ -51,6 +52,7 @@ _BUILTIN_WORKLOADS = (
     "skewed-frequency",
     "multitenant",
     "noisy-neighbor",
+    "harvest-day",
 )
 
 
@@ -64,6 +66,7 @@ def _load_trace(spec: str) -> Trace:
             "skewed-frequency": synth.skewed_frequency_trace,
             "multitenant": synth.multitenant_trace,
             "noisy-neighbor": synth.noisy_neighbor_trace,
+            "harvest-day": synth.harvest_day_trace,
         }
         return builders[spec]()
     from repro.traces.io import load_trace_json
@@ -565,6 +568,8 @@ def _cmd_balancers(args: argparse.Namespace) -> int:
         "least-loaded",
         "hash-affinity",
         "affinity-spillover",
+        "min-worker-set",
+        "join-shortest-queue",
     ):
         result = ClusterSimulator(
             trace,

@@ -59,6 +59,16 @@ class ElasticClusterResult:
     #: Invocations shed at the cluster level: every active ring
     #: position was failed when they arrived.
     shed_unavailable: int = 0
+    # -- harvested / spot capacity ------------------------------------
+    #: Harvest shrink/grow steps applied across members.
+    capacity_shrinks: int = 0
+    capacity_grows: int = 0
+    #: Spot eviction notices received (pre-drain started).
+    eviction_notices: int = 0
+    #: Containers gracefully deflated away by harvest shrinks.
+    deflations: int = 0
+    #: Cold replacement servers spun up after spot evictions.
+    replacements: int = 0
 
     @property
     def served(self) -> int:
@@ -126,15 +136,24 @@ class ElasticClusterSimulation:
         )
         self._server_spec = _server_level_spec(self._fault_spec)
         self._outages: Deque[Tuple[float, int, str]] = deque()
+        # Harvest/spot capacity events over the same ring positions:
+        # (time_s, ring index, kind, value).
+        self._capacity: Deque[Tuple[float, int, str, float]] = deque()
         if self._fault_spec is not None:
+            model = FaultModel(self._fault_spec)
             self._outages = deque(
-                FaultModel(self._fault_spec).server_schedule(
-                    max_servers, trace.duration_s
-                )
+                model.server_schedule(max_servers, trace.duration_s)
+            )
+            self._capacity = deque(
+                model.capacity_schedule(max_servers, trace.duration_s)
             )
         # Ring positions currently failed; routing and scale-up skip
         # them until the scheduled recovery.
         self._failed: Set[int] = set()
+        # Ring positions under a spot eviction notice: excluded from
+        # new placements (and from scale-up) while their server
+        # finishes its in-flight work.
+        self._draining: Set[int] = set()
         # Slot i holds the simulator of ring position i, or None when
         # the position is inactive.
         self._servers: List[Optional[KeepAliveSimulator]] = [
@@ -172,14 +191,19 @@ class ElasticClusterSimulation:
         return int.from_bytes(digest, "little") % self.max_servers
 
     def _route(self, function_name: str) -> Optional[KeepAliveSimulator]:
-        """The next active, healthy server on the ring, or ``None``
-        when every active position is currently failed (the caller
-        sheds the invocation as ``unavailable``)."""
+        """The next active, healthy, non-draining server on the ring,
+        or ``None`` when every active position is currently failed or
+        draining (the caller sheds the invocation as
+        ``unavailable``)."""
         start = self._ring_start(function_name)
         for offset in range(self.max_servers):
             index = (start + offset) % self.max_servers
             server = self._servers[index]
-            if server is not None and index not in self._failed:
+            if (
+                server is not None
+                and index not in self._failed
+                and index not in self._draining
+            ):
                 return server
         return None
 
@@ -189,11 +213,14 @@ class ElasticClusterSimulation:
 
     def _apply_scaling(self, desired: int, result: ElasticClusterResult) -> None:
         while self._active < desired:
-            # New capacity never lands on a failed ring position.
+            # New capacity never lands on a failed or draining (about
+            # to be evicted) ring position.
             candidates = [
                 i
                 for i, s in enumerate(self._servers)
-                if s is None and i not in self._failed
+                if s is None
+                and i not in self._failed
+                and i not in self._draining
             ]
             if not candidates:
                 break
@@ -215,19 +242,94 @@ class ElasticClusterSimulation:
             self._fold_metrics(retired.metrics, result)
 
     def _apply_outages(self, now_s: float, result: ElasticClusterResult) -> None:
-        """Fail/recover ring positions per the outage schedule."""
+        """Fail/recover ring positions per the outage schedule, and
+        apply harvest/spot capacity events, chronologically merged (at
+        equal times outage transitions win, matching the lower
+        layers)."""
         outages = self._outages
-        while outages and outages[0][0] <= now_s:
-            at_s, index, kind = outages.popleft()
-            server = self._servers[index]
-            if kind == "down":
-                self._failed.add(index)
-                if server is not None:
-                    server.fail_server(at_s)
+        capacity = self._capacity
+        while True:
+            out_due = outages[0][0] if outages else float("inf")
+            cap_due = capacity[0][0] if capacity else float("inf")
+            if min(out_due, cap_due) > now_s:
+                return
+            if out_due <= cap_due:
+                at_s, index, kind = outages.popleft()
+                server = self._servers[index]
+                if kind == "down":
+                    self._failed.add(index)
+                    if server is not None:
+                        server.fail_server(at_s)
+                else:
+                    self._failed.discard(index)
+                    if server is not None:
+                        server.recover_server(at_s)
             else:
-                self._failed.discard(index)
-                if server is not None:
-                    server.recover_server(at_s)
+                at_s, index, kind, value = capacity.popleft()
+                self._apply_capacity_event(at_s, index, kind, value, result)
+
+    def _apply_capacity_event(
+        self,
+        at_s: float,
+        index: int,
+        kind: str,
+        value: float,
+        result: ElasticClusterResult,
+    ) -> None:
+        """One harvest/spot event against a ring position.
+
+        Unlike the fixed-size cluster, an elastic ring treats a spot
+        eviction as *permanent loss of that instance*: the server is
+        decommissioned (metrics folded, warm state gone) and a cold
+        **replacement** spins up on the lowest free healthy ring
+        position immediately, so harvested churn does not silently
+        shrink the fleet below what the autoscaler asked for. The
+        later "restore" merely frees the ring position for future
+        scale-ups.
+        """
+        server = self._servers[index]
+        if kind == "capacity":
+            if server is not None and index not in self._failed:
+                server.set_harvest_capacity(at_s, value)
+        elif kind == "notice":
+            # Pre-drain: stop routing new work at this position; the
+            # server keeps finishing its own in-flight invocations
+            # until the eviction lands.
+            self._draining.add(index)
+            if server is not None and index not in self._failed:
+                server.notice_eviction(at_s, evict_at_s=value)
+        elif kind == "evict":
+            self._draining.discard(index)
+            self._failed.add(index)
+            if server is not None:
+                # The instance is gone: doom in-flight work, settle
+                # retries, fold what it measured, release the slot.
+                server.fail_server(at_s)
+                server.drain_retries()
+                self._fold_metrics(server.metrics, result)
+                self._servers[index] = None
+                self._active -= 1
+                self._spin_replacement(at_s, result)
+        else:  # "restore": the position is usable again, nothing more —
+            # the replacement already took over the capacity.
+            self._failed.discard(index)
+            self._draining.discard(index)
+
+    def _spin_replacement(
+        self, at_s: float, result: ElasticClusterResult
+    ) -> None:
+        """Cold replacement for an evicted spot instance, on the lowest
+        free healthy ring position (no-op when the ring is full)."""
+        for i, slot in enumerate(self._servers):
+            if (
+                slot is None
+                and i not in self._failed
+                and i not in self._draining
+            ):
+                self._servers[i] = self._new_server(i)
+                self._active += 1
+                result.replacements += 1
+                return
 
     @staticmethod
     def _fold_metrics(
@@ -240,6 +342,10 @@ class ElasticClusterSimulation:
         result.retries += metrics.retries
         result.sheds += metrics.sheds
         result.server_downs += metrics.server_downs
+        result.capacity_shrinks += metrics.capacity_shrinks
+        result.capacity_grows += metrics.capacity_grows
+        result.eviction_notices += metrics.eviction_notices
+        result.deflations += metrics.deflations
 
     # ------------------------------------------------------------------
 
@@ -272,7 +378,7 @@ class ElasticClusterSimulation:
                 arrivals_in_period = 0
                 next_tick += period
             arrivals_in_period += 1
-            if self._outages:
+            if self._outages or self._capacity:
                 self._apply_outages(invocation.time_s, result)
             server = self._route(invocation.function_name)
             if server is None:

@@ -16,6 +16,11 @@ This module implements that spectrum so the claim can be measured:
   only those, concentrating each function's temporal locality.
 * :class:`LeastLoadedBalancer` — pick the server with the least
   memory in use (greedy packing, locality-blind).
+* :class:`MinWorkerSetBalancer` — pack load onto the smallest prefix
+  of servers that fits under a high watermark, leaving the rest idle
+  and harvestable (the harvested-capacity literature's shape).
+* :class:`JoinShortestQueueBalancer` — route to the server with the
+  fewest in-flight invocations (queue-depth JSQ).
 
 All balancers are **health-aware**: the cluster marks failed servers
 down via :meth:`LoadBalancer.mark_down` and every policy then routes
@@ -25,6 +30,16 @@ policy's routing — including any internal RNG draw sequence — is
 byte-identical to its pre-health-awareness behaviour. When every
 server is down, ``route`` raises :class:`NoHealthyServers` and the
 cluster simulator sheds the invocation as ``unavailable``.
+
+Servers can also be **draining**: a spot eviction notice arrived and
+the server will disappear shortly (:meth:`LoadBalancer.mark_draining`).
+A draining server receives no *new* placements — every policy excludes
+it exactly as if it were down — but unlike a down server it is still
+alive: in-flight invocations and their retries run on it to completion
+(retries are scheduled inside the member simulator that owns them and
+are never re-routed through the balancer, so exclusion here cannot
+strand them). ``mark_up`` clears both states, so a replacement server
+re-enters routing cleanly.
 """
 
 from __future__ import annotations
@@ -42,6 +57,8 @@ __all__ = [
     "HashAffinityBalancer",
     "AffinityWithSpilloverBalancer",
     "LeastLoadedBalancer",
+    "MinWorkerSetBalancer",
+    "JoinShortestQueueBalancer",
     "create_balancer",
 ]
 
@@ -54,6 +71,11 @@ class LoadBalancer(abc.ABC):
     """Routes each function invocation to a server index."""
 
     name: str = "base"
+    #: What ``used_mb`` should carry for this policy: "memory" (the
+    #: default, each server's pool usage in MB) or "queue" (in-flight
+    #: invocation counts). The cluster simulator builds the matching
+    #: load vector before calling :meth:`route`.
+    load_signal: str = "memory"
 
     def __init__(self, num_servers: int) -> None:
         if num_servers <= 0:
@@ -61,6 +83,9 @@ class LoadBalancer(abc.ABC):
         self.num_servers = num_servers
         #: Servers currently failed (health-aware routing skips them).
         self._down: Set[int] = set()
+        #: Servers under an eviction notice: excluded from *new*
+        #: placements, but still alive and finishing their own work.
+        self._draining: Set[int] = set()
 
     # -- health tracking ------------------------------------------------
 
@@ -71,24 +96,58 @@ class LoadBalancer(abc.ABC):
         self._down.add(server)
 
     def mark_up(self, server: int) -> None:
-        """Restore a recovered server to the routing set. Idempotent."""
+        """Restore a recovered server to the routing set. Idempotent.
+
+        Clears the draining flag too: a restored server is a fresh
+        replacement, not the evicted instance limping back.
+        """
         self._down.discard(server)
+        self._draining.discard(server)
+
+    def mark_draining(self, server: int) -> None:
+        """Stop placing *new* work on ``server`` (eviction notice).
+
+        The server stays alive until the eviction lands: invocations
+        already placed there — including their retries, which the
+        owning member simulator schedules internally — run to
+        completion. Only fresh routing decisions skip it.
+        """
+        if not 0 <= server < self.num_servers:
+            raise ValueError(f"server {server} out of range")
+        self._draining.add(server)
+
+    def clear_draining(self, server: int) -> None:
+        """Withdraw an eviction notice. Idempotent."""
+        self._draining.discard(server)
 
     @property
     def down_servers(self) -> Set[int]:
         """A copy of the currently-down server set."""
         return set(self._down)
 
+    @property
+    def draining_servers(self) -> Set[int]:
+        """A copy of the currently-draining server set."""
+        return set(self._draining)
+
+    def _available(self, server: int) -> bool:
+        """Whether ``server`` may receive new placements."""
+        return server not in self._down and server not in self._draining
+
     def _healthy(self) -> List[int]:
-        """Ascending indices of healthy servers; raises if none."""
-        if not self._down:
+        """Ascending indices of placeable servers; raises if none.
+
+        Draining servers count as unplaceable here: they are alive,
+        but new work must not land on a machine about to vanish.
+        """
+        if not self._down and not self._draining:
             return list(range(self.num_servers))
         healthy = [
-            i for i in range(self.num_servers) if i not in self._down
+            i for i in range(self.num_servers) if self._available(i)
         ]
         if not healthy:
             raise NoHealthyServers(
-                f"all {self.num_servers} servers are down"
+                f"all {self.num_servers} servers are down or draining"
             )
         return healthy
 
@@ -140,8 +199,8 @@ class RandomBalancer(LoadBalancer):
 
     def route(self, function_name: str, used_mb: Sequence[float]) -> int:
         # Fast path preserves the exact draw sequence of the
-        # pre-health-awareness balancer when no server is down.
-        if not self._down:
+        # pre-health-awareness balancer when every server is placeable.
+        if not self._down and not self._draining:
             return self._rng.randrange(self.num_servers)
         healthy = self._healthy()
         return healthy[self._rng.randrange(len(healthy))]
@@ -157,10 +216,13 @@ class RoundRobinBalancer(LoadBalancer):
         self._next = 0
 
     def route(self, function_name: str, used_mb: Sequence[float]) -> int:
-        if self._down and len(self._down) >= self.num_servers:
-            raise NoHealthyServers(f"all {self.num_servers} servers are down")
+        if len(self._down) + len(self._draining) >= self.num_servers:
+            # Sets are disjoint-checked the cheap way: walking the ring
+            # below would loop forever only if *no* server is
+            # available, which _healthy() detects exactly.
+            self._healthy()
         server = self._next
-        while server in self._down:
+        while not self._available(server):
             server = (server + 1) % self.num_servers
         self._next = (server + 1) % self.num_servers
         return server
@@ -201,7 +263,7 @@ class HashAffinityBalancer(LoadBalancer):
         turn = self._rotation.get(function_name, 0)
         self._rotation[function_name] = (turn + 1) % len(servers)
         chosen = servers[turn % len(servers)]
-        if chosen not in self._down:
+        if self._available(chosen):
             return chosen
         # Rerouted affinity: try the rest of the affinity set in
         # rotation order, then walk the hash ring past it — the
@@ -209,14 +271,16 @@ class HashAffinityBalancer(LoadBalancer):
         # until its home set recovers.
         for offset in range(1, len(servers)):
             candidate = servers[(turn + offset) % len(servers)]
-            if candidate not in self._down:
+            if self._available(candidate):
                 return candidate
         ring_next = (servers[0] + self.replicas) % self.num_servers
         for offset in range(self.num_servers - self.replicas):
             candidate = (ring_next + offset) % self.num_servers
-            if candidate not in self._down:
+            if self._available(candidate):
                 return candidate
-        raise NoHealthyServers(f"all {self.num_servers} servers are down")
+        raise NoHealthyServers(
+            f"all {self.num_servers} servers are down or draining"
+        )
 
 
 class AffinityWithSpilloverBalancer(HashAffinityBalancer):
@@ -306,13 +370,110 @@ class LeastLoadedBalancer(LoadBalancer):
             )
         best = -1
         for i in range(self.num_servers):
-            if i in self._down:
+            if not self._available(i):
                 continue
             # Strict < : the first (lowest-index) minimum is kept.
             if best < 0 or used_mb[i] < used_mb[best]:
                 best = i
         if best < 0:
-            raise NoHealthyServers(f"all {self.num_servers} servers are down")
+            raise NoHealthyServers(
+                f"all {self.num_servers} servers are down or draining"
+            )
+        return best
+
+
+class MinWorkerSetBalancer(LoadBalancer):
+    """Pack load onto the smallest prefix of servers that fits.
+
+    The routing shape of harvested/spot serverless platforms: instead
+    of spreading load, concentrate it on the lowest-index available
+    servers so the remainder stay idle — idle servers are exactly the
+    capacity the infrastructure can harvest or reclaim with the least
+    disruption. Each request goes to the lowest-index available server
+    whose memory usage is still under ``high_watermark`` of its
+    capacity; only when every server in the current working set is
+    saturated does the set grow by one. If *all* available servers are
+    over the watermark, the least-loaded one absorbs the overflow.
+
+    Stateless and a pure function of the load vector plus the
+    down/draining sets, so replays are deterministic. As servers drain
+    or fail, the "prefix" is simply the lowest available indices —
+    traffic slides off a draining server onto the next one without any
+    rebalancing machinery.
+    """
+
+    name = "min-worker-set"
+
+    def __init__(
+        self,
+        num_servers: int,
+        server_capacity_mb: float = 8192.0,
+        high_watermark: float = 0.85,
+    ) -> None:
+        super().__init__(num_servers)
+        if server_capacity_mb <= 0:
+            raise ValueError(
+                f"server capacity must be > 0, got {server_capacity_mb}"
+            )
+        if not 0.0 < high_watermark <= 1.0:
+            raise ValueError(
+                f"high watermark must be in (0, 1], got {high_watermark}"
+            )
+        self.server_capacity_mb = server_capacity_mb
+        self.high_watermark = high_watermark
+
+    def route(self, function_name: str, used_mb: Sequence[float]) -> int:
+        if len(used_mb) != self.num_servers:
+            raise ValueError(
+                f"expected {self.num_servers} load entries, got {len(used_mb)}"
+            )
+        threshold = self.high_watermark * self.server_capacity_mb
+        best = -1
+        for i in range(self.num_servers):
+            if not self._available(i):
+                continue
+            if used_mb[i] < threshold:
+                return i
+            # Track the least-loaded fallback (first minimum wins) in
+            # the same pass, for the everyone-saturated case.
+            if best < 0 or used_mb[i] < used_mb[best]:
+                best = i
+        if best < 0:
+            raise NoHealthyServers(
+                f"all {self.num_servers} servers are down or draining"
+            )
+        return best
+
+
+class JoinShortestQueueBalancer(LoadBalancer):
+    """Route each request to the server with the fewest in-flight
+    invocations.
+
+    Classic JSQ, on queue depth rather than memory: the cluster
+    simulator sees ``load_signal == "queue"`` and supplies in-flight
+    invocation counts instead of pool usage. Among equally-short
+    queues the lowest index wins (same determinism contract as
+    :class:`LeastLoadedBalancer`).
+    """
+
+    name = "join-shortest-queue"
+    load_signal = "queue"
+
+    def route(self, function_name: str, used_mb: Sequence[float]) -> int:
+        if len(used_mb) != self.num_servers:
+            raise ValueError(
+                f"expected {self.num_servers} load entries, got {len(used_mb)}"
+            )
+        best = -1
+        for i in range(self.num_servers):
+            if not self._available(i):
+                continue
+            if best < 0 or used_mb[i] < used_mb[best]:
+                best = i
+        if best < 0:
+            raise NoHealthyServers(
+                f"all {self.num_servers} servers are down or draining"
+            )
         return best
 
 
@@ -322,6 +483,8 @@ _BALANCERS = {
     "round-robin": RoundRobinBalancer,
     "hash-affinity": HashAffinityBalancer,
     "least-loaded": LeastLoadedBalancer,
+    "min-worker-set": MinWorkerSetBalancer,
+    "join-shortest-queue": JoinShortestQueueBalancer,
 }
 
 

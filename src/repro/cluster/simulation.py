@@ -34,15 +34,21 @@ __all__ = ["ClusterResult", "ClusterSimulator"]
 def _server_level_spec(spec: Optional[FaultSpec]) -> Optional[FaultSpec]:
     """The per-server spec a cluster hands to its member simulators.
 
-    Whole-server outages are owned by the *cluster* (it must fail the
-    balancer's view and the server in lockstep), so the server-level
+    Whole-server outages — and likewise harvest/spot capacity events,
+    which must change the balancer's routing view and the server's
+    pool in lockstep — are owned by the *cluster*, so the server-level
     copy keeps only the invocation-level rates and retry knobs. Returns
     ``None`` when nothing remains enabled.
     """
     if spec is None or not spec.enabled:
         return None
     stripped = dataclasses.replace(
-        spec, server_mtbf_s=0.0, server_downtimes=()
+        spec,
+        server_mtbf_s=0.0,
+        server_downtimes=(),
+        capacity_steps=(),
+        harvest_interval_s=0.0,
+        spot_mtbf_s=0.0,
     )
     return stripped if stripped.enabled else None
 
@@ -130,9 +136,12 @@ class ClusterSimulator:
         fault_spec: Optional[FaultSpec] = None,
     ) -> None:
         if isinstance(balancer, str):
-            balancer = create_balancer(
-                balancer, num_servers, **(balancer_kwargs or {})
-            )
+            kwargs = dict(balancer_kwargs or {})
+            if balancer == "min-worker-set":
+                # The packing watermark is a fraction of *this*
+                # cluster's server size unless the caller overrode it.
+                kwargs.setdefault("server_capacity_mb", server_memory_mb)
+            balancer = create_balancer(balancer, num_servers, **kwargs)
         elif balancer.num_servers != num_servers:
             raise ValueError(
                 "balancer server count does not match the cluster size"
@@ -151,12 +160,20 @@ class ClusterSimulator:
             else None
         )
         self._server_schedule: Deque[Tuple[float, int, str]] = deque()
+        # Harvest/spot capacity events, merged across servers:
+        # (time_s, server, kind, value) with kind one of "capacity",
+        # "notice", "evict", "restore".
+        self._capacity_schedule: Deque[Tuple[float, int, str, float]] = (
+            deque()
+        )
         server_spec = _server_level_spec(self._fault_spec)
         if self._fault_spec is not None:
+            model = FaultModel(self._fault_spec)
             self._server_schedule = deque(
-                FaultModel(self._fault_spec).server_schedule(
-                    num_servers, trace.duration_s
-                )
+                model.server_schedule(num_servers, trace.duration_s)
+            )
+            self._capacity_schedule = deque(
+                model.capacity_schedule(num_servers, trace.duration_s)
             )
         self.servers = [
             KeepAliveSimulator(
@@ -175,17 +192,59 @@ class ClusterSimulator:
         ]
 
     def _apply_outages(self, now_s: float) -> None:
-        """Apply every scheduled down/up transition up to ``now_s`` to
-        both the affected server and the balancer's health view."""
-        schedule = self._server_schedule
-        while schedule and schedule[0][0] <= now_s:
-            at_s, index, kind = schedule.popleft()
-            if kind == "down":
-                self.servers[index].fail_server(at_s)
-                self.balancer.mark_down(index)
+        """Apply every scheduled down/up transition and capacity event
+        up to ``now_s``, chronologically merged across both streams, to
+        both the affected server and the balancer's routing view. At
+        equal times outage transitions win (matching the single-server
+        simulator's transitions-then-capacity tie order)."""
+        outages = self._server_schedule
+        capacity = self._capacity_schedule
+        while True:
+            out_due = outages[0][0] if outages else float("inf")
+            cap_due = capacity[0][0] if capacity else float("inf")
+            if min(out_due, cap_due) > now_s:
+                return
+            if out_due <= cap_due:
+                at_s, index, kind = outages.popleft()
+                if kind == "down":
+                    self.servers[index].fail_server(at_s)
+                    self.balancer.mark_down(index)
+                else:
+                    self.servers[index].recover_server(at_s)
+                    self.balancer.mark_up(index)
             else:
-                self.servers[index].recover_server(at_s)
-                self.balancer.mark_up(index)
+                at_s, index, kind, value = capacity.popleft()
+                self._apply_capacity_event(at_s, index, kind, value)
+
+    def _apply_capacity_event(
+        self, at_s: float, index: int, kind: str, value: float
+    ) -> None:
+        """Apply one harvest/spot event to a server and the balancer.
+
+        * ``capacity`` — resize the server's pool (graceful deflation
+          on shrink); routing is unaffected, the balancer's load signal
+          sees the smaller pool on the next decision.
+        * ``notice`` — pre-drain: the server stops receiving new
+          placements (it finishes its own in-flight work) while it
+          keeps serving until the eviction lands.
+        * ``evict`` — the spot instance disappears: fail the server
+          and route around it.
+        * ``restore`` — a *replacement* server joins: cold pools, full
+          nominal capacity, back in the routing set.
+        """
+        server = self.servers[index]
+        if kind == "capacity":
+            server.set_harvest_capacity(at_s, value)
+        elif kind == "notice":
+            self.balancer.mark_draining(index)
+            server.notice_eviction(at_s, evict_at_s=value)
+        elif kind == "evict":
+            server.fail_server(at_s)
+            self.balancer.mark_down(index)
+        else:  # "restore"
+            server.recover_server(at_s)
+            self.balancer.mark_up(index)  # clears draining too
+            server.set_harvest_capacity(at_s, 1.0)
 
     def _shed_unavailable(
         self, result: ClusterResult, function_name: str, now_s: float
@@ -210,10 +269,14 @@ class ClusterSimulator:
             per_server=[server.metrics for server in self.servers],
             routed=routed,
         )
+        queue_signal = self.balancer.load_signal == "queue"
         for invocation in self.trace:
-            if self._server_schedule:
+            if self._server_schedule or self._capacity_schedule:
                 self._apply_outages(invocation.time_s)
-            used = [server.pool.used_mb for server in self.servers]
+            if queue_signal:
+                used = [float(server.outstanding) for server in self.servers]
+            else:
+                used = [server.pool.used_mb for server in self.servers]
             try:
                 if tracer is None:
                     index = self.balancer.route(

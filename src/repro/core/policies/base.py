@@ -258,13 +258,17 @@ class KeepAlivePolicy(abc.ABC):
           is soft (free memory and over-quota capacity are fair game)
           but never a license to displace within-quota tenants.
 
-        Both modes use the exact sort-every-miss path rather than the
-        pool's lazy victim index: the quota rank flips when a tenant
-        crosses its limit and the partition filter depends on the
-        requester, so neither key is monotone per container. Over-quota
-        status is frozen at selection start (evicting a victim mid-
-        selection may bring its tenant back under quota; re-ranking
-        mid-scan would make the choice order-dependent).
+        Over-quota status is frozen at selection start (evicting a
+        victim mid-selection may bring its tenant back under quota;
+        re-ranking mid-scan would make the choice order-dependent).
+        Because it is frozen, a monotone policy's quota selection runs
+        through the pool's lazy victim index: one walk yields ascending
+        ``(priority, last_used, id)`` and the over-quota rank merely
+        splits that stream in two, so no sort of the idle set is ever
+        materialized (the ROADMAP's thousands-of-tenants scaling
+        bottleneck). Non-monotone policies and the partitioned mode
+        (whose candidate filter depends on the requester) keep the
+        exact sort-every-miss path.
         """
         mode = pool.tenant_mode
         if mode == "shared":
@@ -283,8 +287,17 @@ class KeepAlivePolicy(abc.ABC):
             if deficit <= 1e-9:
                 return []
             over = pool.over_quota_tenants()
+            restricted = pool.quota_exceeded_by(tenant_id, needed_mb)
+            if not restricted and pool.evictable_mb() < deficit - 1e-9:
+                # Fast path (unrestricted candidate set only): total
+                # idle memory cannot cover the deficit.
+                return None
+            if self.monotone_priority:
+                return self._select_victims_quota_indexed(
+                    pool, deficit, now_s, tenant_id, over, restricted
+                )
             candidates = pool.idle_containers()
-            if pool.quota_exceeded_by(tenant_id, needed_mb):
+            if restricted:
                 # The requester would land over quota: it may only feed
                 # on itself and on other over-quota tenants.
                 candidates = [
@@ -293,10 +306,6 @@ class KeepAlivePolicy(abc.ABC):
                     if c.function.tenant_id == tenant_id
                     or c.function.tenant_id in over
                 ]
-            elif pool.evictable_mb() < deficit - 1e-9:
-                # Fast path (unrestricted candidate set only): total
-                # idle memory cannot cover the deficit.
-                return None
             candidates.sort(
                 key=lambda c: (
                     0 if c.function.tenant_id in over else 1,
@@ -314,6 +323,55 @@ class KeepAlivePolicy(abc.ABC):
             )
         )
         return self._accumulate_victims(candidates, deficit)
+
+    def _select_victims_quota_indexed(
+        self,
+        pool: ContainerPool,
+        deficit_mb: float,
+        now_s: float,
+        tenant_id: int,
+        over: frozenset,
+        restricted: bool,
+    ) -> Optional[List[Container]]:
+        """Quota-mode selection through the pool's lazy victim index.
+
+        One walk of :meth:`ContainerPool.iter_victims` splits the
+        stream by frozen over-quota rank: within each rank the index
+        already yields ascending ``(priority, last_used, id)``, so
+        ``preferred + rest`` is byte-identical to sorting every idle
+        container by ``(over_quota_rank, priority, last_used, id)`` —
+        without materializing or sorting the idle set. The walk stops
+        as soon as over-quota victims alone cover the deficit; returns
+        ``None`` when even the full candidate set cannot (the caller
+        then drops the request).
+        """
+
+        def key_of(container: Container) -> Tuple[float, float, int]:
+            return (
+                self.priority(container, now_s),
+                container.last_used_s,
+                container.container_id,
+            )
+
+        preferred: List[Container] = []
+        rest: List[Container] = []
+        reclaimed = 0.0
+        for container in pool.iter_victims(key_of):
+            tid = container.function.tenant_id
+            if tid in over:
+                preferred.append(container)
+                reclaimed += container.memory_mb
+                if reclaimed >= deficit_mb - 1e-9:
+                    return preferred
+            elif not restricted or tid == tenant_id:
+                rest.append(container)
+        victims = preferred
+        for container in rest:
+            victims.append(container)
+            reclaimed += container.memory_mb
+            if reclaimed >= deficit_mb - 1e-9:
+                return victims
+        return None
 
     @staticmethod
     def _accumulate_victims(

@@ -93,6 +93,15 @@ class ContainerPool:
                 )
         self._tenant_mode = tenant_mode
         self._tenant_limits_mb = limits
+        # The limits as configured, before any harvest rescaling.
+        # ``deflate_to`` shrinks partitioned slices proportionally and
+        # restores them from this baseline when capacity returns.
+        self._base_tenant_limits_mb = dict(limits)
+        # Pending graceful-shrink target (docs/robustness.md): set when
+        # ``deflate_to`` could not reach its target because busy
+        # containers hold memory; ``resume_deflation`` retries as they
+        # finish. ``None`` means no deflation is in flight.
+        self._deflation_target_mb: Optional[float] = None
         # Per-tenant incremental accounting (memory + population),
         # maintained in every mode — shared pools answer tenant-usage
         # queries too — at the cost of two dict updates per add/evict.
@@ -211,6 +220,195 @@ class ContainerPool:
                 )
         self._capacity_mb = float(capacity_mb)
         self._slack_mb = 1e-9 * self._capacity_mb
+
+    # ------------------------------------------------------------------
+    # Graceful deflation (harvested / time-varying capacity)
+    # ------------------------------------------------------------------
+
+    @property
+    def deflation_target_mb(self) -> Optional[float]:
+        """The pending graceful-shrink target, or ``None``."""
+        return self._deflation_target_mb
+
+    @property
+    def deflation_deferred_mb(self) -> float:
+        """Memory still to be freed before a deferred shrink lands."""
+        if self._deflation_target_mb is None:
+            return 0.0
+        return max(0.0, self._used_mb - self._deflation_target_mb)
+
+    def deflate_to(
+        self,
+        capacity_mb: float,
+        key_of: Callable[[Container], Tuple[float, float, int]],
+    ) -> List[Container]:
+        """Gracefully resize toward ``capacity_mb``, evicting idle
+        containers in the policy's victim order as needed.
+
+        The harvest-capacity counterpart of :meth:`set_capacity`:
+        instead of refusing a shrink below used memory, the pool frees
+        idle containers lowest-``key_of`` first (through the same lazy
+        monotone victim index as pressure eviction — never a sort) and,
+        when busy containers still hold more than the target, *defers*
+        the remainder: nominal capacity is clamped to the used memory
+        so nothing new can be admitted, and :meth:`resume_deflation`
+        finishes the shrink as containers go idle. Growth (target at or
+        above used memory) applies immediately.
+
+        Tenant modes: partitioned slices scale proportionally with the
+        target (and are restored from the configured baseline when
+        capacity grows back); any tenant left over its scaled slice is
+        deflated down to it. Quota limits stay absolute — they are soft
+        guarantees, not slices — but over-quota tenants' containers are
+        evicted first, matching pressure-path victim selection.
+
+        Returns the evicted containers in eviction order; the caller
+        owns policy-state cleanup and event emission for them.
+        :meth:`set_capacity` keeps its strict never-over-committed
+        contract; only this path may shrink below used memory.
+        """
+        if capacity_mb <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_mb}")
+        target = float(capacity_mb)
+        if self._tenant_mode == "partitioned":
+            self._tenant_limits_mb = self._scaled_tenant_limits(target)
+        self._deflation_target_mb = target
+        return self._advance_deflation(key_of)
+
+    def resume_deflation(
+        self,
+        key_of: Callable[[Container], Tuple[float, float, int]],
+    ) -> List[Container]:
+        """Continue a deferred shrink; no-op unless one is pending."""
+        if self._deflation_target_mb is None:
+            return []
+        return self._advance_deflation(key_of)
+
+    def _scaled_tenant_limits(self, target_mb: float) -> Dict[int, float]:
+        """Partition slices scaled proportionally to ``target_mb``
+        (never above the configured baseline)."""
+        base = self._base_tenant_limits_mb
+        total = sum(base.values())
+        if total <= 0.0 or total <= target_mb * (1.0 + 1e-9):
+            return dict(base)
+        scale = target_mb / total
+        return {tid: limit * scale for tid, limit in base.items()}
+
+    def _advance_deflation(
+        self,
+        key_of: Callable[[Container], Tuple[float, float, int]],
+    ) -> List[Container]:
+        target = self._deflation_target_mb
+        if target is None:  # pragma: no cover - guarded by callers
+            return []
+        settle_slack = 1e-9 * max(self._capacity_mb, target)
+        if self._tenant_mode == "partitioned":
+            # Each tenant within its scaled slice implies the global
+            # target: the scaled slices sum to at most the target.
+            selected = self._over_slice_victims(key_of, settle_slack)
+        else:
+            deficit = self._used_mb - target
+            if deficit <= settle_slack:
+                selected = []
+            elif self._tenant_mode == "quota":
+                selected = self._quota_deflation_victims(
+                    key_of, deficit, settle_slack
+                )
+            else:
+                selected = self._shared_deflation_victims(key_of, deficit)
+        for container in selected:
+            self.evict(container)
+        settle_slack = 1e-9 * max(self._capacity_mb, target)
+        if self._used_mb - target <= settle_slack:
+            # Target reached (or the pool was never above it): land the
+            # shrink/growth through the strict contract.
+            self._deflation_target_mb = None
+            self.set_capacity(target)
+        else:
+            # Busy containers hold more than the target: clamp nominal
+            # capacity to exactly what is in use — no new admissions —
+            # and wait for resume_deflation as they finish.
+            self._capacity_mb = self._used_mb
+            self._slack_mb = 1e-9 * self._capacity_mb
+        return selected
+
+    def _shared_deflation_victims(
+        self,
+        key_of: Callable[[Container], Tuple[float, float, int]],
+        deficit_mb: float,
+    ) -> List[Container]:
+        """Lowest-key idle containers covering ``deficit_mb`` — or the
+        whole idle set when it cannot (the deferral case)."""
+        selected: List[Container] = []
+        freed = 0.0
+        for container in self.iter_victims(key_of):
+            selected.append(container)
+            freed += container.memory_mb
+            if freed >= deficit_mb - self._slack_mb:
+                break
+        return selected
+
+    def _quota_deflation_victims(
+        self,
+        key_of: Callable[[Container], Tuple[float, float, int]],
+        deficit_mb: float,
+        slack_mb: float,
+    ) -> List[Container]:
+        """Deflation victims with quota fairness: over-quota tenants'
+        containers first (in key order), then everyone else's."""
+        over = self.over_quota_tenants()
+        if not over:
+            return self._shared_deflation_victims(key_of, deficit_mb)
+        preferred: List[Container] = []
+        rest: List[Container] = []
+        freed = 0.0
+        for container in self.iter_victims(key_of):
+            if container.function.tenant_id in over:
+                preferred.append(container)
+                freed += container.memory_mb
+                if freed >= deficit_mb - slack_mb:
+                    return preferred
+            else:
+                rest.append(container)
+        selected = preferred
+        for container in rest:
+            if freed >= deficit_mb - slack_mb:
+                break
+            selected.append(container)
+            freed += container.memory_mb
+        return selected
+
+    def _over_slice_victims(
+        self,
+        key_of: Callable[[Container], Tuple[float, float, int]],
+        slack_mb: float,
+    ) -> List[Container]:
+        """Partitioned-mode deflation victims: for every tenant over
+        its (scaled) slice, its lowest-key idle containers until the
+        slice fits."""
+        limits = self._tenant_limits_mb
+        excess: Dict[int, float] = {}
+        for tid, used_t in self._tenant_used_mb.items():
+            over_by = used_t - limits.get(tid, 0.0)
+            if over_by > slack_mb:
+                excess[tid] = over_by
+        if not excess:
+            return []
+        selected: List[Container] = []
+        for container in self.iter_victims(key_of):
+            tid = container.function.tenant_id
+            remaining = excess.get(tid)
+            if remaining is None:
+                continue
+            selected.append(container)
+            remaining -= container.memory_mb
+            if remaining > slack_mb:
+                excess[tid] = remaining
+            else:
+                del excess[tid]
+                if not excess:
+                    break
+        return selected
 
     # ------------------------------------------------------------------
     # Membership
@@ -395,7 +593,13 @@ class ContainerPool:
                     f"{tenant_count.get(tid, 0)} containers pooled but "
                     f"the pool counts {self._tenant_count.get(tid, 0)}"
                 )
-            if self._tenant_mode == "partitioned":
+            if (
+                self._tenant_mode == "partitioned"
+                # A deferred deflation legitimately leaves tenants over
+                # their freshly-scaled slice until busy containers
+                # finish; the invariant is re-checked once it lands.
+                and self._deflation_target_mb is None
+            ):
                 limit = self._tenant_limits_mb.get(tid, 0.0)
                 if used_t > limit + 1e-6 * max(1.0, limit):
                     raise SanitizeError(

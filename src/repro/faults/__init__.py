@@ -24,6 +24,7 @@ code path as a run with no spec at all, so baselines are unperturbed.
 """
 
 from repro.faults.model import (
+    CapacityStep,
     FaultModel,
     FaultSpec,
     ServerDowntime,
@@ -34,6 +35,7 @@ from repro.faults.model import (
 from repro.faults.retry import RetryPolicy
 
 __all__ = [
+    "CapacityStep",
     "FaultModel",
     "FaultSpec",
     "ServerDowntime",

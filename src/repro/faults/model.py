@@ -38,6 +38,7 @@ __all__ = [
     "FaultSpec",
     "FaultModel",
     "ServerDowntime",
+    "CapacityStep",
     "FAULT_KINDS",
     "derive_seed",
     "load_fault_spec",
@@ -115,6 +116,32 @@ class ServerDowntime:
 
 
 @dataclass(frozen=True)
+class CapacityStep:
+    """One explicit capacity change of one server.
+
+    ``capacity_frac`` is the fraction of the server's *nominal*
+    capacity available from ``time_s`` onward — ``1.0`` restores full
+    capacity, ``0.5`` harvests half the memory away. Fractions are
+    relative to the original provisioned size, never to the previous
+    step, so steps commute with reordering of equal-time duplicates.
+    """
+
+    server: int
+    time_s: float
+    capacity_frac: float
+
+    def __post_init__(self) -> None:
+        if self.server < 0:
+            raise ValueError(f"server index must be >= 0, got {self.server}")
+        if self.time_s < 0.0:
+            raise ValueError(f"time_s must be >= 0, got {self.time_s}")
+        if not 0.0 < self.capacity_frac <= 1.0:
+            raise ValueError(
+                f"capacity_frac must be in (0, 1], got {self.capacity_frac}"
+            )
+
+
+@dataclass(frozen=True)
 class FaultSpec:
     """Everything a chaos experiment needs, in one frozen value.
 
@@ -140,6 +167,14 @@ class FaultSpec:
     server_mtbf_s: float = 0.0  # 0 disables rate-based outages
     server_recovery_s: float = 300.0
     server_downtimes: Tuple[ServerDowntime, ...] = ()
+    # -- harvested capacity (time-varying server memory) -------------
+    capacity_steps: Tuple[CapacityStep, ...] = ()
+    harvest_interval_s: float = 0.0  # 0 disables rate-based harvesting
+    harvest_min_frac: float = 0.5
+    harvest_max_frac: float = 1.0
+    # -- spot evictions (whole-server loss with advance notice) ------
+    spot_mtbf_s: float = 0.0  # 0 disables spot evictions
+    spot_notice_s: float = 30.0
     # -- recovery / retry --------------------------------------------
     max_retries: int = 3
     base_delay_s: float = 1.0
@@ -186,6 +221,28 @@ class FaultSpec:
                 f"per_function_retry_budget must be >= 0, "
                 f"got {self.per_function_retry_budget}"
             )
+        if self.harvest_interval_s < 0.0:
+            raise ValueError(
+                f"harvest_interval_s must be >= 0, "
+                f"got {self.harvest_interval_s}"
+            )
+        if not (
+            0.0 < self.harvest_min_frac
+            <= self.harvest_max_frac
+            <= 1.0
+        ):
+            raise ValueError(
+                "need 0 < harvest_min_frac <= harvest_max_frac <= 1, got "
+                f"{self.harvest_min_frac}/{self.harvest_max_frac}"
+            )
+        if self.spot_mtbf_s < 0.0:
+            raise ValueError(
+                f"spot_mtbf_s must be >= 0, got {self.spot_mtbf_s}"
+            )
+        if self.spot_notice_s < 0.0:
+            raise ValueError(
+                f"spot_notice_s must be >= 0, got {self.spot_notice_s}"
+            )
         # Normalize downtime entries: accept ServerDowntime instances,
         # mappings, or (server, down_s, up_s) sequences, in any
         # container — literal construction is as lenient as from_dict.
@@ -201,6 +258,19 @@ class FaultSpec:
                     ServerDowntime(int(server), float(down_s), float(up_s))
                 )
         object.__setattr__(self, "server_downtimes", tuple(normalized))
+        # Same leniency for capacity steps.
+        steps: List[CapacityStep] = []
+        for step in self.capacity_steps:
+            if isinstance(step, CapacityStep):
+                steps.append(step)
+            elif isinstance(step, Mapping):
+                steps.append(CapacityStep(**step))
+            else:
+                server, time_s, frac = step
+                steps.append(
+                    CapacityStep(int(server), float(time_s), float(frac))
+                )
+        object.__setattr__(self, "capacity_steps", tuple(steps))
 
     @property
     def enabled(self) -> bool:
@@ -216,6 +286,9 @@ class FaultSpec:
             or self.timeout_rate > 0.0
             or self.server_mtbf_s > 0.0
             or self.server_downtimes
+            or self.capacity_steps
+            or self.harvest_interval_s > 0.0
+            or self.spot_mtbf_s > 0.0
         )
 
     # -- (de)serialization -------------------------------------------
@@ -224,6 +297,10 @@ class FaultSpec:
         out = dataclasses.asdict(self)
         out["server_downtimes"] = [
             [d.server, d.down_s, d.up_s] for d in self.server_downtimes
+        ]
+        out["capacity_steps"] = [
+            [s.server, s.time_s, s.capacity_frac]
+            for s in self.capacity_steps
         ]
         return out
 
@@ -357,6 +434,115 @@ class FaultModel:
         # "up" before "down" at equal times so a zero-gap repair cannot
         # leave a server stuck down; server index breaks the remainder.
         events.sort(key=lambda e: (e[0], e[2] != "up", e[1]))
+        return events
+
+    def capacity_timeline(
+        self, server: int, horizon_s: float
+    ) -> List[Tuple[float, float]]:
+        """Time-ordered ``(time_s, capacity_frac)`` steps for one server.
+
+        Explicit :attr:`FaultSpec.capacity_steps` entries are combined
+        with a rate-based harvest stream (exponential step gaps with
+        mean ``harvest_interval_s``, fraction uniform in
+        ``[harvest_min_frac, harvest_max_frac]``) seeded per server via
+        ``derive_seed(seed, "harvest", server)``. Each fraction is
+        absolute (relative to nominal capacity), so applying the steps
+        in list order is the authoritative semantics — at equal times
+        the later-listed step wins.
+        """
+        spec = self.spec
+        steps = [
+            (s.time_s, s.capacity_frac)
+            for s in spec.capacity_steps
+            if s.server == server and s.time_s < horizon_s
+        ]
+        if spec.harvest_interval_s > 0.0:
+            rng = random.Random(derive_seed(spec.seed, "harvest", server))
+            t = rng.expovariate(1.0 / spec.harvest_interval_s)
+            while t < horizon_s:
+                steps.append(
+                    (t, rng.uniform(spec.harvest_min_frac,
+                                    spec.harvest_max_frac))
+                )
+                t += rng.expovariate(1.0 / spec.harvest_interval_s)
+        steps.sort(key=lambda s: s[0])  # stable: ties keep list order
+        return steps
+
+    def spot_evictions(
+        self, server: int, horizon_s: float
+    ) -> List[Tuple[float, float]]:
+        """Sorted ``(notice_s, evict_s)`` spot-eviction pairs.
+
+        Evictions are drawn from an exponential inter-eviction process
+        (mean ``spot_mtbf_s``) seeded per server via
+        ``derive_seed(seed, "spot", server)``; the notice lands
+        ``spot_notice_s`` before the eviction (clamped to 0). The next
+        draw starts after ``server_recovery_s`` — the time a
+        replacement takes to come up — so spans never overlap.
+        """
+        spec = self.spec
+        if spec.spot_mtbf_s <= 0.0:
+            return []
+        rng = random.Random(derive_seed(spec.seed, "spot", server))
+        pairs: List[Tuple[float, float]] = []
+        t = rng.expovariate(1.0 / spec.spot_mtbf_s)
+        while t < horizon_s:
+            pairs.append((max(0.0, t - spec.spot_notice_s), t))
+            t += spec.server_recovery_s
+            t += rng.expovariate(1.0 / spec.spot_mtbf_s)
+        return pairs
+
+    #: Tie order of capacity-schedule kinds at equal times: a restore
+    #: precedes new shrinks/notices, and the eviction itself lands
+    #: last so a zero-notice spec still sees its notice event.
+    _CAPACITY_KIND_ORDER = {"restore": 0, "capacity": 1,
+                            "notice": 2, "evict": 3}
+
+    def server_capacity_events(
+        self, server: int, horizon_s: float
+    ) -> List[Tuple[float, str, float]]:
+        """One server's capacity events as time-ordered
+        ``(time_s, kind, value)`` triples — the form a single-server
+        simulator consumes (:class:`repro.sim.scheduler`):
+
+        ``("capacity", frac)``
+            The server's capacity becomes ``frac`` of nominal.
+        ``("notice", evict_at_s)``
+            A spot eviction was announced for ``evict_at_s``.
+        ``("evict", 0.0)``
+            The server is reclaimed (whole-server loss).
+        ``("restore", 1.0)``
+            A replacement server is up at full (cold) capacity,
+            ``server_recovery_s`` after the eviction.
+        """
+        events: List[Tuple[float, str, float]] = []
+        order = self._CAPACITY_KIND_ORDER
+        for time_s, frac in self.capacity_timeline(server, horizon_s):
+            events.append((time_s, "capacity", frac))
+        for notice_s, evict_s in self.spot_evictions(server, horizon_s):
+            events.append((notice_s, "notice", evict_s))
+            events.append((evict_s, "evict", 0.0))
+            events.append(
+                (evict_s + self.spec.server_recovery_s, "restore", 1.0)
+            )
+        events.sort(key=lambda e: (e[0], order[e[1]]))
+        return events
+
+    def capacity_schedule(
+        self, num_servers: int, horizon_s: float
+    ) -> List[Tuple[float, int, str, float]]:
+        """All servers' capacity events as a time-ordered list of
+        ``(time_s, server, kind, value)`` — the cluster-level merge of
+        :meth:`server_capacity_events` (same kinds, same tie order,
+        server index breaking the remainder)."""
+        events: List[Tuple[float, int, str, float]] = []
+        order = self._CAPACITY_KIND_ORDER
+        for server in range(num_servers):
+            for time_s, kind, value in self.server_capacity_events(
+                server, horizon_s
+            ):
+                events.append((time_s, server, kind, value))
+        events.sort(key=lambda e: (e[0], order[e[2]], e[1]))
         return events
 
     def __repr__(self) -> str:

@@ -50,6 +50,22 @@ Five further types cover the fault-injection/recovery layer
     retry queue was full, memory pressure, or no server available.
 ``server_down`` / ``server_recovered``
     A whole server failed (losing its warm containers) or came back.
+
+Four further types cover harvested/spot capacity
+(docs/robustness.md — the cache itself shrinking and growing):
+
+``capacity_shrunk``
+    A harvest step reduced a server's usable memory; ``deferred_mb``
+    is the part still held by busy containers (freed as they finish).
+``capacity_grown``
+    Usable memory was given back (or a replacement server came up).
+``eviction_notice``
+    A spot eviction was announced ``notice_s`` ahead of ``evict_at_s``;
+    the control plane stops routing new work to the server.
+``container_deflated``
+    A warm container was evicted to meet a shrinking capacity target
+    (distinct from ``evicted``: pressure came from the platform, not
+    from the workload, so it is counted separately).
 """
 
 from __future__ import annotations
@@ -144,6 +160,28 @@ EVENT_SCHEMAS: Dict[str, Dict[str, tuple]] = {
     "server_recovered": {
         "server": (int,),
         "downtime_s": _NUMBER,
+    },
+    "capacity_shrunk": {
+        "server": (int,),
+        "old_mb": _NUMBER,
+        "new_mb": _NUMBER,
+        "deferred_mb": _NUMBER,
+    },
+    "capacity_grown": {
+        "server": (int,),
+        "old_mb": _NUMBER,
+        "new_mb": _NUMBER,
+    },
+    "eviction_notice": {
+        "server": (int,),
+        "evict_at_s": _NUMBER,
+        "notice_s": _NUMBER,
+    },
+    "container_deflated": {
+        "function": (str,),
+        "container_id": (int,),
+        "memory_mb": _NUMBER,
+        "target_mb": _NUMBER,
     },
 }
 

@@ -45,6 +45,7 @@ _TIMELINE_EVENTS = (
     "fault_injected",
     "invocation_retried",
     "invocation_shed",
+    "container_deflated",
 )
 
 
@@ -105,6 +106,9 @@ class TraceReport:
         self.faults_by_kind: Dict[str, int] = {}
         self.sheds_by_reason: Dict[str, int] = {}
         self.server_downtime_s = 0.0
+        # Harvested/spot capacity (docs/robustness.md).
+        self.deflated_mb = 0.0
+        self.capacity_deferred_mb = 0.0
         # Per-tenant outcome counts, rebuilt from the optional
         # ``tenant`` context field on warm_hit/cold_start/dropped
         # events (docs/multi-tenancy.md). Tenant-less traces never
@@ -193,6 +197,10 @@ class TraceReport:
             )
         elif event_type == "server_recovered":
             self.server_downtime_s += float(event.get("downtime_s", 0.0))
+        elif event_type == "container_deflated":
+            self.deflated_mb += float(event.get("memory_mb", 0.0))
+        elif event_type == "capacity_shrunk":
+            self.capacity_deferred_mb += float(event.get("deferred_mb", 0.0))
         elif event_type == "pool_pressure":
             self.pressure_events += 1
             used = float(event.get("used_mb", 0.0))
@@ -237,6 +245,10 @@ class TraceReport:
             "retries": self.event_counts.get("invocation_retried", 0),
             "sheds": self.event_counts.get("invocation_shed", 0),
             "server_downs": self.event_counts.get("server_down", 0),
+            "capacity_shrinks": self.event_counts.get("capacity_shrunk", 0),
+            "capacity_grows": self.event_counts.get("capacity_grown", 0),
+            "eviction_notices": self.event_counts.get("eviction_notice", 0),
+            "deflations": self.event_counts.get("container_deflated", 0),
         }
 
     def tenant_counters(self) -> Dict[int, Dict[str, int]]:
@@ -365,6 +377,18 @@ class TraceReport:
             lines.append(
                 f"server outages: {downs} "
                 f"({self.server_downtime_s:.0f} s observed downtime)"
+            )
+        shrinks = self.event_counts.get("capacity_shrunk", 0)
+        notices = self.event_counts.get("eviction_notice", 0)
+        if shrinks or notices:
+            lines.append(
+                f"harvested capacity: {shrinks} shrinks "
+                f"({self.capacity_deferred_mb:.0f} MB deferred), "
+                f"{self.event_counts.get('capacity_grown', 0)} grows, "
+                f"{notices} eviction notices, "
+                f"{self.event_counts.get('container_deflated', 0)} "
+                f"containers deflated "
+                f"({self.deflated_mb:.0f} MB)"
             )
         if self.churn:
             lines.append("")

@@ -89,6 +89,18 @@ class SimulationMetrics:
     #: Simulated seconds this server spent down.
     downtime_s: float = 0.0
 
+    # -- harvested/spot capacity counters (docs/robustness.md) -------
+    #: Harvest steps that reduced this server's usable memory.
+    capacity_shrinks: int = 0
+    #: Capacity given back (harvest release or replacement spin-up).
+    capacity_grows: int = 0
+    #: Spot-eviction notices received by this server.
+    eviction_notices: int = 0
+    #: Warm containers evicted to meet a shrinking capacity target
+    #: (kept apart from :attr:`evictions`: the pressure came from the
+    #: platform, not the workload).
+    deflations: int = 0
+
     #: Sum of warm running times over served invocations: the ideal
     #: execution time had every start been warm.
     ideal_exec_time_s: float = 0.0
@@ -302,6 +314,10 @@ class SimulationMetrics:
             "retries": self.retries,
             "sheds": self.sheds,
             "server_downs": self.server_downs,
+            "capacity_shrinks": self.capacity_shrinks,
+            "capacity_grows": self.capacity_grows,
+            "eviction_notices": self.eviction_notices,
+            "deflations": self.deflations,
         }
 
     def tenant_counters(self) -> Dict[int, Dict[str, int]]:
@@ -374,6 +390,10 @@ class SimulationMetrics:
             "retries": self.retries,
             "sheds": self.sheds,
             "server_downs": self.server_downs,
+            "capacity_shrinks": self.capacity_shrinks,
+            "capacity_grows": self.capacity_grows,
+            "eviction_notices": self.eviction_notices,
+            "deflations": self.deflations,
             "cold_start_pct": self.cold_start_pct,
             "exec_time_increase_pct": self.exec_time_increase_pct,
             "hit_ratio": self.hit_ratio,

@@ -211,6 +211,11 @@ class KeepAliveSimulator:
         self._down = False
         self._down_since = 0.0
         self._server_index = int(server_index)
+        # Harvested capacity (docs/robustness.md): the provisioned size
+        # every capacity fraction is relative to. ``set_harvest_capacity``
+        # resizes the pool against this, never against the previous
+        # (possibly already-shrunk or deferral-clamped) capacity.
+        self._nominal_capacity_mb = float(memory_mb)
         if fault_spec is not None and fault_spec.enabled:
             self._fault_spec: Optional[FaultSpec] = fault_spec
             self._faults: Optional[FaultModel] = FaultModel(fault_spec)
@@ -232,6 +237,15 @@ class KeepAliveSimulator:
                 transitions.append((down_s, "down"))
                 transitions.append((up_s, "up"))
             self._transitions: Deque[Tuple[float, str]] = deque(transitions)
+            # Scheduled capacity events for *this* server: harvest
+            # shrink/grow steps and spot notice/evict/restore triples,
+            # already merged time-ordered (see
+            # :meth:`FaultModel.server_capacity_events`).
+            self._capacity_events: Deque[Tuple[float, str, float]] = deque(
+                self._faults.server_capacity_events(
+                    self._server_index, trace.duration_s
+                )
+            )
         else:
             self._fault_spec = None
             self._faults = None
@@ -239,6 +253,7 @@ class KeepAliveSimulator:
             self._retry_heap = []
             self._retry_seq = 0
             self._transitions = deque()
+            self._capacity_events = deque()
         # Provisioned concurrency: pinned containers exist from t=0.
         for name, count in (reserved_concurrency or {}).items():
             function = trace.functions.get(name)
@@ -304,6 +319,14 @@ class KeepAliveSimulator:
                     container, finish_s, self.pool, pressure=False
                 )
                 self.metrics.expirations += 1
+        # A deferred deflation (shrink below what busy containers held)
+        # resumes as those containers idle: the pool re-walks its lazy
+        # victim index and frees whatever it can. Cheap when no shrink
+        # is pending (a single ``is None`` check).
+        if self.pool.deflation_target_mb is not None:
+            target = self.pool.deflation_target_mb
+            victims = self.pool.resume_deflation(self._deflation_key_of(now_s))
+            self._note_deflations(victims, now_s, target)
 
     def _expire_containers(self, now_s: float) -> None:
         for container, __ in self.policy.expired_containers(self.pool, now_s):
@@ -625,23 +648,30 @@ class KeepAliveSimulator:
         return "retried"
 
     def _advance_faults(self, now_s: float) -> None:
-        """Apply every scheduled outage transition and due retry up to
-        ``now_s``, in chronological order (interleaved, so a retry due
-        while the server is down sees it down)."""
+        """Apply every scheduled outage transition, capacity event, and
+        due retry up to ``now_s``, in chronological order (interleaved,
+        so a retry due while the server is down — or freshly shrunk —
+        sees that state). At equal times: transitions, then capacity
+        events, then retries."""
         heap = self._retry_heap
         transitions = self._transitions
+        capacity = self._capacity_events
         functions = self.trace.functions
         while True:
             retry_due = heap[0][0] if heap else float("inf")
             trans_due = transitions[0][0] if transitions else float("inf")
-            if min(retry_due, trans_due) > now_s:
+            cap_due = capacity[0][0] if capacity else float("inf")
+            if min(retry_due, trans_due, cap_due) > now_s:
                 return
-            if trans_due <= retry_due:
+            if trans_due <= cap_due and trans_due <= retry_due:
                 at_s, kind = transitions.popleft()
                 if kind == "down":
                     self.fail_server(at_s)
                 else:
                     self.recover_server(at_s)
+            elif cap_due <= retry_due:
+                at_s, kind, value = capacity.popleft()
+                self._apply_capacity_event(at_s, kind, value)
             else:
                 due_s, __, function_name, attempt = heapq.heappop(heap)
                 self._attempt(functions[function_name], due_s, attempt)
@@ -691,6 +721,132 @@ class KeepAliveSimulator:
     def is_down(self) -> bool:
         """Whether the server is currently failed."""
         return self._down
+
+    @property
+    def outstanding(self) -> int:
+        """Number of in-flight invocations (the server's queue depth,
+        as seen by queue-aware balancers)."""
+        return len(self._running)
+
+    # ------------------------------------------------------------------
+    # Harvested / spot capacity (docs/robustness.md)
+    # ------------------------------------------------------------------
+
+    def _apply_capacity_event(
+        self, at_s: float, kind: str, value: float
+    ) -> None:
+        """Dispatch one scheduled capacity event (see
+        :meth:`repro.faults.FaultModel.server_capacity_events`)."""
+        if kind == "capacity":
+            self.set_harvest_capacity(at_s, value)
+        elif kind == "notice":
+            self.notice_eviction(at_s, evict_at_s=value)
+        elif kind == "evict":
+            self.fail_server(at_s)
+        else:  # "restore": a replacement server, cold and full-size
+            self.recover_server(at_s)
+            self.set_harvest_capacity(at_s, 1.0)
+
+    def _deflation_key_of(self, now_s: float):
+        """The policy's victim key, frozen at ``now_s``, for the
+        pool's lazy victim index. Policies that select victims without
+        a scalar priority fall back to LRU order (last-used, then id) —
+        the same tie-break every scored key already carries."""
+        policy = self.policy
+
+        def key_of(container: Container) -> Tuple[float, float, int]:
+            try:
+                prio = policy.priority(container, now_s)
+            except NotImplementedError:
+                prio = 0.0
+            return (prio, container.last_used_s, container.container_id)
+
+        return key_of
+
+    def _note_deflations(
+        self, victims: List[Container], now_s: float, target_mb: float
+    ) -> None:
+        """Policy cleanup + observability for containers the pool just
+        deflated away (they are already evicted)."""
+        tracer = self._tracer
+        for container in victims:
+            self.policy.on_evict(container, now_s, self.pool, pressure=True)
+            if tracer is not None:
+                tracer.emit(
+                    "container_deflated",
+                    now_s,
+                    function=container.function.name,
+                    container_id=container.container_id,
+                    memory_mb=container.memory_mb,
+                    target_mb=target_mb,
+                )
+            if now_s >= self.warmup_s:
+                self.metrics.deflations += 1
+        if victims:
+            self._sample_memory(now_s)
+
+    def set_harvest_capacity(self, now_s: float, frac: float) -> None:
+        """Resize this server to ``frac`` of its nominal capacity.
+
+        The graceful path for time-varying (harvested) resources: a
+        shrink evicts idle containers in the policy's victim order via
+        :meth:`ContainerPool.deflate_to` and defers whatever busy
+        containers still hold (freed as they finish —
+        :meth:`_release_finished` resumes the deflation); growth
+        applies immediately. Emits ``capacity_shrunk`` /
+        ``capacity_grown`` and keeps the matching counters. Cluster
+        layers may call this directly to drive harvest timelines
+        centrally.
+        """
+        if frac <= 0.0:
+            raise ValueError(f"capacity fraction must be > 0, got {frac}")
+        target = frac * self._nominal_capacity_mb
+        old = self.pool.capacity_mb
+        victims = self.pool.deflate_to(target, self._deflation_key_of(now_s))
+        self._note_deflations(victims, now_s, target)
+        slack = 1e-9 * max(old, target)
+        if target < old - slack:
+            if now_s >= self.warmup_s:
+                self.metrics.capacity_shrinks += 1
+            if self._tracer is not None:
+                self._tracer.emit(
+                    "capacity_shrunk",
+                    now_s,
+                    server=self._server_index,
+                    old_mb=old,
+                    new_mb=target,
+                    deferred_mb=self.pool.deflation_deferred_mb,
+                )
+        elif target > old + slack:
+            if now_s >= self.warmup_s:
+                self.metrics.capacity_grows += 1
+            if self._tracer is not None:
+                self._tracer.emit(
+                    "capacity_grown",
+                    now_s,
+                    server=self._server_index,
+                    old_mb=old,
+                    new_mb=target,
+                )
+
+    def notice_eviction(self, now_s: float, evict_at_s: float) -> None:
+        """Record a spot-eviction notice for this server.
+
+        The server keeps serving until the eviction lands (the cluster
+        layer stops routing *new* work here — see
+        ``LoadBalancer.mark_draining``); the notice itself is pure
+        observability plus a counter.
+        """
+        if now_s >= self.warmup_s:
+            self.metrics.eviction_notices += 1
+        if self._tracer is not None:
+            self._tracer.emit(
+                "eviction_notice",
+                now_s,
+                server=self._server_index,
+                evict_at_s=evict_at_s,
+                notice_s=max(0.0, evict_at_s - now_s),
+            )
 
     def drain_retries(self) -> None:
         """Run every still-pending retry (and any outage transition

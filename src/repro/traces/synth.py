@@ -30,6 +30,7 @@ __all__ = [
     "figure8_trace",
     "multitenant_trace",
     "noisy_neighbor_trace",
+    "harvest_day_trace",
 ]
 
 
@@ -384,3 +385,77 @@ def noisy_neighbor_trace(
             rng=rng,
         )
     return Trace(functions, invocations, name="noisy-neighbor")
+
+
+def harvest_day_trace(
+    duration_s: float = 3600.0,
+    num_steady: int = 24,
+    num_bursty: int = 6,
+    steady_interarrival_s: float = 20.0,
+    burst_rate_per_s: float = 3.0,
+    burst_duration_s: float = 60.0,
+    idle_duration_s: float = 120.0,
+    jitter: float = 0.2,
+    seed: int = 13,
+) -> Trace:
+    """The harvested-capacity litmus workload (docs/robustness.md).
+
+    A server living on harvested/spot resources sees its memory shrink
+    and grow underneath a *full* warm pool — so this trace is built to
+    keep the pool full: ``num_steady`` heterogeneous functions (sizes
+    and init costs from the Azure-like tenant classes) arrive steadily
+    enough that each stays warm between invocations, plus
+    ``num_bursty`` larger on/off functions whose bursts re-fill any
+    memory a harvest shrink reclaimed. Replayed with a harvest/spot
+    :class:`~repro.faults.FaultSpec`, every shrink must deflate
+    gracefully (victim-order evictions, deferral while busy) rather
+    than raise a ``CapacityError`` — the property the ``chaos-replay``
+    CI job pins byte-for-byte.
+
+    Deterministic given ``seed``; functions carry no tenant ids so the
+    workload composes with any tenant mode.
+    """
+    if num_steady < 1:
+        raise ValueError(f"need at least one steady function, got {num_steady}")
+    if num_bursty < 0:
+        raise ValueError(f"bursty count must be >= 0, got {num_bursty}")
+    rng = random.Random(seed)
+    classes = list(_TENANT_CLASSES.items())
+    functions: List[TraceFunction] = []
+    invocations: List[Invocation] = []
+    for i in range(num_steady):
+        memory_mb, (init_s, __) = classes[i % len(classes)]
+        function = TraceFunction(
+            name=f"steady-{i:03d}",
+            memory_mb=memory_mb,
+            warm_time_s=0.3,
+            cold_time_s=0.3 + init_s,
+        )
+        functions.append(function)
+        iat = steady_interarrival_s * rng.uniform(0.7, 1.3)
+        invocations += periodic_arrivals(
+            function.name,
+            iat,
+            duration_s,
+            start_s=rng.uniform(0.0, iat),
+            jitter=jitter,
+            rng=rng,
+        )
+    for i in range(num_bursty):
+        function = TraceFunction(
+            name=f"bursty-{i:03d}",
+            memory_mb=768.0,
+            warm_time_s=0.2,
+            cold_time_s=1.0,
+        )
+        functions.append(function)
+        invocations += bursty_arrivals(
+            function.name,
+            burst_rate_per_s=burst_rate_per_s,
+            burst_duration_s=burst_duration_s,
+            idle_duration_s=idle_duration_s,
+            total_duration_s=duration_s,
+            start_s=rng.uniform(0.0, burst_duration_s + idle_duration_s),
+            rng=rng,
+        )
+    return Trace(functions, invocations, name="harvest-day")

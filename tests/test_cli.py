@@ -277,6 +277,8 @@ class TestObservabilityCLI:
             "warm_starts", "cold_starts", "dropped",
             "evictions", "expirations", "prewarms",
             "faults_injected", "retries", "sheds", "server_downs",
+            "capacity_shrinks", "capacity_grows", "eviction_notices",
+            "deflations",
         }
         from repro.obs.sinks import read_jsonl_events
 

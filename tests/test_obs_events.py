@@ -129,6 +129,15 @@ class TestJsonlRoundTrip:
                                 "attempts": 4},
             "server_down": {"server": 0},
             "server_recovered": {"server": 0, "downtime_s": 400.0},
+            "capacity_shrunk": {"server": 0, "old_mb": 8192.0,
+                                "new_mb": 4096.0, "deferred_mb": 0.0},
+            "capacity_grown": {"server": 0, "old_mb": 4096.0,
+                               "new_mb": 8192.0},
+            "eviction_notice": {"server": 0, "evict_at_s": 130.0,
+                                "notice_s": 30.0},
+            "container_deflated": {"function": "f", "container_id": 2,
+                                   "memory_mb": 128.0,
+                                   "target_mb": 4096.0},
         }
         assert set(samples) == set(EVENT_TYPES)
         path = tmp_path / "events.jsonl"
@@ -279,4 +288,4 @@ class TestEmitterConformance:
 
     def test_schema_covers_exactly_the_emitted_vocabulary(self):
         assert set(EVENT_SCHEMAS) == set(EVENT_TYPES)
-        assert len(EVENT_TYPES) == 14
+        assert len(EVENT_TYPES) == 18
