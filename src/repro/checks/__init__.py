@@ -2,9 +2,16 @@
 
 Two halves:
 
-* :mod:`repro.checks.linter` — the static AST pass (rules
-  FC001–FC008), run as ``repro-faascache check`` or
-  ``python -m repro.checks``;
+* the static analyzer — a two-phase, project-wide engine: phase 1
+  (:mod:`repro.checks.dataflow`) summarizes every file, phase 2
+  (:mod:`repro.checks.callgraph` + the per-rule modules under
+  :mod:`repro.checks.rules`) resolves set types, return summaries,
+  and async/entry-point reachability across files. Rules FC001–FC011,
+  driven by :mod:`repro.checks.linter` (``repro-faascache check`` /
+  ``python -m repro.checks``), with SARIF output
+  (:mod:`repro.checks.sarif`), an incremental cache
+  (:mod:`repro.checks.cache`) and autofixes
+  (:mod:`repro.checks.fixes`);
 * :mod:`repro.checks.sanitize` — the runtime invariant sanitizer,
   enabled with ``REPRO_SANITIZE=1`` or the CLI ``--sanitize`` flag.
 

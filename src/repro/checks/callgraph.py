@@ -1,0 +1,152 @@
+"""Project call graph with return-type-aware, degrade-to-unknown edges.
+
+Built once per run from the phase-1 :class:`~repro.checks.dataflow.
+ModuleSummary` set, the graph answers the two reachability questions
+the live-mode concurrency rules ask:
+
+* **FC010** — is this (sync) function transitively *called from* an
+  ``async def``? Blocking calls inside such functions stall the event
+  loop just as surely as inside the coroutine itself.
+* **FC009** — from how many distinct *public entry points* is this
+  function reachable? Shared pool/policy state mutated by a helper
+  that two public methods can reach needs lock discipline; a helper
+  confined to one entry point does not.
+
+Edges only exist where the raw call target resolves inside the
+project (``tests/test_checks_dataflow.py`` pins the adversarial
+shapes: cycles terminate, ``functools.partial`` indirection and
+unrecognized decorators degrade to *unknown* — no edge — rather than
+a wrong edge, and re-exports via package ``__init__`` resolve with a
+hop limit).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.checks.dataflow import (
+    ClassSummary,
+    FunctionSummary,
+    ModuleSummary,
+    ProjectIndex,
+)
+
+__all__ = ["CallGraph"]
+
+
+class CallGraph:
+    """Resolved call edges plus the derived reachability sets."""
+
+    def __init__(self, index: ProjectIndex) -> None:
+        self.index = index
+        #: qualname -> resolved callee qualnames
+        self.edges: Dict[str, Tuple[str, ...]] = {}
+        #: qualname -> summary, for every function in the project
+        self.functions: Dict[str, FunctionSummary] = {}
+        self._build()
+        self.async_reachable: Set[str] = self._compute_async_reachable()
+        self._reverse: Optional[Dict[str, List[str]]] = None
+        self._entry_counts: Dict[str, int] = {}
+
+    # -- construction ------------------------------------------------
+
+    def _iter_functions(
+        self,
+    ) -> List[Tuple[ModuleSummary, Optional[ClassSummary], FunctionSummary]]:
+        out: List[
+            Tuple[ModuleSummary, Optional[ClassSummary], FunctionSummary]
+        ] = []
+        for summary in self.index.summaries:
+            for fn in summary.functions.values():
+                out.append((summary, None, fn))
+            for cls in summary.classes.values():
+                for fn in cls.methods.values():
+                    out.append((summary, cls, fn))
+        return out
+
+    def _build(self) -> None:
+        for module, cls, fn in self._iter_functions():
+            self.functions[fn.qualname] = fn
+            resolved: List[str] = []
+            for raw in fn.calls:
+                callee = self.index.resolve_function(
+                    raw, module.module, cls
+                )
+                if callee is not None:
+                    resolved.append(callee.qualname)
+            self.edges[fn.qualname] = tuple(sorted(set(resolved)))
+
+    def _compute_async_reachable(self) -> Set[str]:
+        """Functions reachable *from* async code along call edges
+        (including the async defs themselves)."""
+        reachable: Set[str] = set()
+        queue: deque[str] = deque(
+            qualname
+            for qualname, fn in self.functions.items()
+            if fn.is_async
+        )
+        reachable.update(queue)
+        while queue:
+            current = queue.popleft()
+            for callee in self.edges.get(current, ()):
+                if callee not in reachable:
+                    callee_fn = self.functions.get(callee)
+                    # Crossing into another async def restarts the
+                    # chain anyway; sync callees inherit reachability.
+                    reachable.add(callee)
+                    if callee_fn is not None:
+                        queue.append(callee)
+        return reachable
+
+    # -- queries -----------------------------------------------------
+
+    def callees_of(self, qualname: str) -> Tuple[str, ...]:
+        return self.edges.get(qualname, ())
+
+    def _reverse_edges(self) -> Dict[str, List[str]]:
+        if self._reverse is None:
+            reverse: Dict[str, List[str]] = {}
+            for caller, callees in self.edges.items():
+                for callee in callees:
+                    reverse.setdefault(callee, []).append(caller)
+            self._reverse = reverse
+        return self._reverse
+
+    def public_entry_points(self, qualname: str) -> List[str]:
+        """Distinct public functions/methods from which ``qualname``
+        is reachable (itself included when public), sorted."""
+        reverse = self._reverse_edges()
+        seen: Set[str] = {qualname}
+        queue: deque[str] = deque([qualname])
+        entries: Set[str] = set()
+        while queue:
+            current = queue.popleft()
+            fn = self.functions.get(current)
+            if fn is not None and fn.is_public:
+                entries.add(current)
+            for caller in reverse.get(current, ()):
+                if caller not in seen:
+                    seen.add(caller)
+                    queue.append(caller)
+        return sorted(entries)
+
+    def public_entry_count(self, qualname: str) -> int:
+        cached = self._entry_counts.get(qualname)
+        if cached is None:
+            cached = len(self.public_entry_points(qualname))
+            self._entry_counts[qualname] = cached
+        return cached
+
+    # -- cache support ----------------------------------------------
+
+    def identity_facts(self) -> Dict[str, Tuple[Tuple[str, ...], bool]]:
+        """Order-independent facts for the incremental cache's
+        environment hash: the resolved edge set and async markers."""
+        return {
+            qualname: (
+                self.edges.get(qualname, ()),
+                fn.is_async,
+            )
+            for qualname, fn in sorted(self.functions.items())
+        }

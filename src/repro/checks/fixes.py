@@ -1,0 +1,280 @@
+"""Autofixes for the mechanical rules (``repro-faascache check --fix``).
+
+Two rewrites, both span-based (``end_lineno``/``end_col_offset``) and
+applied bottom-up so earlier edits never shift later spans:
+
+* **FC008** — a mutable default becomes ``None`` plus an
+  ``if <arg> is None: <arg> = <original>`` guard inserted after the
+  docstring. Lambdas are reported but not fixed (no body to guard in).
+* **FC007** — ``a == 0.5`` / ``a != 0.5`` become
+  ``math.isclose(a, 0.5)`` / ``not math.isclose(a, 0.5)``, with
+  ``import math`` inserted after the module's import block when
+  missing. Chained comparisons are left for a human.
+
+Lines carrying a covering ``noqa`` are never rewritten.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.checks.dataflow import module_name_for
+from repro.checks.rules.base import line_suppresses
+from repro.checks.rules.fc007_float_equality import (
+    FLOAT_EQ_SCOPE,
+    is_floatish,
+)
+from repro.checks.rules.fc008_mutable_defaults import is_mutable_default
+
+__all__ = ["fix_source", "fix_paths"]
+
+#: (start_offset, end_offset, replacement) on the raw source text.
+_Edit = Tuple[int, int, str]
+
+
+def _line_offsets(source: str) -> List[int]:
+    offsets = [0]
+    for line in source.splitlines(keepends=True):
+        offsets.append(offsets[-1] + len(line))
+    return offsets
+
+def _offset(offsets: List[int], lineno: int, col: int) -> int:
+    return offsets[lineno - 1] + col
+
+
+def _span(offsets: List[int], node: ast.expr) -> Optional[Tuple[int, int]]:
+    if node.end_lineno is None or node.end_col_offset is None:
+        return None
+    return (
+        _offset(offsets, node.lineno, node.col_offset),
+        _offset(offsets, node.end_lineno, node.end_col_offset),
+    )
+
+
+def _in_scope(module: Optional[str], prefixes: Sequence[str]) -> bool:
+    if module is None:
+        return False
+    return any(
+        module == prefix or module.startswith(prefix + ".")
+        for prefix in prefixes
+    )
+
+
+def _suppressed(lines: List[str], lineno: int, code: str) -> bool:
+    if not 1 <= lineno <= len(lines):
+        return False
+    return line_suppresses(lines[lineno - 1], code)
+
+
+# ----------------------------------------------------------------------
+# FC008: mutable defaults
+# ----------------------------------------------------------------------
+
+
+def _default_pairs(
+    args: ast.arguments,
+) -> List[Tuple[str, ast.expr]]:
+    pairs: List[Tuple[str, ast.expr]] = []
+    positional = list(args.posonlyargs) + list(args.args)
+    for arg, default in zip(
+        positional[len(positional) - len(args.defaults):], args.defaults
+    ):
+        pairs.append((arg.arg, default))
+    for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+        if default is not None:
+            pairs.append((arg.arg, default))
+    return pairs
+
+
+def _guard_insertion_stmt(
+    node: Union[ast.FunctionDef, ast.AsyncFunctionDef]
+) -> Optional[ast.stmt]:
+    """The statement the ``is None`` guards go in front of (the first
+    non-docstring one), or ``None`` when the body offers no safe spot
+    (single-line defs, docstring-only bodies)."""
+    body = node.body
+    if not body:
+        return None
+    first = body[0]
+    if (
+        isinstance(first, ast.Expr)
+        and isinstance(first.value, ast.Constant)
+        and isinstance(first.value.value, str)
+    ):
+        body = body[1:]
+        if not body:
+            return None
+        first = body[0]
+    if first.lineno <= node.lineno:
+        return None  # body on the def line itself
+    return first
+
+
+def _fc008_edits(
+    tree: ast.Module,
+    source: str,
+    lines: List[str],
+    offsets: List[int],
+) -> List[_Edit]:
+    edits: List[_Edit] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        fixable: List[Tuple[str, ast.expr]] = []
+        for name, default in _default_pairs(node.args):
+            if not is_mutable_default(default):
+                continue
+            if _suppressed(lines, default.lineno, "FC008"):
+                continue
+            fixable.append((name, default))
+        if not fixable:
+            continue
+        anchor = _guard_insertion_stmt(node)
+        if anchor is None:
+            continue
+        guard_lines: List[str] = []
+        local_edits: List[_Edit] = []
+        indent = lines[anchor.lineno - 1][: anchor.col_offset]
+        ok = True
+        for name, default in fixable:
+            original = ast.get_source_segment(source, default)
+            span = _span(offsets, default)
+            if original is None or span is None:
+                ok = False
+                break
+            guard_lines.append(f"{indent}if {name} is None:\n")
+            guard_lines.append(f"{indent}    {name} = {original}\n")
+            local_edits.append((span[0], span[1], "None"))
+        if not ok:
+            continue
+        insert_at = _offset(offsets, anchor.lineno, 0)
+        local_edits.append((insert_at, insert_at, "".join(guard_lines)))
+        edits.extend(local_edits)
+    return edits
+
+
+# ----------------------------------------------------------------------
+# FC007: float equality
+# ----------------------------------------------------------------------
+
+
+def _has_math_import(tree: ast.Module) -> bool:
+    for node in tree.body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "math" and alias.asname in (None, "math"):
+                    return True
+    return False
+
+
+def _import_insert_line(tree: ast.Module) -> int:
+    """1-based line to insert ``import math`` at (start of that line)."""
+    body = list(tree.body)
+    index = 0
+    if (
+        body
+        and isinstance(body[0], ast.Expr)
+        and isinstance(body[0].value, ast.Constant)
+        and isinstance(body[0].value.value, str)
+    ):
+        index = 1
+    last_import: Optional[ast.stmt] = None
+    for node in body[index:]:
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            last_import = node
+        else:
+            break
+    if last_import is not None and last_import.end_lineno is not None:
+        return last_import.end_lineno + 1
+    if index == 1 and body[0].end_lineno is not None:
+        return body[0].end_lineno + 1
+    return body[index].lineno if len(body) > index else 1
+
+
+def _fc007_edits(
+    tree: ast.Module,
+    source: str,
+    lines: List[str],
+    offsets: List[int],
+    module: Optional[str],
+) -> List[_Edit]:
+    if not _in_scope(module, FLOAT_EQ_SCOPE):
+        return []
+    edits: List[_Edit] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Compare) or len(node.ops) != 1:
+            continue
+        op = node.ops[0]
+        if not isinstance(op, (ast.Eq, ast.NotEq)):
+            continue
+        left, right = node.left, node.comparators[0]
+        if not (is_floatish(left) or is_floatish(right)):
+            continue
+        if _suppressed(lines, node.lineno, "FC007"):
+            continue
+        span = _span(offsets, node)
+        left_src = ast.get_source_segment(source, left)
+        right_src = ast.get_source_segment(source, right)
+        if span is None or left_src is None or right_src is None:
+            continue
+        call = f"math.isclose({left_src}, {right_src})"
+        if isinstance(op, ast.NotEq):
+            call = f"not {call}"
+        edits.append((span[0], span[1], call))
+    if edits and not _has_math_import(tree):
+        at = _offset(offsets, min(_import_insert_line(tree),
+                                  len(offsets) - 1), 0)
+        edits.append((at, at, "import math\n"))
+    return edits
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+
+
+def fix_source(
+    source: str,
+    module: Optional[str],
+    select: Optional[Set[str]] = None,
+) -> Tuple[str, int]:
+    """Apply every available autofix; ``(new_source, n_fixes)``."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return source, 0
+    lines = source.splitlines()
+    offsets = _line_offsets(source)
+    edits: List[_Edit] = []
+    if select is None or "FC008" in select:
+        edits += _fc008_edits(tree, source, lines, offsets)
+    if select is None or "FC007" in select:
+        edits += _fc007_edits(tree, source, lines, offsets, module)
+    if not edits:
+        return source, 0
+    fixes = sum(1 for start, end, _ in edits if start != end)
+    out = source
+    for start, end, replacement in sorted(edits, reverse=True):
+        out = out[:start] + replacement + out[end:]
+    return out, fixes
+
+
+def fix_paths(
+    paths: Sequence[pathlib.Path],
+    select: Optional[Set[str]] = None,
+) -> Dict[str, int]:
+    """Rewrite each fixable file in place; path -> fix count."""
+    fixed: Dict[str, int] = {}
+    for path in paths:
+        try:
+            source = path.read_text()
+        except OSError:
+            continue
+        module = module_name_for(path, source)
+        new_source, count = fix_source(source, module, select=select)
+        if count and new_source != source:
+            path.write_text(new_source)
+            fixed[str(path)] = count
+    return fixed

@@ -1,75 +1,37 @@
-"""`repro.checks` — the determinism & invariant static-analysis pass.
+"""Driver for the determinism & invariant linter (rules FC001-FC011).
 
-A standalone, ruff-plugin-style AST linter with rules tuned to the
-invariants this reproduction's credibility rests on: seeded replays
-must be byte-identical serial vs. parallel (FaasCache, ASPLOS 2021 is
-only believable if the simulator is deterministic), the Azure-trace
-methodology (Shahrad et al., ATC 2020) demands replayable experiments,
-and the observability/robustness layers promise that every traced
-event type stays mirrored across ``SimulationMetrics`` /
-``TraceReport`` / ``SweepPoint`` and that nothing crossing the sweep
-process boundary is unpicklable.
+The analysis itself lives in three sibling modules — this file only
+orchestrates the two phases and owns the CLI:
 
-Rule catalog (full rationale in ``docs/static-analysis.md``):
+* :mod:`repro.checks.dataflow` — phase 1: each file is parsed once
+  and reduced to a JSON-serializable ``ModuleSummary`` (set-typed
+  constants/attributes/returns, counter definitions, concurrency
+  imports). Purely syntactic; never imports the sources it reads.
+* :mod:`repro.checks.callgraph` — phase 2 support: resolved call
+  edges, async reachability, public-entry-point counts.
+* :mod:`repro.checks.rules` — the rule registry; each rule is one
+  module under ``rules/`` plugged into the shared
+  :class:`~repro.checks.rules.base.FileEngine` walk.
 
-========  ============================================================
-``FC001``  wall-clock reads (``time.time``/``time.monotonic``/
-           ``datetime.now`` ...) in the deterministic modules
-           (``repro.sim``/``core``/``cluster``/``faults``);
-           ``repro.core.clock`` is the one sanctioned definer.
-``FC002``  global / unseeded RNG (module-level ``random.*`` calls,
-           legacy ``np.random.*``, argument-less ``random.Random()``)
-           in simulation paths — randomness must flow through a
-           seeded ``Random``/``Generator`` instance.
-``FC003``  iteration over a bare ``set()``/``frozenset()``/set
-           literal without ``sorted(...)`` in a deterministic path,
-           iteration over a *variable* known to hold a set (assigned
-           from a set expression, ``Set[...]``-annotated, or a
-           ``.get(..., set())`` default), and membership sets rebuilt
-           per loop iteration.
-``FC004``  event-name string literals passed to ``Tracer.emit`` (or
-           any ``.emit("...")`` call) that are not registered in
-           ``repro.obs.events.EVENT_SCHEMAS`` — typo'd event types
-           die at lint time, not in a flaky replay test.
-``FC005``  lifecycle-counter drift: the key set of
-           ``SimulationMetrics.counters()`` must equal
-           ``TraceReport.counters()``, every key must be a real
-           dataclass field, and ``SweepPoint`` must carry them. The
-           per-tenant half mirrors this: both classes must define
-           ``tenant_counters()`` with identical inner keys and
-           ``SweepPoint`` must carry a ``tenant_counters`` snapshot.
-``FC006``  ``lambda``/local-function values in dataclass field
-           defaults or in arguments shipped to
-           ``run_sweep_parallel`` (pickle safety; the parent-side
-           ``progress=`` callback is exempt).
-``FC007``  float ``==``/``!=`` comparisons in sim/policy code
-           (priority math) — compare with a tolerance instead.
-``FC008``  mutable default arguments anywhere in ``src/repro``.
-========  ============================================================
-
-Suppression: append ``# noqa: FC00X`` (or a bare ``# noqa``) to the
-flagged line. Suppressed findings are still counted and reported by
-``--stats`` so they can be triaged (see ROADMAP.md's open items).
-
-Files outside an importable package (tests, scripts) can opt into the
-scoped rules with a ``# repro-checks-module: repro.sim.something``
-pragma in their first lines — this is how the rule fixtures under
-``tests/fixtures/checks/`` exercise path-scoped rules.
-
-No runtime dependencies beyond the standard library: the cross-module
-symbol table (FC004/FC005) is built by *parsing* the project sources,
-never importing them.
+The driver adds the parts a lint *run* needs: file discovery, noqa
+suppression (with a typo guard — a noqa naming an unknown ``FCxxx``
+code is itself reported as FC000), the incremental cache
+(:mod:`repro.checks.cache`), SARIF output (:mod:`repro.checks.sarif`),
+and the ``--fix`` autofixer (:mod:`repro.checks.fixes`).
 """
 
 from __future__ import annotations
 
 import argparse
 import ast
+import hashlib
+import json
 import pathlib
 import re
 import sys
 from dataclasses import dataclass, field
 from typing import (
+    Any,
     Collection,
     Dict,
     List,
@@ -80,116 +42,36 @@ from typing import (
     Union,
 )
 
+from repro.checks.cache import DEFAULT_CACHE_PATH, CheckCache
+from repro.checks.callgraph import CallGraph
+from repro.checks.dataflow import (
+    ModuleSummary,
+    ProjectIndex,
+    module_name_for,
+    summarize_module,
+)
+from repro.checks.rules import (
+    ALL_RULES,
+    NOQA_GUARD_CODE,
+    RULES,
+    FileEngine,
+    Finding,
+)
+from repro.checks.rules.base import NOQA_RE, line_suppresses
+
 __all__ = [
     "RULES",
     "Finding",
     "CheckResult",
     "check_paths",
     "format_finding",
+    "iter_python_files",
+    "module_name_for",
     "main",
 ]
 
-#: code -> (summary, fix hint). The single source of rule metadata:
-#: the CLI, the docs table, and the tests all read from here.
-RULES: Dict[str, Tuple[str, str]] = {
-    "FC001": (
-        "wall-clock read in a deterministic module",
-        "route wall timing through repro.core.clock.wall_clock_s or "
-        "compute from simulated time",
-    ),
-    "FC002": (
-        "global or unseeded RNG in a simulation path",
-        "draw from a seeded random.Random(seed) / "
-        "numpy.random.default_rng(seed) instance",
-    ),
-    "FC003": (
-        "unordered set iterated (or rebuilt per element) in a "
-        "deterministic path",
-        "iterate sorted(the_set) instead; hoist membership sets out "
-        "of the loop",
-    ),
-    "FC004": (
-        "unknown event type passed to .emit()",
-        "use a name registered in repro.obs.events.EVENT_SCHEMAS",
-    ),
-    "FC005": (
-        "lifecycle-counter contract drift",
-        "mirror the counter key in SimulationMetrics.counters(), "
-        "TraceReport.counters() (and their tenant_counters() inner "
-        "dicts) and keep SweepPoint's counters/tenant_counters fields",
-    ),
-    "FC006": (
-        "unpicklable callable in a dataclass default or "
-        "run_sweep_parallel argument",
-        "use a module-level function (the parent-side progress= "
-        "callback is exempt)",
-    ),
-    "FC007": (
-        "float equality comparison in sim/policy code",
-        "compare with a tolerance (abs(a - b) <= eps) or math.isclose",
-    ),
-    "FC008": (
-        "mutable default argument",
-        "default to None and create the object inside the function",
-    ),
-}
-
-#: Package prefixes whose modules must stay deterministic.
-_DETERMINISTIC = ("repro.sim", "repro.core", "repro.cluster", "repro.faults")
-_FC001_SCOPE = _DETERMINISTIC
-#: The one module allowed to read the wall clock (it defines the
-#: sanctioned accessor everything else routes through).
-_FC001_EXEMPT = "repro.core.clock"
-_FC002_SCOPE = _DETERMINISTIC + (
-    "repro.traces",
-    "repro.openwhisk",
-    "repro.provisioning",
-)
-_FC003_SCOPE = _DETERMINISTIC + ("repro.traces",)
-#: repro.analysis feeds the HIST policy's predictability classifier
-#: (Welford CoV), so its float guards are priority math too.
-_FC007_SCOPE = ("repro.sim", "repro.core", "repro.analysis")
-
-_WALL_CLOCK_CALLS = frozenset(
-    {
-        "time.time",
-        "time.time_ns",
-        "time.monotonic",
-        "time.monotonic_ns",
-        "time.perf_counter",
-        "time.perf_counter_ns",
-        "time.process_time",
-        "time.process_time_ns",
-        "datetime.now",
-        "datetime.utcnow",
-        "datetime.today",
-        "datetime.datetime.now",
-        "datetime.datetime.utcnow",
-        "datetime.date.today",
-        "date.today",
-    }
-)
-_WALL_CLOCK_NAMES = frozenset(
-    {
-        "time",
-        "time_ns",
-        "monotonic",
-        "monotonic_ns",
-        "perf_counter",
-        "perf_counter_ns",
-        "process_time",
-        "process_time_ns",
-    }
-)
-#: random-module attributes that are fine to call (class constructors,
-#: checked separately for missing seeds).
-_RANDOM_OK = frozenset({"Random", "SystemRandom"})
-_NP_RANDOM_OK = frozenset({"default_rng", "Generator", "SeedSequence"})
-
-_NOQA_RE = re.compile(
-    r"#\s*noqa(?::\s*(?P<codes>[A-Z]+\d+(?:[,\s]+[A-Z]+\d+)*))?",
-    re.IGNORECASE,
-)
+#: Kept under the old private names for in-repo callers.
+_NOQA_RE = NOQA_RE
 _PRAGMA_RE = re.compile(r"#\s*repro-checks-module:\s*([\w.]+)")
 
 #: Directory fragment excluded from directory walks by default: the
@@ -197,20 +79,7 @@ _PRAGMA_RE = re.compile(r"#\s*repro-checks-module:\s*([\w.]+)")
 #: self-clean CI run (tests address them file-by-file instead).
 _FIXTURE_FRAGMENT = "fixtures/checks"
 
-
-@dataclass(frozen=True)
-class Finding:
-    """One rule violation (or suppressed violation) at a location."""
-
-    path: str
-    line: int
-    col: int
-    code: str
-    message: str
-
-    @property
-    def hint(self) -> str:
-        return RULES.get(self.code, ("", ""))[1]
+_FC_CODE_RE = re.compile(r"^FC\d+$")
 
 
 @dataclass
@@ -220,16 +89,47 @@ class CheckResult:
     findings: List[Finding] = field(default_factory=list)
     suppressed: List[Finding] = field(default_factory=list)
     files_checked: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def ok(self) -> bool:
         return not self.findings
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
 
     def counts_by_code(self, suppressed: bool = False) -> Dict[str, int]:
         out: Dict[str, int] = {}
         for finding in self.suppressed if suppressed else self.findings:
             out[finding.code] = out.get(finding.code, 0) + 1
         return out
+
+    def stats_dict(self, include_cache: bool = True) -> Dict[str, Any]:
+        """The ``--stats-json`` payload. CI diffs the cold and warm
+        runs on this minus the ``cache`` section, so everything else
+        in here must be run-order and cache-state independent."""
+        payload: Dict[str, Any] = {
+            "files_checked": self.files_checked,
+            "findings": len(self.findings),
+            "suppressed": len(self.suppressed),
+            "findings_by_rule": dict(
+                sorted(self.counts_by_code().items())
+            ),
+            "suppressed_by_rule": dict(
+                sorted(self.counts_by_code(suppressed=True).items())
+            ),
+            "rules": sorted(RULES),
+        }
+        if include_cache:
+            payload["cache"] = {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "hit_rate": round(self.cache_hit_rate, 4),
+            }
+        return payload
 
 
 def format_finding(finding: Finding) -> str:
@@ -243,809 +143,7 @@ def format_finding(finding: Finding) -> str:
 
 
 # ----------------------------------------------------------------------
-# Source model
-# ----------------------------------------------------------------------
-
-
-def _dotted(node: ast.expr) -> Optional[str]:
-    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
-    if isinstance(node, ast.Name):
-        return node.id
-    if isinstance(node, ast.Attribute):
-        base = _dotted(node.value)
-        if base is None:
-            return None
-        return f"{base}.{node.attr}"
-    return None
-
-
-def module_name_for(path: pathlib.Path, source: str) -> Optional[str]:
-    """The dotted module a file belongs to, or ``None``.
-
-    A ``# repro-checks-module: <dotted>`` pragma in the first lines
-    wins; otherwise the name is derived by walking up through package
-    directories (ones holding ``__init__.py``).
-    """
-    head = "\n".join(source.splitlines()[:12])
-    match = _PRAGMA_RE.search(head)
-    if match:
-        return match.group(1)
-    resolved = path.resolve()
-    parts: List[str] = []
-    current = resolved.parent
-    while (current / "__init__.py").exists():
-        parts.append(current.name)
-        parent = current.parent
-        if parent == current:  # filesystem root
-            break
-        current = parent
-    if not parts:
-        return None
-    parts.reverse()
-    if resolved.stem != "__init__":
-        parts.append(resolved.stem)
-    return ".".join(parts)
-
-
-def _in_scope(module: Optional[str], prefixes: Sequence[str]) -> bool:
-    if module is None:
-        return False
-    return any(
-        module == prefix or module.startswith(prefix + ".")
-        for prefix in prefixes
-    )
-
-
-@dataclass
-class _SourceFile:
-    path: pathlib.Path
-    source: str
-    tree: ast.Module
-    module: Optional[str]
-
-    @property
-    def lines(self) -> List[str]:
-        return self.source.splitlines()
-
-
-# ----------------------------------------------------------------------
-# Cross-module symbol table (FC004 / FC005)
-# ----------------------------------------------------------------------
-
-#: Canonical project files, used when the checked file set does not
-#: itself (re)define the symbol — e.g. when linting one fixture file.
-_REPRO_ROOT = pathlib.Path(__file__).resolve().parents[1]
-_CANONICAL_EVENTS = _REPRO_ROOT / "obs" / "events.py"
-_CANONICAL_METRICS = _REPRO_ROOT / "sim" / "metrics.py"
-_CANONICAL_REPORT = _REPRO_ROOT / "obs" / "report.py"
-_CANONICAL_SWEEP = _REPRO_ROOT / "sim" / "sweep.py"
-
-
-@dataclass
-class _CounterDef:
-    """The ``counters()`` dict-literal keys of one class definition."""
-
-    path: str
-    line: int
-    keys: Set[str]
-    fields: Set[str]
-    from_checked: bool
-    #: Inner dict-literal keys of the class's ``tenant_counters``
-    #: method (the per-tenant half of the contract), or ``None`` when
-    #: the class defines no such method.
-    tenant_keys: Optional[Set[str]] = None
-    tenant_line: int = 0
-
-
-@dataclass
-class ProjectSymbols:
-    """Everything the cross-module rules need to know about the project."""
-
-    event_names: Set[str] = field(default_factory=set)
-    metrics: Optional[_CounterDef] = None
-    report: Optional[_CounterDef] = None
-    sweep_fields: Optional[Set[str]] = None
-    sweep_from_checked: bool = False
-
-
-def _class_fields(node: ast.ClassDef) -> Set[str]:
-    names: Set[str] = set()
-    for stmt in node.body:
-        if isinstance(stmt, ast.AnnAssign) and isinstance(
-            stmt.target, ast.Name
-        ):
-            names.add(stmt.target.id)
-        elif isinstance(stmt, ast.Assign):
-            for target in stmt.targets:
-                if isinstance(target, ast.Name):
-                    names.add(target.id)
-    return names
-
-
-def _counters_keys(node: ast.ClassDef) -> Optional[Tuple[int, Set[str]]]:
-    """Keys of the dict literal returned by a ``counters`` method."""
-    for stmt in node.body:
-        if isinstance(stmt, ast.FunctionDef) and stmt.name == "counters":
-            for sub in ast.walk(stmt):
-                if isinstance(sub, ast.Return) and isinstance(
-                    sub.value, ast.Dict
-                ):
-                    keys = {
-                        key.value
-                        for key in sub.value.keys
-                        if isinstance(key, ast.Constant)
-                        and isinstance(key.value, str)
-                    }
-                    return stmt.lineno, keys
-    return None
-
-
-def _tenant_counter_keys(
-    node: ast.ClassDef,
-) -> Optional[Tuple[int, Set[str]]]:
-    """Inner dict-literal keys of a ``tenant_counters`` method.
-
-    The method returns ``{tenant_id: {"warm_starts": ..., ...}}`` —
-    the outer mapping is keyed by runtime tenant ids, so the contract
-    lives in the *inner* literal's string keys. The first dict literal
-    with string-constant keys found anywhere in the method body is
-    taken as that inner literal (it sits inside a dict comprehension
-    in both real implementations).
-    """
-    for stmt in node.body:
-        if (
-            isinstance(stmt, ast.FunctionDef)
-            and stmt.name == "tenant_counters"
-        ):
-            for sub in ast.walk(stmt):
-                if isinstance(sub, ast.Dict):
-                    keys = {
-                        key.value
-                        for key in sub.keys
-                        if isinstance(key, ast.Constant)
-                        and isinstance(key.value, str)
-                    }
-                    if keys:
-                        return stmt.lineno, keys
-            return stmt.lineno, set()
-    return None
-
-
-def _harvest_symbols(
-    symbols: ProjectSymbols, source_file: _SourceFile, from_checked: bool
-) -> None:
-    for node in ast.walk(source_file.tree):
-        if isinstance(node, (ast.Assign, ast.AnnAssign)):
-            targets = (
-                node.targets
-                if isinstance(node, ast.Assign)
-                else [node.target]
-            )
-            for target in targets:
-                if (
-                    isinstance(target, ast.Name)
-                    and target.id == "EVENT_SCHEMAS"
-                    and isinstance(node.value, ast.Dict)
-                ):
-                    symbols.event_names.update(
-                        key.value
-                        for key in node.value.keys
-                        if isinstance(key, ast.Constant)
-                        and isinstance(key.value, str)
-                    )
-        elif isinstance(node, ast.ClassDef):
-            if node.name in ("SimulationMetrics", "TraceReport"):
-                found = _counters_keys(node)
-                if found is None:
-                    continue
-                line, keys = found
-                definition = _CounterDef(
-                    path=str(source_file.path),
-                    line=line,
-                    keys=keys,
-                    fields=_class_fields(node),
-                    from_checked=from_checked,
-                )
-                tenant_found = _tenant_counter_keys(node)
-                if tenant_found is not None:
-                    definition.tenant_line, definition.tenant_keys = (
-                        tenant_found
-                    )
-                if node.name == "SimulationMetrics":
-                    symbols.metrics = definition
-                else:
-                    symbols.report = definition
-            elif node.name == "SweepPoint":
-                symbols.sweep_fields = _class_fields(node)
-                symbols.sweep_from_checked = from_checked
-
-
-def _load_canonical(path: pathlib.Path) -> Optional[_SourceFile]:
-    try:
-        source = path.read_text()
-        tree = ast.parse(source, filename=str(path))
-    except (OSError, SyntaxError):
-        return None
-    return _SourceFile(path=path, source=source, tree=tree, module=None)
-
-
-def collect_symbols(checked: Sequence[_SourceFile]) -> ProjectSymbols:
-    """Build the symbol table: canonical sources first, then any
-    (re)definitions found in the checked file set override them."""
-    symbols = ProjectSymbols()
-    for canonical in (
-        _CANONICAL_METRICS,
-        _CANONICAL_REPORT,
-        _CANONICAL_SWEEP,
-    ):
-        loaded = _load_canonical(canonical)
-        if loaded is not None:
-            _harvest_symbols(symbols, loaded, from_checked=False)
-    # Event vocabulary: a schema defined *in the checked set* wins
-    # (fixtures may declare a restricted vocabulary); otherwise the
-    # canonical repro/obs/events.py supplies it, so linting a single
-    # file still sees the real registry.
-    checked_symbols = ProjectSymbols()
-    for source_file in checked:
-        _harvest_symbols(checked_symbols, source_file, from_checked=True)
-    if checked_symbols.event_names:
-        symbols.event_names = checked_symbols.event_names
-    else:
-        canonical_events = _load_canonical(_CANONICAL_EVENTS)
-        if canonical_events is not None:
-            _harvest_symbols(symbols, canonical_events, from_checked=False)
-    if checked_symbols.metrics is not None:
-        symbols.metrics = checked_symbols.metrics
-    if checked_symbols.report is not None:
-        symbols.report = checked_symbols.report
-    if checked_symbols.sweep_fields is not None:
-        symbols.sweep_fields = checked_symbols.sweep_fields
-        symbols.sweep_from_checked = True
-    return symbols
-
-
-# ----------------------------------------------------------------------
-# Per-file visitor
-# ----------------------------------------------------------------------
-
-
-class _Visitor(ast.NodeVisitor):
-    """Runs every per-file rule over one parsed module."""
-
-    def __init__(
-        self,
-        source_file: _SourceFile,
-        symbols: ProjectSymbols,
-        select: Optional[Collection[str]],
-    ) -> None:
-        self._file = source_file
-        self._symbols = symbols
-        self._select = frozenset(select) if select is not None else None
-        self._loop_depth = 0
-        self._local_funcs: List[Set[str]] = []
-        # FC003 variable tracking: per-scope names known to hold a
-        # set. The stack bottom is module scope; each function pushes
-        # its own frame. Lookups stay within the innermost frame, so a
-        # closure capture never produces a cross-scope false positive.
-        self._set_vars: List[Set[str]] = [set()]
-        self.findings: List[Finding] = []
-
-    # -- plumbing ----------------------------------------------------
-
-    def _report(self, node: ast.AST, code: str, message: str) -> None:
-        if self._select is not None and code not in self._select:
-            return
-        self.findings.append(
-            Finding(
-                path=str(self._file.path),
-                line=getattr(node, "lineno", 1),
-                col=getattr(node, "col_offset", 0),
-                code=code,
-                message=message,
-            )
-        )
-
-    def _scoped(self, prefixes: Sequence[str]) -> bool:
-        return _in_scope(self._file.module, prefixes)
-
-    # -- FC001 / FC002: wall clocks and global RNG -------------------
-
-    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
-        if (
-            node.module == "time"
-            and self._scoped(_FC001_SCOPE)
-            and self._file.module != _FC001_EXEMPT
-        ):
-            for alias in node.names:
-                if alias.name in _WALL_CLOCK_NAMES:
-                    self._report(
-                        node,
-                        "FC001",
-                        f"from time import {alias.name}: wall-clock access "
-                        "in a deterministic module",
-                    )
-        if node.module == "random" and self._scoped(_FC002_SCOPE):
-            for alias in node.names:
-                if alias.name not in _RANDOM_OK:
-                    self._report(
-                        node,
-                        "FC002",
-                        f"from random import {alias.name}: module-level RNG "
-                        "in a simulation path",
-                    )
-        self.generic_visit(node)
-
-    def _check_call_clock_rng(self, node: ast.Call, dotted: str) -> None:
-        if (
-            dotted in _WALL_CLOCK_CALLS
-            and self._scoped(_FC001_SCOPE)
-            and self._file.module != _FC001_EXEMPT
-        ):
-            self._report(
-                node,
-                "FC001",
-                f"{dotted}() reads the wall clock in deterministic module "
-                f"{self._file.module}",
-            )
-        if not self._scoped(_FC002_SCOPE):
-            return
-        parts = dotted.split(".")
-        if len(parts) == 2 and parts[0] == "random":
-            if parts[1] not in _RANDOM_OK:
-                self._report(
-                    node,
-                    "FC002",
-                    f"{dotted}() draws from the process-global RNG; "
-                    "simulation randomness must be seeded",
-                )
-            elif parts[1] == "Random" and not node.args and not node.keywords:
-                self._report(
-                    node,
-                    "FC002",
-                    "random.Random() without a seed is entropy-seeded "
-                    "and nondeterministic",
-                )
-        elif (
-            len(parts) == 3
-            and parts[0] in ("np", "numpy")
-            and parts[1] == "random"
-        ):
-            if parts[2] not in _NP_RANDOM_OK:
-                self._report(
-                    node,
-                    "FC002",
-                    f"{dotted}() uses numpy's legacy global RNG; use a "
-                    "seeded Generator",
-                )
-            elif (
-                parts[2] == "default_rng"
-                and not node.args
-                and not node.keywords
-            ):
-                self._report(
-                    node,
-                    "FC002",
-                    f"{dotted}() without a seed is entropy-seeded and "
-                    "nondeterministic",
-                )
-
-    # -- FC003: unordered iteration ----------------------------------
-
-    @staticmethod
-    def _is_bare_set(node: ast.expr) -> bool:
-        if isinstance(node, (ast.Set, ast.SetComp)):
-            return True
-        return (
-            isinstance(node, ast.Call)
-            and isinstance(node.func, ast.Name)
-            and node.func.id in ("set", "frozenset")
-        )
-
-    @staticmethod
-    def _is_set_annotation(node: Optional[ast.expr]) -> bool:
-        """``set``/``Set[...]``-style annotations, dotted or not."""
-        if node is None:
-            return False
-        if isinstance(node, ast.Subscript):
-            node = node.value
-        dotted = _dotted(node)
-        if dotted is None:
-            return False
-        return dotted.split(".")[-1] in (
-            "set",
-            "frozenset",
-            "Set",
-            "FrozenSet",
-            "AbstractSet",
-            "MutableSet",
-        )
-
-    @classmethod
-    def _is_set_valued(cls, node: Optional[ast.expr]) -> bool:
-        """Expressions that definitely produce a set: bare set
-        expressions, and ``.get``/``.setdefault`` calls whose default
-        argument is one (the idiom set-typed indices are read with)."""
-        if node is None:
-            return False
-        if cls._is_bare_set(node):
-            return True
-        return (
-            isinstance(node, ast.Call)
-            and isinstance(node.func, ast.Attribute)
-            and node.func.attr in ("get", "setdefault")
-            and any(cls._is_bare_set(arg) for arg in node.args[1:])
-        )
-
-    def _track_assignment(
-        self, target: ast.expr, value: Optional[ast.expr],
-        annotation: Optional[ast.expr] = None,
-    ) -> None:
-        if not isinstance(target, ast.Name):
-            return
-        scope = self._set_vars[-1]
-        if self._is_set_valued(value) or self._is_set_annotation(annotation):
-            scope.add(target.id)
-        else:
-            # Rebound to something else: stop treating it as a set.
-            scope.discard(target.id)
-
-    def visit_Assign(self, node: ast.Assign) -> None:
-        for target in node.targets:
-            self._track_assignment(target, node.value)
-        self.generic_visit(node)
-
-    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
-        self._track_assignment(node.target, node.value, node.annotation)
-        self.generic_visit(node)
-
-    def _check_iteration(self, iter_node: ast.expr) -> None:
-        if not self._scoped(_FC003_SCOPE):
-            return
-        if self._is_bare_set(iter_node):
-            self._report(
-                iter_node,
-                "FC003",
-                "iterating an unordered set in a deterministic path; "
-                "wrap it in sorted(...)",
-            )
-        elif (
-            isinstance(iter_node, ast.Name)
-            and iter_node.id in self._set_vars[-1]
-        ):
-            self._report(
-                iter_node,
-                "FC003",
-                f"{iter_node.id!r} holds a set and reaches this loop "
-                "unordered; iterate sorted(...) of it",
-            )
-
-    def visit_For(self, node: ast.For) -> None:
-        self._check_iteration(node.iter)
-        self._loop_depth += 1
-        self.generic_visit(node)
-        self._loop_depth -= 1
-
-    def visit_While(self, node: ast.While) -> None:
-        self._loop_depth += 1
-        self.generic_visit(node)
-        self._loop_depth -= 1
-
-    def _visit_comprehension(
-        self,
-        node: Union[ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp],
-    ) -> None:
-        for generator in node.generators:
-            self._check_iteration(generator.iter)
-        self._loop_depth += 1
-        self.generic_visit(node)
-        self._loop_depth -= 1
-
-    def visit_ListComp(self, node: ast.ListComp) -> None:
-        self._visit_comprehension(node)
-
-    def visit_SetComp(self, node: ast.SetComp) -> None:
-        self._visit_comprehension(node)
-
-    def visit_DictComp(self, node: ast.DictComp) -> None:
-        self._visit_comprehension(node)
-
-    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
-        self._visit_comprehension(node)
-
-    # -- FC007 (and the FC003 membership sub-rule) -------------------
-
-    @staticmethod
-    def _is_floatish(node: ast.expr) -> bool:
-        if isinstance(node, ast.Constant) and isinstance(node.value, float):
-            return True
-        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
-            return _Visitor._is_floatish(node.operand)
-        return (
-            isinstance(node, ast.Call)
-            and isinstance(node.func, ast.Name)
-            and node.func.id == "float"
-        )
-
-    def visit_Compare(self, node: ast.Compare) -> None:
-        if self._loop_depth > 0 and self._scoped(_FC003_SCOPE):
-            for op, comparator in zip(node.ops, node.comparators):
-                if isinstance(op, (ast.In, ast.NotIn)) and self._is_bare_set(
-                    comparator
-                ):
-                    self._report(
-                        comparator,
-                        "FC003",
-                        "membership set rebuilt on every loop iteration; "
-                        "hoist it out of the loop",
-                    )
-        if self._scoped(_FC007_SCOPE) and any(
-            isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops
-        ):
-            operands = [node.left] + list(node.comparators)
-            if any(self._is_floatish(operand) for operand in operands):
-                self._report(
-                    node,
-                    "FC007",
-                    "exact float equality in sim/policy code; priority "
-                    "math needs a tolerance",
-                )
-        self.generic_visit(node)
-
-    # -- FC004: event vocabulary -------------------------------------
-
-    def visit_Call(self, node: ast.Call) -> None:
-        dotted = _dotted(node.func)
-        if dotted is not None:
-            self._check_call_clock_rng(node, dotted)
-        if (
-            isinstance(node.func, ast.Attribute)
-            and node.func.attr == "emit"
-            and node.args
-            and isinstance(node.args[0], ast.Constant)
-            and isinstance(node.args[0].value, str)
-        ):
-            event_name = node.args[0].value
-            if (
-                self._symbols.event_names
-                and event_name not in self._symbols.event_names
-            ):
-                self._report(
-                    node.args[0],
-                    "FC004",
-                    f"event type {event_name!r} is not registered in "
-                    "repro.obs.events.EVENT_SCHEMAS",
-                )
-        if dotted is not None and dotted.split(".")[-1] == "run_sweep_parallel":
-            self._check_parallel_args(node)
-        self.generic_visit(node)
-
-    # -- FC006: pickle safety ----------------------------------------
-
-    def _check_parallel_args(self, node: ast.Call) -> None:
-        local_names: Set[str] = set()
-        for scope in self._local_funcs:
-            local_names |= scope
-        values = [(None, arg) for arg in node.args] + [
-            (kw.arg, kw.value) for kw in node.keywords
-        ]
-        for keyword, value in values:
-            if keyword == "progress":
-                continue  # invoked parent-side only, never pickled
-            if isinstance(value, ast.Lambda):
-                self._report(
-                    value,
-                    "FC006",
-                    "lambda shipped to run_sweep_parallel cannot cross "
-                    "the process boundary (unpicklable)",
-                )
-            elif isinstance(value, ast.Name) and value.id in local_names:
-                self._report(
-                    value,
-                    "FC006",
-                    f"locally-defined function {value.id!r} shipped to "
-                    "run_sweep_parallel cannot cross the process "
-                    "boundary (unpicklable)",
-                )
-
-    def _check_dataclass(self, node: ast.ClassDef) -> None:
-        decorated = False
-        for decorator in node.decorator_list:
-            target = decorator.func if isinstance(decorator, ast.Call) else decorator
-            name = _dotted(target)
-            if name in ("dataclass", "dataclasses.dataclass"):
-                decorated = True
-        if not decorated:
-            return
-        for stmt in node.body:
-            value = None
-            if isinstance(stmt, ast.AnnAssign):
-                value = stmt.value
-            elif isinstance(stmt, ast.Assign):
-                value = stmt.value
-            if value is None:
-                continue
-            if isinstance(value, ast.Lambda):
-                self._report(
-                    value,
-                    "FC006",
-                    "lambda as a dataclass field default breaks pickling "
-                    "of the dataclass",
-                )
-            elif isinstance(value, ast.Call):
-                for kw in value.keywords:
-                    if kw.arg in ("default", "default_factory") and isinstance(
-                        kw.value, ast.Lambda
-                    ):
-                        self._report(
-                            kw.value,
-                            "FC006",
-                            f"lambda as a dataclass {kw.arg} breaks "
-                            "pickling of the dataclass",
-                        )
-
-    def visit_ClassDef(self, node: ast.ClassDef) -> None:
-        self._check_dataclass(node)
-        self.generic_visit(node)
-
-    # -- FC008: mutable defaults -------------------------------------
-
-    @staticmethod
-    def _is_mutable_default(node: ast.expr) -> bool:
-        if isinstance(
-            node,
-            (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
-             ast.SetComp),
-        ):
-            return True
-        return (
-            isinstance(node, ast.Call)
-            and isinstance(node.func, ast.Name)
-            and node.func.id in ("list", "dict", "set", "bytearray")
-        )
-
-    def _check_defaults(self, args: ast.arguments) -> None:
-        defaults: List[ast.expr] = list(args.defaults)
-        defaults += [d for d in args.kw_defaults if d is not None]
-        for default in defaults:
-            if self._is_mutable_default(default):
-                self._report(
-                    default,
-                    "FC008",
-                    "mutable default argument is shared across calls",
-                )
-
-    def _visit_function(
-        self, node: Union[ast.FunctionDef, ast.AsyncFunctionDef]
-    ) -> None:
-        self._check_defaults(node.args)
-        if self._local_funcs:
-            self._local_funcs[-1].add(node.name)
-        self._local_funcs.append(set())
-        self._set_vars.append(set())
-        self.generic_visit(node)
-        self._set_vars.pop()
-        self._local_funcs.pop()
-
-    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
-        self._visit_function(node)
-
-    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
-        self._visit_function(node)
-
-    def visit_Lambda(self, node: ast.Lambda) -> None:
-        self._check_defaults(node.args)
-        self.generic_visit(node)
-
-
-# ----------------------------------------------------------------------
-# FC005: project-level counter-contract diff
-# ----------------------------------------------------------------------
-
-
-def _check_counter_contract(
-    symbols: ProjectSymbols, select: Optional[Collection[str]]
-) -> List[Finding]:
-    if select is not None and "FC005" not in select:
-        return []
-    metrics, report = symbols.metrics, symbols.report
-    if metrics is None or report is None:
-        return []
-    # Only judge the contract when the checked set actually (re)defines
-    # part of it; otherwise a lint of unrelated files would attribute
-    # findings to files outside the run.
-    if not (
-        metrics.from_checked or report.from_checked or symbols.sweep_from_checked
-    ):
-        return []
-    findings: List[Finding] = []
-
-    def _report_at(definition: _CounterDef, message: str) -> None:
-        findings.append(
-            Finding(
-                path=definition.path,
-                line=definition.line,
-                col=0,
-                code="FC005",
-                message=message,
-            )
-        )
-
-    missing = sorted(metrics.keys - report.keys)
-    if missing:
-        _report_at(
-            report if report.from_checked else metrics,
-            f"counter(s) {missing} in SimulationMetrics.counters() have "
-            "no mirror in TraceReport.counters()",
-        )
-    extra = sorted(report.keys - metrics.keys)
-    if extra:
-        _report_at(
-            report if report.from_checked else metrics,
-            f"counter(s) {extra} in TraceReport.counters() do not exist "
-            "in SimulationMetrics.counters()",
-        )
-    unbacked = sorted(metrics.keys - metrics.fields)
-    if unbacked:
-        _report_at(
-            metrics,
-            f"counter(s) {unbacked} in SimulationMetrics.counters() have "
-            "no backing dataclass field",
-        )
-    if symbols.sweep_fields is not None:
-        carries_all = metrics.keys <= symbols.sweep_fields
-        if "counters" not in symbols.sweep_fields and not carries_all:
-            _report_at(
-                metrics,
-                "SweepPoint carries neither a counters snapshot field "
-                "nor the individual counter fields",
-            )
-
-    # Per-tenant half of the contract (docs/multi-tenancy.md): both
-    # sides must define tenant_counters() with identical inner keys,
-    # and SweepPoint must snapshot them.
-    if metrics.tenant_keys is None and report.tenant_keys is not None:
-        _report_at(
-            report if report.from_checked else metrics,
-            "TraceReport defines tenant_counters() but "
-            "SimulationMetrics does not",
-        )
-    elif metrics.tenant_keys is not None and report.tenant_keys is None:
-        _report_at(
-            report if report.from_checked else metrics,
-            "SimulationMetrics defines tenant_counters() but "
-            "TraceReport does not",
-        )
-    elif metrics.tenant_keys is not None and report.tenant_keys is not None:
-        tenant_missing = sorted(metrics.tenant_keys - report.tenant_keys)
-        if tenant_missing:
-            _report_at(
-                report if report.from_checked else metrics,
-                f"per-tenant counter(s) {tenant_missing} in "
-                "SimulationMetrics.tenant_counters() have no mirror in "
-                "TraceReport.tenant_counters()",
-            )
-        tenant_extra = sorted(report.tenant_keys - metrics.tenant_keys)
-        if tenant_extra:
-            _report_at(
-                report if report.from_checked else metrics,
-                f"per-tenant counter(s) {tenant_extra} in "
-                "TraceReport.tenant_counters() do not exist in "
-                "SimulationMetrics.tenant_counters()",
-            )
-        if (
-            symbols.sweep_fields is not None
-            and "tenant_counters" not in symbols.sweep_fields
-        ):
-            _report_at(
-                metrics,
-                "SweepPoint does not carry the tenant_counters "
-                "snapshot field",
-            )
-    return findings
-
-
-# ----------------------------------------------------------------------
-# Driver
+# File discovery
 # ----------------------------------------------------------------------
 
 
@@ -1085,82 +183,309 @@ def iter_python_files(
     return out
 
 
-def check_paths(
-    paths: Sequence[Union[str, pathlib.Path]],
-    select: Optional[Collection[str]] = None,
-    include_fixtures: bool = False,
-) -> CheckResult:
-    """Lint every Python file under ``paths``; the package's main API.
+# ----------------------------------------------------------------------
+# The two-phase run
+# ----------------------------------------------------------------------
 
-    ``select`` restricts the run to a subset of rule codes.
-    Returns a :class:`CheckResult`; ``result.ok`` is the gate.
+
+@dataclass
+class _FileState:
+    """Per-file progress through the phases; ``source``/``tree`` stay
+    ``None`` on a full cache hit — the warm path never reads the file."""
+
+    path: pathlib.Path
+    digest: Optional[str] = None
+    source: Optional[str] = None
+    tree: Optional[ast.Module] = None
+    summary: Optional[ModuleSummary] = None
+
+
+def _finding_to_dict(finding: Finding) -> Dict[str, Any]:
+    # Path deliberately omitted: it is re-attached from the current
+    # run's spelling of the path, keeping cache entries relocatable.
+    return {
+        "line": finding.line,
+        "col": finding.col,
+        "code": finding.code,
+        "message": finding.message,
+    }
+
+
+def _finding_from_dict(path: str, data: Dict[str, Any]) -> Finding:
+    return Finding(
+        path=path,
+        line=int(data["line"]),
+        col=int(data["col"]),
+        code=str(data["code"]),
+        message=str(data["message"]),
+    )
+
+
+def _jsonable(obj: Any) -> Any:
+    if isinstance(obj, (set, frozenset)):
+        return sorted(obj)
+    raise TypeError(f"not hashable into the environment: {obj!r}")
+
+
+def _environment_hash(
+    index: ProjectIndex,
+    graph: CallGraph,
+    select: Optional[Collection[str]],
+) -> str:
+    """Hash of every cross-file fact findings may depend on.
+
+    Built from the position-independent ``identity_facts`` so a pure
+    line-shift edit in one file does not invalidate the cached
+    findings of any other file.
     """
-    files = iter_python_files(paths, include_fixtures=include_fixtures)
-    sources: List[_SourceFile] = []
-    raw_findings: List[Finding] = []
-    for path in files:
-        try:
-            source = path.read_text()
-        except OSError as exc:
-            raw_findings.append(
-                Finding(str(path), 1, 0, "FC000", f"unreadable: {exc}")
+    facts = {
+        "rules": {code: list(RULES[code]) for code in sorted(RULES)},
+        "select": sorted(select) if select is not None else None,
+        "modules": [
+            summary.identity_facts()
+            for summary in sorted(
+                index.summaries, key=lambda s: s.path
             )
+        ],
+        "graph": graph.identity_facts(),
+    }
+    blob = json.dumps(facts, sort_keys=True, default=_jsonable)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _noqa_guard_findings(
+    lines: List[str], path: str, select: Optional[Collection[str]]
+) -> List[Finding]:
+    """FC000 for every noqa comment naming a nonexistent FC code —
+    such a comment suppresses nothing, silently, forever."""
+    if select is not None and NOQA_GUARD_CODE not in select:
+        return []
+    out: List[Finding] = []
+    for lineno, line in enumerate(lines, start=1):
+        match = NOQA_RE.search(line)
+        if match is None:
             continue
-        try:
-            tree = ast.parse(source, filename=str(path))
-        except SyntaxError as exc:
-            raw_findings.append(
-                Finding(
-                    str(path),
-                    exc.lineno or 1,
-                    (exc.offset or 1) - 1,
-                    "FC000",
-                    f"syntax error: {exc.msg}",
+        codes = match.group("codes")
+        if codes is None:
+            continue
+        for code in re.split(r"[,\s]+", codes):
+            upper = code.strip().upper()
+            if _FC_CODE_RE.match(upper) and upper not in RULES:
+                out.append(
+                    Finding(
+                        path=path,
+                        line=lineno,
+                        col=match.start(),
+                        code=NOQA_GUARD_CODE,
+                        message=(
+                            f"noqa references unknown rule code "
+                            f"{upper}; it suppresses nothing "
+                            "(typo?)"
+                        ),
+                    )
                 )
-            )
-            continue
-        sources.append(
-            _SourceFile(
-                path=path,
-                source=source,
-                tree=tree,
-                module=module_name_for(path, source),
-            )
-        )
-
-    symbols = collect_symbols(sources)
-    lines_by_path: Dict[str, List[str]] = {}
-    for source_file in sources:
-        visitor = _Visitor(source_file, symbols, select)
-        visitor.visit(source_file.tree)
-        raw_findings.extend(visitor.findings)
-        lines_by_path[str(source_file.path)] = source_file.lines
-    raw_findings.extend(_check_counter_contract(symbols, select))
-
-    result = CheckResult(files_checked=len(sources))
-    for finding in sorted(
-        raw_findings, key=lambda f: (f.path, f.line, f.col, f.code)
-    ):
-        if _is_suppressed(finding, lines_by_path.get(finding.path)):
-            result.suppressed.append(finding)
-        else:
-            result.findings.append(finding)
-    return result
+    return out
 
 
 def _is_suppressed(
     finding: Finding, lines: Optional[List[str]]
 ) -> bool:
+    if finding.code == NOQA_GUARD_CODE:
+        return False  # the guard must survive the line it polices
     if lines is None or not 1 <= finding.line <= len(lines):
         return False
-    match = _NOQA_RE.search(lines[finding.line - 1])
-    if match is None:
-        return False
-    codes = match.group("codes")
-    if codes is None:
-        return True
-    wanted = {code.strip().upper() for code in re.split(r"[,\s]+", codes)}
-    return finding.code in wanted
+    return line_suppresses(lines[finding.line - 1], finding.code)
+
+
+def _sort_key(finding: Finding) -> Tuple[str, int, int, str]:
+    return (finding.path, finding.line, finding.col, finding.code)
+
+
+def check_paths(
+    paths: Sequence[Union[str, pathlib.Path]],
+    select: Optional[Collection[str]] = None,
+    include_fixtures: bool = False,
+    cache: Optional[CheckCache] = None,
+) -> CheckResult:
+    """Lint every Python file under ``paths``; the package's main API.
+
+    ``select`` restricts the run to a subset of rule codes; ``cache``
+    (a :class:`~repro.checks.cache.CheckCache`) enables the
+    incremental fast path — the caller owns ``cache.save()``.
+    Returns a :class:`CheckResult`; ``result.ok`` is the gate.
+    """
+    files = iter_python_files(paths, include_fixtures=include_fixtures)
+    states: List[_FileState] = []
+    file_findings: List[Finding] = []  # FC000 I/O + syntax, never cached
+
+    # Phase 1: summaries (cache layer: content hash -> summary).
+    for path in files:
+        state = _FileState(path=path)
+        try:
+            if cache is not None:
+                state.digest, source = cache.file_hash(path)
+                state.source = source
+            else:
+                state.source = path.read_text()
+        except OSError as exc:
+            file_findings.append(
+                Finding(
+                    str(path), 1, 0, NOQA_GUARD_CODE,
+                    f"unreadable: {exc}",
+                )
+            )
+            continue
+        cached_summary = (
+            cache.summary(state.digest)
+            if cache is not None and state.digest is not None
+            else None
+        )
+        if cached_summary is not None:
+            state.summary = ModuleSummary.from_dict(cached_summary)
+            state.summary.path = str(path)
+        else:
+            if state.source is None:
+                try:
+                    state.source = path.read_text()
+                except OSError as exc:
+                    file_findings.append(
+                        Finding(
+                            str(path), 1, 0, NOQA_GUARD_CODE,
+                            f"unreadable: {exc}",
+                        )
+                    )
+                    continue
+            try:
+                state.tree = ast.parse(
+                    state.source, filename=str(path)
+                )
+            except SyntaxError as exc:
+                file_findings.append(
+                    Finding(
+                        str(path),
+                        exc.lineno or 1,
+                        (exc.offset or 1) - 1,
+                        NOQA_GUARD_CODE,
+                        f"syntax error: {exc.msg}",
+                    )
+                )
+                continue
+            state.summary = summarize_module(
+                state.tree, path, state.source
+            )
+            if cache is not None and state.digest is not None:
+                cache.store_summary(
+                    state.digest, state.summary.to_dict()
+                )
+        states.append(state)
+
+    # Phase 2: the project-wide index and call graph.
+    index = ProjectIndex(
+        [state.summary for state in states if state.summary is not None]
+    )
+    graph = CallGraph(index)
+    env_hash = (
+        _environment_hash(index, graph, select)
+        if cache is not None
+        else ""
+    )
+
+    # Phase 3: per-file findings (cache layer: content+env hash).
+    all_findings: List[Finding] = []
+    all_suppressed: List[Finding] = []
+    lines_by_path: Dict[str, List[str]] = {}
+    for state in states:
+        assert state.summary is not None
+        cached = (
+            cache.findings(state.digest, env_hash)
+            if cache is not None and state.digest is not None
+            else None
+        )
+        path_str = str(state.path)
+        if cached is not None:
+            findings = [
+                _finding_from_dict(path_str, item)
+                for item in cached["findings"]
+            ]
+            suppressed = [
+                _finding_from_dict(path_str, item)
+                for item in cached["suppressed"]
+            ]
+        else:
+            if state.source is None:
+                try:
+                    state.source = state.path.read_text()
+                except OSError as exc:
+                    file_findings.append(
+                        Finding(
+                            path_str, 1, 0, NOQA_GUARD_CODE,
+                            f"unreadable: {exc}",
+                        )
+                    )
+                    continue
+            if state.tree is None:
+                # The summary cache proved this content parses.
+                state.tree = ast.parse(
+                    state.source, filename=path_str
+                )
+            engine = FileEngine(
+                state.summary, index, graph, ALL_RULES, select
+            )
+            raw = engine.run(state.tree)
+            lines = state.source.splitlines()
+            raw += _noqa_guard_findings(lines, path_str, select)
+            findings, suppressed = [], []
+            for finding in sorted(raw, key=_sort_key):
+                if _is_suppressed(finding, lines):
+                    suppressed.append(finding)
+                else:
+                    findings.append(finding)
+            if cache is not None and state.digest is not None:
+                cache.store_findings(
+                    state.digest,
+                    env_hash,
+                    [_finding_to_dict(item) for item in findings],
+                    [_finding_to_dict(item) for item in suppressed],
+                )
+        if state.source is not None:
+            lines_by_path[path_str] = state.source.splitlines()
+        all_findings.extend(findings)
+        all_suppressed.extend(suppressed)
+
+    # Project-level rules (FC005): cheap, recomputed every run.
+    for rule in ALL_RULES:
+        for finding in rule.check_project(index.symbols):
+            if select is not None and finding.code not in select:
+                continue
+            lines_opt = lines_by_path.get(finding.path)
+            if lines_opt is None:
+                try:
+                    lines_opt = (
+                        pathlib.Path(finding.path)
+                        .read_text()
+                        .splitlines()
+                    )
+                    lines_by_path[finding.path] = lines_opt
+                except OSError:
+                    lines_opt = None
+            if _is_suppressed(finding, lines_opt):
+                all_suppressed.append(finding)
+            else:
+                all_findings.append(finding)
+
+    all_findings.extend(file_findings)
+    result = CheckResult(files_checked=len(states))
+    result.findings = sorted(all_findings, key=_sort_key)
+    result.suppressed = sorted(all_suppressed, key=_sort_key)
+    if cache is not None:
+        result.cache_hits = cache.hits
+        result.cache_misses = cache.misses
+    return result
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -1169,7 +494,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         prog="repro-checks",
         description=(
             "determinism & invariant linter for the FaasCache "
-            "reproduction (rules FC001-FC008; see docs/static-analysis.md)"
+            "reproduction (rules FC001-FC011; see "
+            "docs/static-analysis.md)"
         ),
     )
     parser.add_argument(
@@ -1192,18 +518,96 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="print per-rule counts, including suppressed (noqa) findings",
     )
+    parser.add_argument(
+        "--stats-json",
+        metavar="PATH",
+        help="write machine-readable run stats (rule counts, "
+        "suppressions, files analyzed, cache hit rate) to PATH",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "sarif"),
+        default="text",
+        help="findings output format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="PATH",
+        help="write findings to PATH instead of stdout",
+    )
+    parser.add_argument(
+        "--fix",
+        action="store_true",
+        help="apply the mechanical autofixes (FC008 mutable defaults, "
+        "FC007 float equality) before linting",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the incremental result cache",
+    )
+    parser.add_argument(
+        "--cache-path",
+        metavar="PATH",
+        default=DEFAULT_CACHE_PATH,
+        help=f"incremental cache location (default: {DEFAULT_CACHE_PATH})",
+    )
     args = parser.parse_args(argv)
     select = (
         {code.strip().upper() for code in args.select.split(",")}
         if args.select
         else None
     )
+
+    if args.fix:
+        from repro.checks.fixes import fix_paths
+
+        targets = iter_python_files(
+            args.paths, include_fixtures=args.include_fixtures
+        )
+        fixed = fix_paths(targets, select=select)
+        for path, count in sorted(fixed.items()):
+            print(f"fixed {count} issue(s) in {path}")
+
+    cache: Optional[CheckCache] = None
+    if not args.no_cache:
+        cache = CheckCache(pathlib.Path(args.cache_path))
     result = check_paths(
-        args.paths, select=select, include_fixtures=args.include_fixtures
+        args.paths,
+        select=select,
+        include_fixtures=args.include_fixtures,
+        cache=cache,
     )
-    for finding in result.findings:
-        print(format_finding(finding))
-    if args.stats:
+    if cache is not None:
+        cache.save()
+
+    sarif_to_stdout = args.format == "sarif" and not args.output
+    if args.format == "sarif":
+        from repro.checks.sarif import to_sarif
+
+        rendered = json.dumps(
+            to_sarif(result.findings, result.suppressed), indent=2
+        )
+        if args.output:
+            pathlib.Path(args.output).write_text(rendered + "\n")
+        else:
+            print(rendered)
+    else:
+        lines = [format_finding(f) for f in result.findings]
+        if args.output:
+            pathlib.Path(args.output).write_text(
+                "".join(line + "\n" for line in lines)
+            )
+        else:
+            for line in lines:
+                print(line)
+
+    if args.stats_json:
+        pathlib.Path(args.stats_json).write_text(
+            json.dumps(result.stats_dict(), indent=2, sort_keys=True)
+            + "\n"
+        )
+    if args.stats and not sarif_to_stdout:
         for label, suppressed in (("findings", False), ("suppressed", True)):
             counts = result.counts_by_code(suppressed=suppressed)
             rendered = (
@@ -1211,11 +615,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 or "none"
             )
             print(f"{label} by rule: {rendered}")
-    print(
-        f"checked {result.files_checked} files: "
-        f"{len(result.findings)} finding(s), "
-        f"{len(result.suppressed)} suppressed"
-    )
+    if not sarif_to_stdout:
+        print(
+            f"checked {result.files_checked} files: "
+            f"{len(result.findings)} finding(s), "
+            f"{len(result.suppressed)} suppressed"
+        )
     return 0 if result.ok else 1
 
 

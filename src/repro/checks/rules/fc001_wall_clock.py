@@ -1,0 +1,96 @@
+"""FC001 — wall-clock reads in deterministic modules.
+
+Simulation logic branching on wall time can never replay identically;
+``repro.core.clock.wall_clock_s`` is the one sanctioned accessor.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.checks.rules.base import Rule, RuleContext
+
+#: Package prefixes whose modules must stay deterministic.
+DETERMINISTIC_SCOPE = (
+    "repro.sim",
+    "repro.core",
+    "repro.cluster",
+    "repro.faults",
+)
+
+#: The one module allowed to read the wall clock (it defines the
+#: sanctioned accessor everything else routes through).
+EXEMPT_MODULE = "repro.core.clock"
+
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+        "date.today",
+    }
+)
+_WALL_CLOCK_NAMES = frozenset(
+    {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+    }
+)
+
+
+class WallClockRule(Rule):
+    code = "FC001"
+    summary = "wall-clock read in a deterministic module"
+    hint = (
+        "route wall timing through repro.core.clock.wall_clock_s or "
+        "compute from simulated time"
+    )
+    scope = DETERMINISTIC_SCOPE
+
+    def applies(self, module: Optional[str]) -> bool:
+        if module == EXEMPT_MODULE:
+            return False
+        return super().applies(module)
+
+    def on_import_from(
+        self, node: ast.ImportFrom, ctx: RuleContext
+    ) -> None:
+        if node.module != "time":
+            return
+        for alias in node.names:
+            if alias.name in _WALL_CLOCK_NAMES:
+                ctx.report(
+                    node,
+                    self.code,
+                    f"from time import {alias.name}: wall-clock access "
+                    "in a deterministic module",
+                )
+
+    def on_call(
+        self, node: ast.Call, dotted: Optional[str], ctx: RuleContext
+    ) -> None:
+        if dotted in _WALL_CLOCK_CALLS:
+            ctx.report(
+                node,
+                self.code,
+                f"{dotted}() reads the wall clock in deterministic "
+                f"module {ctx.module}",
+            )

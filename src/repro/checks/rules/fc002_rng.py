@@ -1,0 +1,92 @@
+"""FC002 — global or unseeded RNG in simulation paths.
+
+All randomness must flow through a seeded ``random.Random(seed)`` or
+``numpy.random.default_rng(seed)`` instance; the process-global RNG
+makes replays depend on import order and interpreter history.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.checks.rules.base import Rule, RuleContext
+from repro.checks.rules.fc001_wall_clock import DETERMINISTIC_SCOPE
+
+#: random-module attributes that are fine to call (class constructors,
+#: checked separately for missing seeds).
+_RANDOM_OK = frozenset({"Random", "SystemRandom"})
+_NP_RANDOM_OK = frozenset({"default_rng", "Generator", "SeedSequence"})
+
+
+class UnseededRngRule(Rule):
+    code = "FC002"
+    summary = "global or unseeded RNG in a simulation path"
+    hint = (
+        "draw from a seeded random.Random(seed) / "
+        "numpy.random.default_rng(seed) instance"
+    )
+    scope = DETERMINISTIC_SCOPE + (
+        "repro.traces",
+        "repro.openwhisk",
+        "repro.provisioning",
+    )
+
+    def on_import_from(
+        self, node: ast.ImportFrom, ctx: RuleContext
+    ) -> None:
+        if node.module != "random":
+            return
+        for alias in node.names:
+            if alias.name not in _RANDOM_OK:
+                ctx.report(
+                    node,
+                    self.code,
+                    f"from random import {alias.name}: module-level RNG "
+                    "in a simulation path",
+                )
+
+    def on_call(
+        self, node: ast.Call, dotted: Optional[str], ctx: RuleContext
+    ) -> None:
+        if dotted is None:
+            return
+        parts = dotted.split(".")
+        if len(parts) == 2 and parts[0] == "random":
+            if parts[1] not in _RANDOM_OK:
+                ctx.report(
+                    node,
+                    self.code,
+                    f"{dotted}() draws from the process-global RNG; "
+                    "simulation randomness must be seeded",
+                )
+            elif parts[1] == "Random" and not node.args and not node.keywords:
+                ctx.report(
+                    node,
+                    self.code,
+                    "random.Random() without a seed is entropy-seeded "
+                    "and nondeterministic",
+                )
+        elif (
+            len(parts) == 3
+            and parts[0] in ("np", "numpy")
+            and parts[1] == "random"
+        ):
+            if parts[2] not in _NP_RANDOM_OK:
+                ctx.report(
+                    node,
+                    self.code,
+                    f"{dotted}() uses numpy's legacy global RNG; use a "
+                    "seeded Generator",
+                )
+            elif (
+                parts[2] == "default_rng"
+                and not node.args
+                and not node.keywords
+            ):
+                ctx.report(
+                    node,
+                    self.code,
+                    f"{dotted}() without a seed is entropy-seeded and "
+                    "nondeterministic",
+                )

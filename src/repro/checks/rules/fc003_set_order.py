@@ -1,0 +1,96 @@
+"""FC003 — unordered set iteration in deterministic paths.
+
+Set iteration order depends on ``PYTHONHASHSEED``; an unsorted set
+walk is a replay difference waiting to happen. Since the two-phase
+engine landed, the rule follows sets *interprocedurally*: through
+``self._attr`` loads (class attribute types inferred from
+``__init__``/dataclass fields), through function return values (call
+graph return summaries), and through module-level constants — the
+standing ROADMAP gap the single-pass visitor could not close.
+
+The membership sub-rule (a set rebuilt inside the loop it guards) is
+unchanged.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.checks.dataflow import is_set_expr
+from repro.checks.rules.base import Rule, RuleContext
+from repro.checks.rules.fc001_wall_clock import DETERMINISTIC_SCOPE
+
+_REASON_MESSAGES = {
+    "literal": (
+        "iterating an unordered set in a deterministic path; wrap it "
+        "in sorted(...)"
+    ),
+    "var": (
+        "{name!r} holds a set and reaches this loop unordered; iterate "
+        "sorted(...) of it"
+    ),
+    "attr": (
+        "attribute {name!r} is set-typed (inferred from its class) and "
+        "is iterated unordered; iterate sorted(...) of it"
+    ),
+    "call": (
+        "{name}() returns a set (per its return summary) and is "
+        "iterated unordered; iterate sorted(...) of it"
+    ),
+    "const": (
+        "module constant {name!r} is a set and is iterated unordered; "
+        "iterate sorted(...) of it"
+    ),
+}
+
+
+def _described_name(node: ast.expr) -> str:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _described_name(node.value)
+        return f"{base}.{node.attr}" if base else node.attr
+    if isinstance(node, ast.Call):
+        return _described_name(node.func)
+    return "<expr>"
+
+
+class SetOrderRule(Rule):
+    code = "FC003"
+    summary = (
+        "unordered set iterated (or rebuilt per element) in a "
+        "deterministic path"
+    )
+    hint = (
+        "iterate sorted(the_set) instead; hoist membership sets out "
+        "of the loop"
+    )
+    scope = DETERMINISTIC_SCOPE + ("repro.traces",)
+
+    def on_iteration(self, iter_node: ast.expr, ctx: RuleContext) -> None:
+        reason = ctx.set_reason(iter_node)
+        if reason is None:
+            return
+        template = _REASON_MESSAGES[reason]
+        name = _described_name(iter_node)
+        if reason == "call":
+            message = template.format(name=name)
+        elif reason == "literal":
+            message = template
+        else:
+            message = template.format(name=name)
+        ctx.report(iter_node, self.code, message)
+
+    def on_compare(self, node: ast.Compare, ctx: RuleContext) -> None:
+        if ctx.loop_depth <= 0:
+            return
+        for op, comparator in zip(node.ops, node.comparators):
+            if isinstance(op, (ast.In, ast.NotIn)) and is_set_expr(
+                comparator
+            ):
+                ctx.report(
+                    comparator,
+                    self.code,
+                    "membership set rebuilt on every loop iteration; "
+                    "hoist it out of the loop",
+                )

@@ -1,0 +1,41 @@
+"""FC004 — unknown event type passed to ``.emit()``.
+
+Event-name string literals must be keys of
+``repro.obs.events.EVENT_SCHEMAS``; a typo'd event type otherwise
+survives until a strict-mode replay test flakes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.checks.rules.base import Rule, RuleContext
+
+
+class EventNameRule(Rule):
+    code = "FC004"
+    summary = "unknown event type passed to .emit()"
+    hint = "use a name registered in repro.obs.events.EVENT_SCHEMAS"
+    scope = None  # every checked file may emit events
+
+    def on_call(
+        self, node: ast.Call, dotted: Optional[str], ctx: RuleContext
+    ) -> None:
+        if not (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "emit"
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            return
+        event_name = node.args[0].value
+        known = ctx.index.symbols.event_names
+        if known and event_name not in known:
+            ctx.report(
+                node.args[0],
+                self.code,
+                f"event type {event_name!r} is not registered in "
+                "repro.obs.events.EVENT_SCHEMAS",
+            )

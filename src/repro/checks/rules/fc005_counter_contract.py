@@ -1,0 +1,125 @@
+"""FC005 — lifecycle-counter contract drift.
+
+``SimulationMetrics.counters()``, ``TraceReport.counters()`` and
+``SweepPoint`` must stay mirrored, key for key (aggregate and
+per-tenant halves). This is the one project-level rule: it judges the
+symbol table after every file is analyzed, not an AST node.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.checks.dataflow import CounterDef, ProjectSymbols
+from repro.checks.rules.base import Finding, Rule
+
+
+class CounterContractRule(Rule):
+    code = "FC005"
+    summary = "lifecycle-counter contract drift"
+    hint = (
+        "mirror the counter key in SimulationMetrics.counters(), "
+        "TraceReport.counters() (and their tenant_counters() inner "
+        "dicts) and keep SweepPoint's counters/tenant_counters fields"
+    )
+    scope = None
+
+    def check_project(self, symbols: ProjectSymbols) -> List[Finding]:
+        metrics, report = symbols.metrics, symbols.report
+        if metrics is None or report is None:
+            return []
+        # Only judge the contract when the checked set actually
+        # (re)defines part of it; otherwise a lint of unrelated files
+        # would attribute findings to files outside the run.
+        if not (
+            metrics.from_checked
+            or report.from_checked
+            or symbols.sweep_from_checked
+        ):
+            return []
+        findings: List[Finding] = []
+
+        def _report_at(definition: CounterDef, message: str) -> None:
+            findings.append(
+                Finding(
+                    path=definition.path,
+                    line=definition.line,
+                    col=0,
+                    code=self.code,
+                    message=message,
+                )
+            )
+
+        anchor = report if report.from_checked else metrics
+        missing = sorted(metrics.key_set - report.key_set)
+        if missing:
+            _report_at(
+                anchor,
+                f"counter(s) {missing} in SimulationMetrics.counters() "
+                "have no mirror in TraceReport.counters()",
+            )
+        extra = sorted(report.key_set - metrics.key_set)
+        if extra:
+            _report_at(
+                anchor,
+                f"counter(s) {extra} in TraceReport.counters() do not "
+                "exist in SimulationMetrics.counters()",
+            )
+        unbacked = sorted(metrics.key_set - metrics.field_set)
+        if unbacked:
+            _report_at(
+                metrics,
+                f"counter(s) {unbacked} in SimulationMetrics.counters() "
+                "have no backing dataclass field",
+            )
+        if symbols.sweep_fields is not None:
+            carries_all = metrics.key_set <= symbols.sweep_fields
+            if "counters" not in symbols.sweep_fields and not carries_all:
+                _report_at(
+                    metrics,
+                    "SweepPoint carries neither a counters snapshot "
+                    "field nor the individual counter fields",
+                )
+
+        # Per-tenant half of the contract (docs/multi-tenancy.md).
+        metrics_tenant = metrics.tenant_key_set
+        report_tenant = report.tenant_key_set
+        if metrics_tenant is None and report_tenant is not None:
+            _report_at(
+                anchor,
+                "TraceReport defines tenant_counters() but "
+                "SimulationMetrics does not",
+            )
+        elif metrics_tenant is not None and report_tenant is None:
+            _report_at(
+                anchor,
+                "SimulationMetrics defines tenant_counters() but "
+                "TraceReport does not",
+            )
+        elif metrics_tenant is not None and report_tenant is not None:
+            tenant_missing = sorted(metrics_tenant - report_tenant)
+            if tenant_missing:
+                _report_at(
+                    anchor,
+                    f"per-tenant counter(s) {tenant_missing} in "
+                    "SimulationMetrics.tenant_counters() have no mirror "
+                    "in TraceReport.tenant_counters()",
+                )
+            tenant_extra = sorted(report_tenant - metrics_tenant)
+            if tenant_extra:
+                _report_at(
+                    anchor,
+                    f"per-tenant counter(s) {tenant_extra} in "
+                    "TraceReport.tenant_counters() do not exist in "
+                    "SimulationMetrics.tenant_counters()",
+                )
+            if (
+                symbols.sweep_fields is not None
+                and "tenant_counters" not in symbols.sweep_fields
+            ):
+                _report_at(
+                    metrics,
+                    "SweepPoint does not carry the tenant_counters "
+                    "snapshot field",
+                )
+        return findings

@@ -1,0 +1,98 @@
+"""FC006 — unpicklable callables crossing the sweep process boundary.
+
+``lambda``/local-function values in dataclass field defaults or in
+arguments shipped to ``run_sweep_parallel`` break pickling into
+worker processes. The parent-side ``progress=`` callback is exempt —
+it never crosses the boundary.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Tuple
+
+from repro.checks.dataflow import dotted_name
+from repro.checks.rules.base import Rule, RuleContext
+
+
+class PickleSafetyRule(Rule):
+    code = "FC006"
+    summary = (
+        "unpicklable callable in a dataclass default or "
+        "run_sweep_parallel argument"
+    )
+    hint = (
+        "use a module-level function (the parent-side progress= "
+        "callback is exempt)"
+    )
+    scope = None
+
+    def on_call(
+        self, node: ast.Call, dotted: Optional[str], ctx: RuleContext
+    ) -> None:
+        if dotted is None or dotted.split(".")[-1] != "run_sweep_parallel":
+            return
+        local_names = ctx.all_local_funcs()
+        values: List[Tuple[Optional[str], ast.expr]] = [
+            (None, arg) for arg in node.args
+        ]
+        values += [(kw.arg, kw.value) for kw in node.keywords]
+        for keyword, value in values:
+            if keyword == "progress":
+                continue  # invoked parent-side only, never pickled
+            if isinstance(value, ast.Lambda):
+                ctx.report(
+                    value,
+                    self.code,
+                    "lambda shipped to run_sweep_parallel cannot cross "
+                    "the process boundary (unpicklable)",
+                )
+            elif isinstance(value, ast.Name) and value.id in local_names:
+                ctx.report(
+                    value,
+                    self.code,
+                    f"locally-defined function {value.id!r} shipped to "
+                    "run_sweep_parallel cannot cross the process "
+                    "boundary (unpicklable)",
+                )
+
+    def on_class_def(self, node: ast.ClassDef, ctx: RuleContext) -> None:
+        decorated = False
+        for decorator in node.decorator_list:
+            target = (
+                decorator.func
+                if isinstance(decorator, ast.Call)
+                else decorator
+            )
+            name = dotted_name(target)
+            if name in ("dataclass", "dataclasses.dataclass"):
+                decorated = True
+        if not decorated:
+            return
+        for stmt in node.body:
+            value: Optional[ast.expr] = None
+            if isinstance(stmt, ast.AnnAssign):
+                value = stmt.value
+            elif isinstance(stmt, ast.Assign):
+                value = stmt.value
+            if value is None:
+                continue
+            if isinstance(value, ast.Lambda):
+                ctx.report(
+                    value,
+                    self.code,
+                    "lambda as a dataclass field default breaks pickling "
+                    "of the dataclass",
+                )
+            elif isinstance(value, ast.Call):
+                for kw in value.keywords:
+                    if kw.arg in (
+                        "default",
+                        "default_factory",
+                    ) and isinstance(kw.value, ast.Lambda):
+                        ctx.report(
+                            kw.value,
+                            self.code,
+                            f"lambda as a dataclass {kw.arg} breaks "
+                            "pickling of the dataclass",
+                        )

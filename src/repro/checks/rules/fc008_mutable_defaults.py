@@ -1,0 +1,57 @@
+"""FC008 — mutable default arguments.
+
+The classic shared-state bug; in a simulator it shows up as cross-run
+contamination, i.e. nondeterminism. The ``--fix`` autofixer rewrites
+these to ``None`` defaults with an in-body guard.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Union
+
+from repro.checks.rules.base import Rule, RuleContext
+
+
+def is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(
+        node,
+        (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+         ast.SetComp),
+    ):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("list", "dict", "set", "bytearray")
+    )
+
+
+class MutableDefaultRule(Rule):
+    code = "FC008"
+    summary = "mutable default argument"
+    hint = "default to None and create the object inside the function"
+    scope = None
+
+    def _check_defaults(
+        self, args: ast.arguments, ctx: RuleContext
+    ) -> None:
+        defaults: List[ast.expr] = list(args.defaults)
+        defaults += [d for d in args.kw_defaults if d is not None]
+        for default in defaults:
+            if is_mutable_default(default):
+                ctx.report(
+                    default,
+                    self.code,
+                    "mutable default argument is shared across calls",
+                )
+
+    def on_function_def(
+        self,
+        node: Union[ast.FunctionDef, ast.AsyncFunctionDef],
+        ctx: RuleContext,
+    ) -> None:
+        self._check_defaults(node.args, ctx)
+
+    def on_lambda(self, node: ast.Lambda, ctx: RuleContext) -> None:
+        self._check_defaults(node.args, ctx)

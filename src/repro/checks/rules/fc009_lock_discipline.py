@@ -1,0 +1,115 @@
+"""FC009 — unsynchronized mutation of shared pool/policy state.
+
+In live mode (``repro.live`` / anything importing threading or
+asyncio) a ContainerPool or keep-alive policy object is shared between
+the dispatch path and the background reclamation loop. Mutating its
+attributes directly — rather than through its own API, which is where
+the invariants (GD priority heap consistency, memory accounting) are
+maintained — from a function reachable via more than one public entry
+point is a data race waiting for load.
+
+The rule fires only when the module actually imports a concurrency
+primitive, the mutation is not under a ``with <lock>:`` block or a
+``@synchronized``-style decorator, and the call graph shows >= 2
+distinct public entry points reaching the enclosing function.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.checks.rules.base import Rule, RuleContext
+
+#: Mutating container/dict methods: calling one of these on an
+#: *attribute of* a shared object rewrites its internals just as an
+#: assignment would.
+_MUTATING_METHODS = frozenset(
+    {
+        "append", "add", "remove", "discard", "pop", "popitem",
+        "clear", "update", "extend", "insert", "setdefault",
+    }
+)
+
+
+class LockDisciplineRule(Rule):
+    code = "FC009"
+    summary = "unsynchronized mutation of shared pool/policy state"
+    hint = (
+        "guard with the pool's lock (with self._lock:) or a "
+        "@synchronized decorator, or route through the pool's own API"
+    )
+    scope = ("repro",)
+
+    def _multi_entry(self, ctx: RuleContext) -> bool:
+        if not ctx.func_stack:
+            return False
+        frame = ctx.func_stack[-1]
+        if not frame.in_graph:
+            return False
+        return ctx.graph.public_entry_count(frame.summary.qualname) >= 2
+
+    def _should_fire(self, ctx: RuleContext) -> bool:
+        return (
+            ctx.summary.concurrency_imports
+            and not ctx.sync_guarded
+            and self._multi_entry(ctx)
+        )
+
+    def _report(
+        self, node: ast.AST, shared: str, what: str, ctx: RuleContext
+    ) -> None:
+        entries = ctx.graph.public_entry_count(
+            ctx.func_stack[-1].summary.qualname
+        )
+        ctx.report(
+            node,
+            self.code,
+            f"{what} of shared {shared!r} state without a lock; this "
+            f"function is reachable from {entries} public entry points",
+        )
+
+    def on_mutation(self, node: ast.stmt, ctx: RuleContext) -> None:
+        if not self._should_fire(ctx):
+            return
+        targets: list = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = [node.target]
+        elif isinstance(node, ast.Delete):
+            targets = list(node.targets)
+        for target in targets:
+            base: Optional[ast.expr] = None
+            if isinstance(target, ast.Attribute):
+                base = target.value
+            elif isinstance(target, ast.Subscript):
+                # pool.gd[k] = v  /  del policy.freq[k]
+                if isinstance(target.value, ast.Attribute):
+                    base = target.value.value
+            if base is None:
+                continue
+            shared = ctx.shared_base(base)
+            if shared is not None:
+                self._report(target, shared, "direct mutation", ctx)
+
+    def on_call(
+        self, node: ast.Call, dotted: Optional[str], ctx: RuleContext
+    ) -> None:
+        if not self._should_fire(ctx):
+            return
+        func = node.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and func.attr in _MUTATING_METHODS
+            and isinstance(func.value, ast.Attribute)
+        ):
+            return
+        # pool.containers.append(c): mutating an attribute's internals.
+        # pool.evict(c) (func.value is the shared object itself) stays
+        # allowed — the pool's API owns its invariants.
+        shared = ctx.shared_base(func.value.value)
+        if shared is not None:
+            self._report(
+                node, shared, f"mutating call .{func.attr}()", ctx
+            )

@@ -1,0 +1,69 @@
+"""FC010 — blocking call on an async-reachable path.
+
+``time.sleep`` (or a subprocess / socket / urllib call) inside an
+``async def`` — or inside a sync helper the call graph shows is
+called *from* one — stalls the whole live-mode event loop: every
+in-flight cold-start and eviction timer stops with it. The call graph
+half is what the old single-file linter could not see.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.checks.rules.base import Rule, RuleContext
+
+#: Known-blocking callables (exact dotted names or ``prefix.*``).
+_BLOCKING_EXACT = frozenset(
+    {
+        "time.sleep",
+        "os.system",
+        "os.wait",
+        "urllib.request.urlopen",
+        "socket.create_connection",
+    }
+)
+_BLOCKING_PREFIXES = ("subprocess.", "requests.")
+
+
+def _blocking_name(dotted: Optional[str]) -> Optional[str]:
+    if dotted is None:
+        return None
+    if dotted in _BLOCKING_EXACT:
+        return dotted
+    for prefix in _BLOCKING_PREFIXES:
+        if dotted.startswith(prefix):
+            return dotted
+    return None
+
+
+class BlockingAsyncRule(Rule):
+    code = "FC010"
+    summary = "blocking call on an async-reachable path"
+    hint = (
+        "await asyncio.sleep / run_in_executor instead of blocking "
+        "the event loop"
+    )
+    scope = ("repro",)
+
+    def on_call(
+        self, node: ast.Call, dotted: Optional[str], ctx: RuleContext
+    ) -> None:
+        blocking = _blocking_name(dotted)
+        if blocking is None or not ctx.func_stack:
+            return
+        if ctx.in_async_function:
+            where = "inside an async def"
+        elif ctx.async_reachable:
+            where = (
+                "in a function the call graph shows is reachable "
+                "from async code"
+            )
+        else:
+            return
+        ctx.report(
+            node,
+            self.code,
+            f"blocking call {blocking}() {where} stalls the event loop",
+        )

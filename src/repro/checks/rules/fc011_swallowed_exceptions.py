@@ -1,0 +1,108 @@
+"""FC011 — swallowed exception in sim/cluster code.
+
+A handler that neither re-raises, records a traced event, touches a
+counter, nor even looks at the exception it caught turns a failure
+into silent state divergence — the worst kind of replay-mismatch bug
+to bisect. Narrow handlers are trusted unless the body is literally
+``pass``; broad ones (bare / ``Exception`` / ``BaseException``) must
+visibly do *something* with the failure.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Union
+
+from repro.checks.rules.base import Rule, RuleContext
+
+_BROAD_TYPES = frozenset({"Exception", "BaseException"})
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    types = (
+        list(handler.type.elts)
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for node in types:
+        name = node.id if isinstance(node, ast.Name) else None
+        if name in _BROAD_TYPES:
+            return True
+    return False
+
+
+def _is_noop_body(body: list) -> bool:
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(
+            stmt.value, ast.Constant
+        ):
+            continue  # docstring or bare `...`
+        return False
+    return True
+
+
+class _HandlerScan(ast.NodeVisitor):
+    """Does the handler body raise, emit, count, or read the bound
+    exception name? Nested defs are opaque (degrade to 'handled')."""
+
+    def __init__(self, bound_name: Union[str, None]) -> None:
+        self.bound_name = bound_name
+        self.handled = False
+
+    def visit_Raise(self, node: ast.Raise) -> None:
+        self.handled = True
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self.handled = True  # counter increment
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "emit"
+        ):
+            self.handled = True
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if self.bound_name is not None and node.id == self.bound_name:
+            self.handled = True
+
+
+class SwallowedExceptionRule(Rule):
+    code = "FC011"
+    summary = "swallowed exception in sim/cluster code"
+    hint = (
+        "re-raise, emit a traced event, or increment a failure "
+        "counter so replay can see the divergence"
+    )
+    scope = ("repro.sim", "repro.cluster")
+
+    def on_except_handler(
+        self, node: ast.ExceptHandler, ctx: RuleContext
+    ) -> None:
+        if _is_noop_body(node.body):
+            ctx.report(
+                node,
+                self.code,
+                "exception handler silently discards the failure "
+                "(pass-only body)",
+            )
+            return
+        if not _is_broad(node):
+            return
+        scan = _HandlerScan(node.name)
+        for stmt in node.body:
+            scan.visit(stmt)
+            if scan.handled:
+                return
+        ctx.report(
+            node,
+            self.code,
+            "broad exception handler neither re-raises, emits a "
+            "traced event, increments a counter, nor inspects the "
+            "caught exception",
+        )

@@ -1,0 +1,110 @@
+"""SARIF 2.1.0 output for the linter (``--format sarif``).
+
+One run object, one rule descriptor per registry entry (plus the
+FC000 pseudo-rule for I/O, syntax-error, and noqa-typo findings, which
+lives outside the registry because it has no fixture pair and cannot
+be suppressed). Suppressed (noqa) findings are carried with an
+``inSource`` suppression object so SARIF viewers show them greyed-out
+instead of losing them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.checks.rules import NOQA_GUARD_CODE, RULES, Finding
+
+__all__ = ["SARIF_VERSION", "SARIF_SCHEMA_URI", "to_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_INFO_URI = "https://github.com/faascache-repro/docs/static-analysis.md"
+
+
+def _rule_descriptors() -> List[Dict[str, Any]]:
+    descriptors: List[Dict[str, Any]] = []
+    for code in sorted(RULES):
+        summary, hint = RULES[code]
+        descriptors.append(
+            {
+                "id": code,
+                "name": code,
+                "shortDescription": {"text": summary},
+                "help": {"text": f"fix: {hint}"},
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+    descriptors.append(
+        {
+            "id": NOQA_GUARD_CODE,
+            "name": NOQA_GUARD_CODE,
+            "shortDescription": {
+                "text": "file-level problem (unreadable, syntax error, "
+                "or a noqa comment naming an unknown rule code)"
+            },
+            "help": {
+                "text": "fix the file or the noqa comment; FC000 "
+                "findings cannot themselves be suppressed"
+            },
+            "defaultConfiguration": {"level": "error"},
+        }
+    )
+    return descriptors
+
+
+def _result(finding: Finding, suppressed: bool) -> Dict[str, Any]:
+    result: Dict[str, Any] = {
+        "ruleId": finding.code,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+    if suppressed:
+        result["suppressions"] = [
+            {"kind": "inSource", "justification": "noqa comment"}
+        ]
+    return result
+
+
+def to_sarif(
+    findings: List[Finding],
+    suppressed: List[Finding],
+    tool_version: str = "2.0.0",
+) -> Dict[str, Any]:
+    """The complete SARIF log object for one linter run."""
+    results = [_result(finding, False) for finding in findings]
+    results += [_result(finding, True) for finding in suppressed]
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-checks",
+                        "version": tool_version,
+                        "informationUri": _INFO_URI,
+                        "rules": _rule_descriptors(),
+                    }
+                },
+                "results": results,
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }

@@ -201,6 +201,18 @@ def _cmd_check(args: argparse.Namespace) -> int:
         forwarded.append("--include-fixtures")
     if args.stats:
         forwarded.append("--stats")
+    if args.stats_json:
+        forwarded += ["--stats-json", args.stats_json]
+    if args.format != "text":
+        forwarded += ["--format", args.format]
+    if args.output:
+        forwarded += ["--output", args.output]
+    if args.fix:
+        forwarded.append("--fix")
+    if args.no_cache:
+        forwarded.append("--no-cache")
+    if args.cache_path:
+        forwarded += ["--cache-path", args.cache_path]
     return check_main(forwarded)
 
 
@@ -1001,7 +1013,7 @@ def build_parser() -> argparse.ArgumentParser:
         "check",
         help=(
             "run the determinism & invariant linter "
-            "(rules FC001-FC008, docs/static-analysis.md)"
+            "(rules FC001-FC011, docs/static-analysis.md)"
         ),
     )
     check.add_argument(
@@ -1027,6 +1039,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats",
         action="store_true",
         help="print per-rule counts, including suppressed (noqa) findings",
+    )
+    check.add_argument(
+        "--stats-json",
+        metavar="PATH",
+        help="write machine-readable run stats to PATH",
+    )
+    check.add_argument(
+        "--format",
+        choices=("text", "sarif"),
+        default="text",
+        help="findings output format (default: text)",
+    )
+    check.add_argument(
+        "--output",
+        metavar="PATH",
+        help="write findings to PATH instead of stdout",
+    )
+    check.add_argument(
+        "--fix",
+        action="store_true",
+        help="apply the mechanical autofixes (FC007/FC008) first",
+    )
+    check.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the incremental result cache",
+    )
+    check.add_argument(
+        "--cache-path",
+        metavar="PATH",
+        default=None,
+        help="incremental cache location "
+        "(default: .repro-checks-cache.json)",
     )
     check.set_defaults(func=_cmd_check)
 

@@ -1,8 +1,12 @@
 # repro-checks-module: repro.sim.fixture_fc003
 """FC003: iterating an unordered set in a deterministic path —
-directly, and through a variable known to hold one."""
+directly, through a variable, and (since the two-phase engine)
+through a set-typed ``self`` attribute, a set-returning function, and
+a module-level set constant."""
 
 from typing import Dict, Set
+
+ALLOWED_STATES = {"warm", "cold", "draining"}
 
 
 def first_victims(names):
@@ -25,3 +29,36 @@ def annotated_reach(index: Dict[str, Set[int]]):
     for name in known:
         out.append(name)
     return out
+
+
+class DrainTracker:
+    """The attribute-load gap: ``self._down`` is inferred set-typed
+    from ``__init__`` and iterated two methods away."""
+
+    def __init__(self):
+        self._down = set()
+
+    def mark(self, name):
+        self._down.add(name)
+
+    def drain_order(self):
+        return [name for name in self._down]
+
+
+def _warm_names():
+    return {"alpha", "beta"}
+
+
+def walk_returned():
+    # The function-return gap: the loop source resolves to a
+    # set-returning function via its return summary.
+    out = []
+    for name in _warm_names():
+        out.append(name)
+    return out
+
+
+def walk_constant():
+    # The module-constant gap: ALLOWED_STATES is a set defined at
+    # module scope.
+    return [state for state in ALLOWED_STATES]

@@ -1,10 +1,13 @@
 # repro-checks-module: repro.sim.fixture_fc003_ok
 """FC003 fixed: sets are sorted before iteration (including ones
-reached through a variable), the membership set is hoisted out of the
-loop, and membership tests against a set variable stay allowed — only
+reached through a variable, a set-typed attribute, a set-returning
+function, or a module constant), the membership set is hoisted out of
+the loop, and membership tests against a set stay allowed — only
 *iteration* order is hash-seed dependent."""
 
 from typing import Dict, Set
+
+ALLOWED_STATES = {"warm", "cold", "draining"}
 
 
 def first_victims(names, skip):
@@ -25,3 +28,47 @@ def rebound_is_forgotten(index):
     ids = set(index)
     ids = sorted(ids)  # now a list: iterating it is deterministic
     return [i for i in ids]
+
+
+class DrainTracker:
+    def __init__(self):
+        self._down = set()
+
+    def mark(self, name):
+        self._down.add(name)
+
+    def drain_order(self):
+        return [name for name in sorted(self._down)]
+
+    def is_down(self, name):
+        return name in self._down  # membership, not iteration
+
+
+def _warm_names():
+    return {"alpha", "beta"}
+
+
+def _maybe_names(flag):
+    # Mixed return paths degrade to unknown — never flagged wrong.
+    if flag:
+        return {"alpha"}
+    return ["alpha"]
+
+
+def walk_returned(flag):
+    out = []
+    for name in sorted(_warm_names()):
+        out.append(name)
+    for name in _maybe_names(flag):
+        out.append(name)
+    return out
+
+
+def walk_constant(items):
+    ordered = [state for state in sorted(ALLOWED_STATES)]
+    # A local rebind shadows the module set constant: iterating the
+    # local (a list here) is fine.
+    ALLOWED_STATES_LOCAL = ALLOWED_STATES
+    ALLOWED_STATES_LOCAL = sorted(items)
+    ordered.extend(name for name in ALLOWED_STATES_LOCAL)
+    return ordered

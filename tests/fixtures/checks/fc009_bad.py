@@ -1,0 +1,21 @@
+# repro-checks-module: repro.live.fixture_fc009
+"""FC009: a helper reachable from two public entry points mutates
+ContainerPool state directly — no lock, no synchronization decorator,
+in a module that imports a concurrency primitive."""
+
+import threading
+
+from repro.core.pool import ContainerPool
+
+
+def handle_invocation(pool: ContainerPool, name):
+    _reap(pool, name)
+
+
+def reclaim_idle(pool: ContainerPool):
+    _reap(pool, None)
+
+
+def _reap(pool: ContainerPool, name):
+    pool.in_use = name
+    pool.by_function.pop(name, None)

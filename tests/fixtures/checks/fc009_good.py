@@ -1,0 +1,46 @@
+# repro-checks-module: repro.live.fixture_fc009_ok
+"""FC009 fixed: shared-state writes go under the lock, through a
+``@synchronized`` decorator, or through the pool's own API (which
+owns its invariants); single-entry-point helpers stay unflagged."""
+
+import threading
+
+from repro.core.pool import ContainerPool
+
+_lock = threading.Lock()
+
+
+def handle_invocation(pool: ContainerPool, name):
+    _reap(pool, name)
+
+
+def reclaim_idle(pool: ContainerPool):
+    _reap(pool, None)
+
+
+def _reap(pool: ContainerPool, name):
+    with _lock:
+        pool.in_use = name
+    pool.evict(name)  # the pool API maintains its own invariants
+
+
+def adjust_quota(pool: ContainerPool):
+    _rebalance(pool)
+
+
+def rebalance_now(pool: ContainerPool):
+    _rebalance(pool)
+
+
+@synchronized  # noqa: F821 - fixture is parsed, never imported
+def _rebalance(pool: ContainerPool):
+    pool.quota = 1.0
+
+
+def warmup(pool: ContainerPool):
+    _prime(pool)
+
+
+def _prime(pool: ContainerPool):
+    # Only one public entry point reaches this helper: no race.
+    pool.prewarmed = True

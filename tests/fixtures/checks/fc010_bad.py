@@ -1,0 +1,15 @@
+# repro-checks-module: repro.live.fixture_fc010
+"""FC010: blocking calls on async-reachable paths — lexically inside
+an ``async def``, and inside a sync helper the call graph proves is
+called from one."""
+
+import time
+
+
+async def poll_loop():
+    time.sleep(0.5)
+    _backoff()
+
+
+def _backoff():
+    time.sleep(1.0)

@@ -1,0 +1,20 @@
+# repro-checks-module: repro.live.fixture_fc010_ok
+"""FC010 fixed: coroutines await ``asyncio.sleep``; blocking calls
+are fine on sync-only paths the call graph never ties to async code."""
+
+import asyncio
+import time
+
+
+async def poll_loop():
+    await asyncio.sleep(0.5)
+    _compute()
+
+
+def _compute():
+    return 41 + 1
+
+
+def cli_entry():
+    # Never called from async code: blocking here is fine.
+    time.sleep(1.0)

@@ -1,0 +1,27 @@
+# repro-checks-module: repro.sim.fixture_fc011
+"""FC011: swallowed exceptions — a pass-only handler, and a broad
+handler that neither re-raises, emits a traced event, increments a
+counter, nor even reads the exception it caught."""
+
+
+def tick(pool):
+    try:
+        pool.advance()
+    except Exception:
+        pass
+
+
+def lookup(table, key):
+    try:
+        return table[key]
+    except KeyError:
+        pass
+    return None
+
+
+def run_step(sim):
+    try:
+        sim.step()
+    except Exception:
+        sim.last_error = "step failed"
+    return sim

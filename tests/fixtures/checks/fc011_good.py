@@ -1,0 +1,28 @@
+# repro-checks-module: repro.sim.fixture_fc011_ok
+"""FC011 fixed: handlers re-raise, emit a traced event, increment a
+failure counter, or at least act on the caught exception; narrow
+handlers doing real fallback work are trusted."""
+
+
+def tick(pool, tracer):
+    try:
+        pool.advance()
+    except Exception:
+        tracer.emit("fault_injected", 0.0)
+        raise
+
+
+def lookup(table, key, default):
+    try:
+        return table[key]
+    except KeyError:
+        return default  # narrow handler with a real fallback
+
+
+def run_step(sim):
+    try:
+        sim.step()
+    except Exception as exc:
+        sim.failures += 1
+        sim.last_error = str(exc)
+    return sim
