@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install ci-install test bench bench-pytest bench-ci fairness lint typecheck check check-incremental sanitize examples reproduce clean
+.PHONY: install ci-install test bench bench-pytest bench-ci fairness serve live-smoke lint typecheck check check-incremental sanitize examples reproduce clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -31,6 +31,18 @@ bench-ci:
 # noisy-neighbor Jain's index pinned vs benchmarks/TENANT_FAIRNESS.json.
 fairness:
 	PYTHONPATH=src $(PYTHON) benchmarks/tenant_fairness_gate.py
+
+# Live serving mode (docs/live-serving.md): a GD server on the
+# built-in skewed-frequency workload. Override: make serve TRACE=day.json
+TRACE ?= skewed-frequency
+serve:
+	PYTHONPATH=src $(PYTHON) -m repro.cli serve --trace $(TRACE) \
+		--policy GD --memory-gb 8 --port 8077
+
+# Two-process serve+loadgen smoke gate: zero 5xx, server/client
+# counter consistency, calibration-normalized decision p99 ceiling.
+live-smoke:
+	PYTHONPATH=src $(PYTHON) benchmarks/live_smoke_gate.py
 
 # Both need their tool installed (pip install -e ".[lint]" / ".[typecheck]").
 lint:

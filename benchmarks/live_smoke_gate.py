@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Live-serving smoke gate (docs/live-serving.md).
+
+Boots ``repro-faascache serve`` as a real child process on an
+ephemeral port, replays a built-in trace through ``repro-faascache
+loadgen`` over actual loopback sockets, and fails on:
+
+* any 5xx response,
+* any server/client decision-counter inconsistency,
+* a calibration-normalized decision-latency p99 above the ceiling.
+
+This is the two-process path — CLI parsing, signal handling, and the
+port-announce handshake included — as opposed to the in-process
+``live_smoke`` bench scenario. CI's ``live-smoke`` job and
+``make live-smoke`` both run this script.
+
+Usage: PYTHONPATH=src python benchmarks/live_smoke_gate.py
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+
+TRACE = "skewed-frequency"
+POLICY = "GD"
+MEMORY_GB = "2"
+LIMIT = "10000"
+MAX_P99_MS = "5"
+BASELINE = os.path.join(
+    os.path.dirname(__file__), "BASELINE.json"
+)
+ANNOUNCE = re.compile(r"at http://([\d.]+):(\d+)")
+STARTUP_TIMEOUT_S = 30.0
+
+
+def main() -> int:
+    env = dict(os.environ)
+    server = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--trace", TRACE,
+            "--policy", POLICY,
+            "--memory-gb", MEMORY_GB,
+            "--port", "0",
+            "--clock", "sim",
+        ],
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    try:
+        # The serve subcommand announces the resolved ephemeral port
+        # on stderr once the socket is bound.
+        assert server.stderr is not None
+        deadline = time.monotonic() + STARTUP_TIMEOUT_S
+        host = port = None
+        while time.monotonic() < deadline:
+            line = server.stderr.readline()
+            if not line:
+                break
+            sys.stderr.write(f"[serve] {line}")
+            match = ANNOUNCE.search(line)
+            if match:
+                host, port = match.group(1), match.group(2)
+                break
+        if port is None:
+            print("FAIL: server never announced a port", file=sys.stderr)
+            return 1
+
+        result = subprocess.run(
+            [
+                sys.executable, "-m", "repro.cli", "loadgen",
+                "--trace", TRACE,
+                "--host", host,
+                "--port", port,
+                "--limit", LIMIT,
+                "--check-consistency",
+                "--max-p99-ms", MAX_P99_MS,
+                "--calibration-baseline", BASELINE,
+            ],
+            env=env,
+        )
+        if result.returncode != 0:
+            print("FAIL: loadgen gate failed", file=sys.stderr)
+            return 1
+        print("live-smoke gate passed")
+        return 0
+    finally:
+        server.send_signal(signal.SIGINT)
+        try:
+            server.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            server.kill()
+            server.wait()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -75,6 +75,7 @@ _EVICTION_SEED = 1003
 _SWEEP_SEED = 1004
 _STREAM_SEED_1M = 1005
 _HARVEST_SEED = 1006
+_LIVE_SEED = 1007
 
 
 # ----------------------------------------------------------------------
@@ -315,6 +316,52 @@ def _harvest_scenario(scale: float):
     return len(trace), run
 
 
+def _live_smoke_scenario(scale: float):
+    # The live serving stack end to end (docs/live-serving.md): a
+    # sim-clock LivePoolService behind the asyncio HTTP frontend on an
+    # ephemeral loopback port, replayed by the pipelined deterministic
+    # load generator. The timed figure is whole-stack decisions/s over
+    # HTTP; the payload is the engine's counters plus the client's
+    # observed outcomes, so the run_suite determinism check holds live
+    # mode to the simulator's byte-exact results. Deliberately absent
+    # from BASELINE.json's wall-clock gate: loopback scheduling jitter
+    # is not a simulation regression.
+    trace = churn_trace(
+        num_functions=_scaled(160, scale),
+        seed=_LIVE_SEED,
+        name="bench-live-smoke",
+    )
+    capacity_mb = 200.0 * 128.0
+
+    def run() -> Dict[str, object]:
+        # Imported lazily: the live stack (threading + asyncio) is only
+        # touched when this scenario actually runs.
+        from repro.core.clock import SimClock
+        from repro.live.loadgen import run_loadgen
+        from repro.live.server import ServerThread
+        from repro.live.service import LivePoolService
+
+        service = LivePoolService(trace, "GD", capacity_mb, clock=SimClock())
+        thread = ServerThread(service).start()
+        try:
+            report = run_loadgen(trace, thread.host, thread.port)
+        finally:
+            thread.stop()
+        if report.errors_5xx or report.completed != len(trace):
+            raise RuntimeError(
+                f"live_smoke: {report.completed}/{len(trace)} responses, "
+                f"statuses {report.statuses}"
+            )
+        return {
+            "counters": {
+                k: v for k, v in service.counters().items() if v
+            },
+            "outcomes": dict(sorted(report.outcomes.items())),
+        }
+
+    return len(trace), run
+
+
 def _sweep_cell_scenario(scale: float):
     trace = churn_trace(
         num_functions=_scaled(160, scale),
@@ -368,6 +415,12 @@ SCENARIOS: Tuple[BenchScenario, ...] = (
         "sweep_cell",
         "one TTL sweep cell through run_cell (engine plumbing)",
         _sweep_cell_scenario,
+    ),
+    BenchScenario(
+        "live_smoke",
+        "10k-decision live replay over the asyncio HTTP frontend "
+        "(sim-clock determinism, whole-stack decisions/s)",
+        _live_smoke_scenario,
     ),
 )
 

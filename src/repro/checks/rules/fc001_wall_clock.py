@@ -11,12 +11,17 @@ from typing import Optional
 
 from repro.checks.rules.base import Rule, RuleContext
 
-#: Package prefixes whose modules must stay deterministic.
+#: Package prefixes whose modules must stay deterministic. repro.live
+#: is real-time code, but it must still route every timestamp through
+#: the Clock protocol / wall_clock_s accessor (docs/live-serving.md) —
+#: that is what keeps sim and live mode swappable drivers of one
+#: engine, so it lives in the audited scope too.
 DETERMINISTIC_SCOPE = (
     "repro.sim",
     "repro.core",
     "repro.cluster",
     "repro.faults",
+    "repro.live",
 )
 
 #: The one module allowed to read the wall clock (it defines the

@@ -10,6 +10,8 @@ Gives downstream users the common workflows without writing Python::
     repro-faascache loadtest --workload cyclic
     repro-faascache trace --trace day.json --out events.jsonl
     repro-faascache trace-report events.jsonl
+    repro-faascache serve --trace day.json --policy GD --port 8077
+    repro-faascache loadgen --trace day.json --port 8077 --check-consistency
     repro-faascache check src tests
     repro-faascache bench --baseline benchmarks/BASELINE.json
 
@@ -36,6 +38,7 @@ fingerprints against a baseline report (``docs/performance.md``).
 from __future__ import annotations
 
 import argparse
+import math
 import os
 import sys
 from typing import List, Optional
@@ -154,12 +157,22 @@ def _parse_tenant_map(
         if not sep or not tenant:
             raise SystemExit(f"{flag} expects TENANT=NUMBER, got {spec!r}")
         try:
-            parsed[int(tenant)] = float(value)
+            number = float(value)
+            key = int(tenant)
         except ValueError:
             raise SystemExit(
                 f"{flag}: tenant must be an integer and the value a "
                 f"number, got {spec!r}"
             )
+        # A NaN weight silently corrupts the GDSF monotone-priority
+        # index (NaN compares false against everything) and a negative
+        # quota/weight inverts eviction order, so both die here rather
+        # than deep in a replay.
+        if not math.isfinite(number) or number < 0.0:
+            raise SystemExit(
+                f"{flag}: value must be finite and >= 0, got {spec!r}"
+            )
+        parsed[key] = number
     return parsed
 
 
@@ -730,6 +743,151 @@ def _cmd_trace_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the live HTTP serving mode (docs/live-serving.md)."""
+    import asyncio
+
+    from repro.core.clock import SimClock
+    from repro.live.server import LiveHTTPServer
+    from repro.live.service import LivePoolService
+
+    trace = _load_trace(args.trace)
+    tracer, close_tracer = _make_tracer(args.trace_out, args.metrics_out)
+    service = LivePoolService(
+        trace,
+        args.policy,
+        args.memory_gb * 1024.0,
+        clock=SimClock() if args.clock == "sim" else None,
+        tracer=tracer,
+        tenant_mode=args.tenant_mode,
+        tenant_quotas=_parse_tenant_map(args.tenant_quota, "--tenant-quota"),
+        **_tenant_policy_kwargs(args),
+    )
+    server = LiveHTTPServer(
+        service,
+        host=args.host,
+        port=args.port,
+        tick_interval_s=args.tick_interval_s,
+    )
+
+    def announce(started: LiveHTTPServer) -> None:
+        print(
+            f"serving {args.policy.upper()} on {trace.name!r} "
+            f"({len(service.function_names())} functions, "
+            f"{args.memory_gb:g} GB, clock={args.clock}) at "
+            f"http://{started.host}:{started.port}",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    try:
+        asyncio.run(server.serve_forever(on_ready=announce))
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        close_tracer()
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    """Replay a trace against a live server and gate the results."""
+    from repro.live.loadgen import fetch_stats, run_loadgen
+
+    trace = _load_trace(args.trace)
+    report = run_loadgen(
+        trace,
+        args.host,
+        args.port,
+        mode=args.mode,
+        connections=args.connections,
+        window=args.window,
+        speed=args.speed,
+        duration_s=args.duration_s,
+        limit=args.limit,
+        send_now=(args.mode == "pipeline" and not args.real_clock),
+    )
+    summary = report.summary()
+    rows = [
+        ["sent", report.sent],
+        ["completed", report.completed],
+        ["achieved qps", round(report.achieved_qps, 1)],
+        ["wall s", round(report.wall_s, 3)],
+    ]
+    for outcome, count in sorted(report.outcomes.items()):
+        rows.append([f"outcome {outcome}", count])
+    for code, count in sorted(report.statuses.items()):
+        rows.append([f"http {code}", count])
+    for side in ("client_latency", "decision_latency"):
+        for pct in ("p50_us", "p99_us", "p999_us"):
+            rows.append(
+                [f"{side} {pct}", round(summary[side][pct], 1)]
+            )
+    print(
+        format_table(
+            ["Metric", "Value"],
+            rows,
+            title=f"loadgen {args.mode} vs {args.host}:{args.port}",
+        )
+    )
+    if args.json_out:
+        import json
+
+        with open(args.json_out, "w") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json_out}", file=sys.stderr)
+
+    failures = []
+    if report.errors_5xx:
+        failures.append(f"{report.errors_5xx} responses were 5xx")
+        for line in report.errors[:5]:
+            failures.append(f"  {line}")
+    if args.check_consistency:
+        stats = fetch_stats(args.host, args.port)
+        server_decisions = stats.get("decisions", {})
+        if server_decisions != report.outcomes:
+            failures.append(
+                "counter mismatch: server /stats decisions "
+                f"{server_decisions} != client outcomes {report.outcomes} "
+                "(is another client hitting this server?)"
+            )
+        else:
+            print(
+                f"server /stats agrees with the client on all "
+                f"{sum(report.outcomes.values())} decisions"
+            )
+    if args.max_p99_ms is not None:
+        ceiling_ms = args.max_p99_ms
+        if args.calibration_baseline:
+            import json
+
+            from repro.bench import calibration_s
+
+            with open(args.calibration_baseline) as handle:
+                base_cal = float(json.load(handle).get("calibration_s", 0.0))
+            cur_cal = calibration_s()
+            if base_cal > 0.0 and cur_cal > 0.0:
+                # Slower machine -> proportionally higher ceiling
+                # (never a lower one), mirroring bench-regression.
+                ceiling_ms *= max(1.0, cur_cal / base_cal)
+        p99_ms = report.decision_latency.percentile(0.99) * 1e3
+        if p99_ms > ceiling_ms:
+            failures.append(
+                f"decision p99 {p99_ms:.2f} ms exceeds the "
+                f"{ceiling_ms:.2f} ms ceiling"
+            )
+        else:
+            print(
+                f"decision p99 {p99_ms:.3f} ms within the "
+                f"{ceiling_ms:.2f} ms ceiling"
+            )
+    if failures:
+        print("LOADGEN GATE FAILURES:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    return 0
+
+
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
@@ -966,6 +1124,127 @@ def build_parser() -> argparse.ArgumentParser:
         help="functions to list in the eviction-churn table",
     )
     trace_report.set_defaults(func=_cmd_trace_report)
+
+    serve = sub.add_parser(
+        "serve",
+        help=(
+            "serve live warm/cold admission decisions over HTTP with "
+            "the same policy engine the simulator uses "
+            "(docs/live-serving.md)"
+        ),
+    )
+    serve.add_argument("--trace", required=True, help="function registry")
+    serve.add_argument("--policy", default="GD")
+    serve.add_argument("--memory-gb", type=float, default=16.0)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8077, help="0 picks an ephemeral port"
+    )
+    serve.add_argument(
+        "--clock",
+        choices=("real", "sim"),
+        default="real",
+        help=(
+            "real: the server stamps arrivals from the wall clock "
+            "(production mode); sim: clients drive time via each "
+            "request's now_s (deterministic replay target)"
+        ),
+    )
+    serve.add_argument(
+        "--tick-interval-s",
+        type=float,
+        default=0.25,
+        help="expiry-timer period; 0 disables the background tick",
+    )
+    serve.add_argument(
+        "--trace-out",
+        metavar="EVENTS.jsonl",
+        help="record lifecycle events (JSONL, repro.obs schema)",
+    )
+    serve.add_argument(
+        "--metrics-out",
+        metavar="PROM.txt",
+        help="write a Prometheus textfile on shutdown",
+    )
+    _add_tenant_flags(serve)
+    serve.set_defaults(func=_cmd_serve)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help=(
+            "replay a trace against a live server and report "
+            "p50/p99/p999 decision latency plus achieved QPS"
+        ),
+    )
+    loadgen.add_argument("--trace", required=True)
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, default=8077)
+    loadgen.add_argument(
+        "--mode",
+        choices=("pipeline", "openloop"),
+        default="pipeline",
+        help=(
+            "pipeline: ordered deterministic replay over one "
+            "connection; openloop: arrivals scheduled on the wall "
+            "clock across --connections sockets"
+        ),
+    )
+    loadgen.add_argument(
+        "--connections", type=int, default=4, help="open-loop sockets"
+    )
+    loadgen.add_argument(
+        "--window", type=int, default=256, help="pipeline in-flight depth"
+    )
+    loadgen.add_argument(
+        "--speed",
+        type=float,
+        default=3600.0,
+        help=(
+            "open-loop time compression: trace seconds replayed per "
+            "wall second (3600 = one trace-hour per second)"
+        ),
+    )
+    loadgen.add_argument(
+        "--duration-s",
+        type=float,
+        help="open-loop wall-clock budget; truncates the replay",
+    )
+    loadgen.add_argument(
+        "--limit", type=int, help="replay only the first N invocations"
+    )
+    loadgen.add_argument(
+        "--real-clock",
+        action="store_true",
+        help=(
+            "do not send per-request now_s in pipeline mode (use "
+            "against a --clock real server)"
+        ),
+    )
+    loadgen.add_argument(
+        "--check-consistency",
+        action="store_true",
+        help=(
+            "fetch /stats afterwards and fail unless the server's "
+            "decision counters equal the client's observed outcomes"
+        ),
+    )
+    loadgen.add_argument(
+        "--max-p99-ms",
+        type=float,
+        help="fail if the p99 in-engine decision latency exceeds this",
+    )
+    loadgen.add_argument(
+        "--calibration-baseline",
+        metavar="BASELINE.json",
+        help=(
+            "scale --max-p99-ms by this bench report's machine "
+            "calibration (like the bench-regression gate)"
+        ),
+    )
+    loadgen.add_argument(
+        "--json-out", metavar="REPORT.json", help="write the summary JSON"
+    )
+    loadgen.set_defaults(func=_cmd_loadgen)
 
     bench = sub.add_parser(
         "bench",

@@ -20,6 +20,7 @@ under memory pressure, never on a timer.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Optional
 
 from repro.core.clock import LogicalClock
@@ -66,9 +67,13 @@ class GreedyDualPolicy(KeepAlivePolicy):
         self._cost_weight = cost_weight
         if tenant_weights is not None:
             for tid, weight in sorted(tenant_weights.items()):
-                if weight < 0:
+                # NaN slips past a plain ``< 0`` check and then poisons
+                # the monotone priority index (every comparison against
+                # NaN is false), so finiteness is part of the invariant.
+                if not math.isfinite(weight) or weight < 0:
                     raise ValueError(
-                        f"tenant {tid}: weight must be >= 0, got {weight}"
+                        f"tenant {tid}: weight must be finite and >= 0, "
+                        f"got {weight}"
                     )
             tenant_weights = dict(tenant_weights)
         self._tenant_weights = tenant_weights

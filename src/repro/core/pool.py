@@ -14,6 +14,7 @@ executes it and maintains the invariants:
 from __future__ import annotations
 
 import heapq
+import math
 from bisect import bisect_left, insort
 from typing import (
     TYPE_CHECKING,
@@ -73,9 +74,13 @@ class ContainerPool:
         for tid, limit in sorted((tenant_limits_mb or {}).items()):
             if tid < 0:
                 raise ValueError(f"tenant id must be >= 0, got {tid}")
-            if limit < 0:
+            # Finiteness matters as much as sign: a NaN limit makes
+            # every quota comparison false and an inf slice defeats the
+            # partition-sum capacity check below.
+            if not math.isfinite(limit) or limit < 0:
                 raise ValueError(
-                    f"tenant {tid}: limit must be >= 0, got {limit}"
+                    f"tenant {tid}: limit must be finite and >= 0, "
+                    f"got {limit}"
                 )
             limits[int(tid)] = float(limit)
         if tenant_mode == "shared" and limits:

@@ -82,9 +82,11 @@ class RetryPolicy:
 
         Granting a retry consumes one unit of the function's budget;
         asking is free, so callers may probe-and-shed without charge.
-        The delay is ``min(max, base * 2**(n-1))`` stretched by a
-        deterministic jitter factor in ``[1 - jitter/2, 1 + jitter/2]``
-        keyed on the retry's identity.
+        The delay is ``base * 2**(n-1)`` stretched by a deterministic
+        jitter factor in ``[1 - jitter/2, 1 + jitter/2]`` keyed on the
+        retry's identity, then clamped to ``max_delay_s`` — the cap is
+        a hard ceiling, so the jitter stretch can never push a delay
+        past it.
         """
         if retry_number < 1:
             raise ValueError(f"retry_number is 1-based, got {retry_number}")
@@ -102,6 +104,11 @@ class RetryPolicy:
                 self.seed, "jitter", function_name, retry_number, failed_at_s
             )
             delay *= 1.0 + self.jitter * (u - 0.5)
+            # The cap must bound the *final* delay: once the
+            # exponential term saturates, upward jitter would otherwise
+            # exceed max_delay_s by up to jitter/2.
+            if delay > self.max_delay_s:
+                delay = self.max_delay_s
         return delay
 
     def __repr__(self) -> str:

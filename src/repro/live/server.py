@@ -1,0 +1,306 @@
+"""Asyncio HTTP frontend for the live keep-alive service.
+
+A deliberately small HTTP/1.1 server on stdlib ``asyncio`` streams —
+no web framework, no thread-per-request — exposing the
+:class:`~repro.live.service.LivePoolService` API as JSON endpoints:
+
+* ``POST /admit``   ``{"function": NAME, "now_s": optional}`` →
+  admission decision (``now_s`` only honoured under a sim clock);
+* ``POST /release`` → completed invocations returned to the pool;
+* ``GET /stats``    → counters, decision-latency percentiles, pool
+  occupancy;
+* ``GET /healthz``  → liveness.
+
+Connections are keep-alive and fully pipelined: requests on one
+connection are answered in order, which is what lets the deterministic
+load generator replay a trace at high QPS over a single socket while
+preserving the simulator's arrival order. Decision work happens inline
+on the event loop — a decision is microseconds of lock-protected
+computation, so handing it to a thread pool would cost more than it
+frees. A periodic timer drains expirations during idle stretches.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Dict, Optional, Tuple
+
+from repro.live.service import LivePoolService, UnknownFunctionError
+
+__all__ = ["LiveHTTPServer", "ServerThread"]
+
+_MAX_HEADER_BYTES = 16 * 1024
+_MAX_BODY_BYTES = 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+def _encode_response(status: int, payload: dict) -> bytes:
+    body = json.dumps(payload, separators=(",", ":")).encode()
+    reason = _REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: keep-alive\r\n\r\n"
+    ).encode()
+    return head + body
+
+
+class LiveHTTPServer:
+    """Serves one :class:`LivePoolService` over HTTP."""
+
+    def __init__(
+        self,
+        service: LivePoolService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        tick_interval_s: float = 0.25,
+    ) -> None:
+        if tick_interval_s < 0.0:
+            raise ValueError(
+                f"tick_interval_s must be >= 0, got {tick_interval_s}"
+            )
+        self.service = service
+        self.host = host
+        self.port = port  # replaced by the bound port after start()
+        self.tick_interval_s = tick_interval_s
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._tick_task: Optional["asyncio.Task"] = None
+        self.requests_served = 0
+        self.errors_5xx = 0
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+
+    def _dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, dict]:
+        if path == "/admit" and method == "POST":
+            try:
+                request = json.loads(body) if body else {}
+            except ValueError:
+                return 400, {"error": "body is not valid JSON"}
+            name = request.get("function")
+            if not isinstance(name, str):
+                return 400, {"error": "missing string field 'function'"}
+            now_s = request.get("now_s")
+            if now_s is not None and not isinstance(now_s, (int, float)):
+                return 400, {"error": "'now_s' must be a number"}
+            try:
+                decision = self.service.admit(name, now_s)
+            except UnknownFunctionError:
+                return 404, {"error": f"unknown function {name!r}"}
+            return 200, {
+                "outcome": decision.outcome,
+                "function": decision.function,
+                "now_s": decision.now_s,
+                "decision_us": decision.decision_latency_s * 1e6,
+            }
+        if path == "/release" and method == "POST":
+            try:
+                request = json.loads(body) if body else {}
+            except ValueError:
+                return 400, {"error": "body is not valid JSON"}
+            now_s = request.get("now_s")
+            if now_s is not None and not isinstance(now_s, (int, float)):
+                return 400, {"error": "'now_s' must be a number"}
+            return 200, {"released": self.service.release(now_s)}
+        if path == "/stats" and method == "GET":
+            stats = self.service.stats()
+            stats["http"] = {
+                "requests": self.requests_served,
+                "errors_5xx": self.errors_5xx,
+            }
+            return 200, stats
+        if path == "/healthz" and method == "GET":
+            return 200, {"ok": True}
+        if path in ("/admit", "/release", "/stats", "/healthz"):
+            return 405, {"error": f"{method} not allowed on {path}"}
+        return 404, {"error": f"no route for {path}"}
+
+    async def _handle_client(
+        self, reader: "asyncio.StreamReader", writer: "asyncio.StreamWriter"
+    ) -> None:
+        try:
+            while True:
+                try:
+                    head = await reader.readuntil(b"\r\n\r\n")
+                except (
+                    asyncio.IncompleteReadError,
+                    ConnectionResetError,
+                ):
+                    break
+                except asyncio.LimitOverrunError:
+                    writer.write(
+                        _encode_response(400, {"error": "headers too large"})
+                    )
+                    break
+                status, payload = await self._one_request(reader, head)
+                self.requests_served += 1
+                if status >= 500:
+                    self.errors_5xx += 1
+                writer.write(_encode_response(status, payload))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            # close() without awaiting wait_closed(): the loop may be
+            # tearing down (stop() mid-connection), and awaiting here
+            # just turns shutdown into cancellation noise.
+            try:
+                writer.close()
+            except RuntimeError:
+                pass
+
+    async def _one_request(
+        self, reader: "asyncio.StreamReader", head: bytes
+    ) -> Tuple[int, dict]:
+        try:
+            lines = head.decode("latin-1").split("\r\n")
+            parts = lines[0].split(" ")
+            if len(parts) != 3:
+                return 400, {"error": "malformed request line"}
+            method, path = parts[0].upper(), parts[1]
+            headers: Dict[str, str] = {}
+            for line in lines[1:]:
+                key, sep, value = line.partition(":")
+                if sep:
+                    headers[key.strip().lower()] = value.strip()
+            length = int(headers.get("content-length", "0") or "0")
+            if length < 0 or length > _MAX_BODY_BYTES:
+                return 413, {"error": "body too large"}
+            body = await reader.readexactly(length) if length else b""
+        except (ValueError, asyncio.IncompleteReadError):
+            return 400, {"error": "malformed request"}
+        try:
+            return self._dispatch(method, path, body)
+        except Exception as exc:  # noqa: BLE001 - last-resort 500
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}
+
+    async def _tick_loop(self) -> None:
+        """Drain completions/expirations on a timer so idle periods
+        (no arrivals to piggyback housekeeping on) still free memory."""
+        while True:
+            await asyncio.sleep(self.tick_interval_s)
+            self.service.expire_tick()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_client,
+            self.host,
+            self.port,
+            limit=_MAX_HEADER_BYTES,
+        )
+        sockets = self._server.sockets or []
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+        if self.tick_interval_s > 0.0:
+            loop = asyncio.get_running_loop()
+            self._tick_task = loop.create_task(self._tick_loop())
+
+    async def stop(self) -> None:
+        if self._tick_task is not None:
+            self._tick_task.cancel()
+            try:
+                await self._tick_task
+            except asyncio.CancelledError:
+                pass
+            self._tick_task = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self, on_ready=None) -> None:
+        """Start and serve until cancelled. ``on_ready`` (called with
+        the server once the socket is bound) lets the CLI announce the
+        resolved ephemeral port."""
+        await self.start()
+        assert self._server is not None
+        if on_ready is not None:
+            on_ready(self)
+        try:
+            await self._server.serve_forever()
+        finally:
+            await self.stop()
+
+
+class ServerThread:
+    """Runs a :class:`LiveHTTPServer` on its own event-loop thread.
+
+    The in-process embedding tests, the ``live_smoke`` bench scenario,
+    and ``make live-smoke`` use this: start() blocks until the socket
+    is bound (so the caller can read the ephemeral port), stop() joins
+    the loop thread cleanly.
+    """
+
+    def __init__(
+        self,
+        service: LivePoolService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        tick_interval_s: float = 0.0,
+    ) -> None:
+        self.server = LiveHTTPServer(
+            service, host=host, port=port, tick_interval_s=tick_interval_s
+        )
+        self._ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._thread: Optional[threading.Thread] = None
+        self.error: Optional[BaseException] = None
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    def start(self) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-live-server", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait()
+        if self.error is not None:
+            raise RuntimeError("live server failed to start") from self.error
+        return self
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # noqa: BLE001 - surfaced to starter
+            self.error = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        await self.server.start()
+        self._ready.set()
+        await self._stop_event.wait()
+        await self.server.stop()
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop_event is not None:
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None

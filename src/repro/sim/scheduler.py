@@ -33,7 +33,7 @@ from repro.checks.sanitize import (
     check_tenant_counter_equality,
     sanitize_enabled,
 )
-from repro.core.clock import wall_clock_s
+from repro.core.clock import SimClock, wall_clock_s
 from repro.core.container import Container
 from repro.core.policies.base import KeepAlivePolicy, create_policy
 from repro.core.pool import CapacityError, ContainerPool
@@ -177,6 +177,11 @@ class KeepAliveSimulator:
             tenant_limits_mb=limits if tenant_mode != "shared" else None,
         )
         self.metrics = SimulationMetrics()
+        # Timestamp source (docs/live-serving.md): the replay loop
+        # advances this to each arrival and reads ``now_s`` back from
+        # it, so sim and live mode share one code path — the live
+        # service swaps in a RealTimeClock and drives the same engine.
+        self.clock = SimClock()
         # Expiry fast path: policies that never expire (the resource-
         # conserving caching family) inherit the base
         # ``expired_containers``; detecting that once here lets the
@@ -402,13 +407,24 @@ class KeepAliveSimulator:
             self._advance_faults(now_s)
         return self._attempt(function, now_s, attempt=0)
 
-    def _attempt(self, function: TraceFunction, now_s: float, attempt: int) -> str:
-        """One attempt (first try or retry) at serving an invocation."""
+    def housekeeping(self, now_s: float) -> None:
+        """Apply everything due by ``now_s`` that is not an arrival:
+        release finished invocations back to the warm pool, expire
+        containers past their policy deadline (draining the pool's
+        incremental expiry heap), and materialize due prewarms.
+
+        Every attempt runs this as its prologue; the live serving mode
+        (docs/live-serving.md) also calls it from a periodic timer so
+        expirations drain during idle stretches with no arrivals."""
         self._release_finished(now_s)
         if self._policy_expires and self.policy.next_expiry_s(self.pool) <= now_s:
             self._expire_containers(now_s)
         if self._policy_prewarms and self.policy.next_prewarm_s() <= now_s:
             self._materialize_prewarms(now_s)
+
+    def _attempt(self, function: TraceFunction, now_s: float, attempt: int) -> str:
+        """One attempt (first try or retry) at serving an invocation."""
+        self.housekeeping(now_s)
         self.policy.on_invocation(function, now_s, self.pool)
         tracer = self._tracer
         # ``None`` on tenant-less runs: metrics skip per-tenant
@@ -876,12 +892,15 @@ class KeepAliveSimulator:
         """
         started = wall_clock_s()
         functions = self.trace.functions
+        clock = self.clock
         end_s = 0.0
         for invocation in self.trace:
-            self.process_invocation(
-                functions[invocation.function_name], invocation.time_s
-            )
-            end_s = invocation.time_s
+            # Timestamps flow through the SimClock (traces are sorted,
+            # so advance_to/now round-trips each arrival time exactly —
+            # byte-identical to passing invocation.time_s directly).
+            clock.advance_to(invocation.time_s)
+            end_s = clock.now()
+            self.process_invocation(functions[invocation.function_name], end_s)
         return self.finalize(end_s, started)
 
     def finalize(self, end_s: float, started_wall_s: float) -> SimulationResult:

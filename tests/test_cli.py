@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -37,6 +39,8 @@ class TestParser:
             ["provision", "--trace", "t"],
             ["autoscale", "--trace", "t"],
             ["loadtest"],
+            ["serve", "--trace", "t"],
+            ["loadgen", "--trace", "t"],
         ):
             args = parser.parse_args(command)
             assert callable(args.func)
@@ -377,3 +381,107 @@ class TestObservabilityCLI:
         text = prom.read_text()
         assert 'policy="GD"' in text and 'policy="TTL"' in text
         assert 'memory_gb="2"' in text
+
+
+class TestTenantMapValidation:
+    """--tenant-weights/--tenant-quota must reject non-finite and
+    negative values before they can corrupt priority math."""
+
+    @pytest.mark.parametrize("bad", ["1=nan", "1=inf", "1=-inf", "1=-2.5"])
+    def test_bad_weights_rejected(self, bad):
+        with pytest.raises(SystemExit, match="finite and >= 0"):
+            main(
+                [
+                    "simulate",
+                    "--trace", "multitenant",
+                    "--policy", "GD",
+                    "--memory-gb", "1",
+                    "--tenant-weights", bad,
+                ]
+            )
+
+    def test_bad_quota_rejected(self):
+        with pytest.raises(SystemExit, match="finite and >= 0"):
+            main(
+                [
+                    "simulate",
+                    "--trace", "multitenant",
+                    "--policy", "GD",
+                    "--memory-gb", "1",
+                    "--tenant-mode", "quota",
+                    "--tenant-quota", "1=nan",
+                ]
+            )
+
+    def test_valid_weights_still_accepted(self, capsys):
+        assert main(
+            [
+                "simulate",
+                "--trace", "multitenant",
+                "--policy", "GD",
+                "--memory-gb", "1",
+                "--tenant-weights", "1=2.0", "2=0.5",
+            ]
+        ) == 0
+        assert "invocations_per_s" in capsys.readouterr().out
+
+    def test_constructor_layer_rejects_nonfinite(self):
+        import math
+
+        from repro.core.policies.base import create_policy
+        from repro.core.pool import ContainerPool
+
+        with pytest.raises(ValueError, match="finite"):
+            create_policy("GD", tenant_weights={1: math.nan})
+        with pytest.raises(ValueError, match="finite"):
+            create_policy("GD", tenant_weights={1: math.inf})
+        with pytest.raises(ValueError, match="finite"):
+            ContainerPool(
+                1024.0,
+                tenant_mode="quota",
+                tenant_limits_mb={1: math.nan},
+            )
+
+
+class TestLiveCLI:
+    def test_serve_and_loadgen_parsers(self):
+        parser = build_parser()
+        serve = parser.parse_args(["serve", "--trace", "t", "--clock", "sim"])
+        assert callable(serve.func) and serve.clock == "sim"
+        loadgen = parser.parse_args(
+            ["loadgen", "--trace", "t", "--mode", "openloop", "--port", "1"]
+        )
+        assert callable(loadgen.func) and loadgen.mode == "openloop"
+
+    def test_loadgen_against_in_process_server(self, tmp_path, capsys):
+        from repro.core.clock import SimClock
+        from repro.live.server import ServerThread
+        from repro.live.service import LivePoolService
+        from repro.traces.synth import skewed_frequency_trace
+
+        trace = skewed_frequency_trace(seed=31)
+        service = LivePoolService(trace, "GD", 2048.0, clock=SimClock())
+        thread = ServerThread(service).start()
+        out = tmp_path / "loadgen.json"
+        try:
+            code = main(
+                [
+                    "loadgen",
+                    "--trace", "skewed-frequency",
+                    "--host", thread.host,
+                    "--port", str(thread.port),
+                    "--limit", "1000",
+                    "--check-consistency",
+                    "--max-p99-ms", "1000",
+                    "--json-out", str(out),
+                ]
+            )
+        finally:
+            thread.stop()
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "achieved qps" in captured
+        assert "agrees with the client" in captured
+        report = json.loads(out.read_text())
+        assert report["completed"] == 1000
+        assert report["statuses"] == {"200": 1000}

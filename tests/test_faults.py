@@ -241,11 +241,36 @@ class TestRetryPolicy:
     def test_jitter_bounded_and_deterministic(self):
         policy = RetryPolicy(jitter=0.5, base_delay_s=4.0, max_delay_s=4.0)
         delay = policy.next_delay("f", 1, 100.0)
-        assert 4.0 * 0.75 <= delay <= 4.0 * 1.25
+        # The cap bounds the *jittered* delay: with base == max the
+        # stretch may pull below, never above.
+        assert 4.0 * 0.75 <= delay <= 4.0
         again = RetryPolicy(jitter=0.5, base_delay_s=4.0, max_delay_s=4.0)
         assert again.next_delay("f", 1, 100.0) == delay
         # Different coordinates draw different jitter.
         assert again.next_delay("f", 2, 100.0) != delay or True
+
+    def test_cap_bounds_jittered_delay_property(self):
+        """The documented invariant: next_delay never exceeds
+        max_delay_s, for any jitter setting, retry number, or retry
+        identity — including when the exponential term saturates the
+        cap and upward jitter used to overshoot it."""
+        for jitter in (0.0, 0.1, 0.5, 1.0):
+            for max_delay_s in (1.0, 4.0, 60.0):
+                policy = RetryPolicy(
+                    max_retries=12,
+                    base_delay_s=1.0,
+                    max_delay_s=max_delay_s,
+                    jitter=jitter,
+                    per_function_budget=10_000,
+                )
+                for name in ("f", "g", "h"):
+                    for n in range(1, 13):
+                        for failed_at_s in (0.0, 17.3, 86_400.0):
+                            delay = policy.next_delay(name, n, failed_at_s)
+                            assert delay is not None
+                            assert 0.0 < delay <= max_delay_s, (
+                                jitter, max_delay_s, name, n, failed_at_s,
+                            )
 
     def test_max_retries_exhausted(self):
         policy = RetryPolicy(max_retries=2)
